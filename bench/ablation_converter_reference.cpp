@@ -1,0 +1,56 @@
+// Ablation: converter regulation reference.
+//
+// A reproduction finding of this repository (see EXPERIMENTS.md): if each
+// converter's midpoint reference uses the SOLVED adjacent-rail voltages
+// (the literal reading of the paper's compact model), the interleaved
+// high-low pattern drives same-sign mismatch current into every other rail
+// and the per-level droop accumulates ~quadratically with layer count.
+// The paper's Fig. 6 noise levels are only consistent with converters that
+// regulate toward the NOMINAL rail potentials (a stiff reference).  This
+// bench quantifies the difference.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/study.h"
+#include "power/workload.h"
+
+int main() {
+  using namespace vstack;
+
+  bench::print_header("Ablation",
+                      "Converter reference: ideal rails vs adjacent rails "
+                      "(max noise %Vdd, 50% imbalance, 8 conv/core)");
+  const auto ctx = core::StudyContext::paper_defaults();
+
+  TextTable t({"Layers", "IdealRails noise", "AdjacentRails noise",
+               "Amplification"});
+  for (const std::size_t layers : {2u, 4u, 6u, 8u}) {
+    auto ideal = core::make_stacked(ctx, layers, ctx.base.tsv, 8);
+    ideal.converter_reference = pdn::ConverterReference::IdealRails;
+    auto coupled = ideal;
+    coupled.converter_reference = pdn::ConverterReference::AdjacentRails;
+
+    const auto acts = power::interleaved_layer_activities(layers, 0.5);
+    const auto s_ideal =
+        pdn::PdnModel(ideal, ctx.layer_floorplan)
+            .solve_activities(ctx.core_model, acts);
+    const auto s_coupled =
+        pdn::PdnModel(coupled, ctx.layer_floorplan)
+            .solve_activities(ctx.core_model, acts);
+
+    t.add_row({std::to_string(layers),
+               TextTable::percent(s_ideal.max_node_deviation_fraction, 2),
+               TextTable::percent(s_coupled.max_node_deviation_fraction, 2),
+               TextTable::num(s_coupled.max_node_deviation_fraction /
+                                  s_ideal.max_node_deviation_fraction,
+                              2) +
+                   "x"});
+  }
+  t.print(std::cout);
+
+  bench::print_note("midpoint-referenced ladder stacks accumulate droop "
+                    "with layer count; stiff-referenced regulation keeps "
+                    "noise layer-count independent");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Shared output helpers for the reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace vstack::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+inline void print_note(const std::string& note) {
+  std::cout << "  " << note << "\n";
+}
+
+/// Render an optional value, using the paper's convention of skipping
+/// infeasible points.
+inline std::string opt_cell(bool present, const std::string& value) {
+  return present ? value : "-";
+}
+
+}  // namespace vstack::bench

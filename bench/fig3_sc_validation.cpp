@@ -1,0 +1,78 @@
+// Regenerates the paper's Fig. 3: SC converter compact-model validation
+// against detailed simulation.
+//
+// The "simulation" columns come from this repository's switch-level
+// transient simulator (src/circuit), standing in for the authors' 28 nm
+// Spectre testbench; the "model" columns come from the Seeman-methodology
+// compact model (src/sc).  Fig. 3a uses closed-loop frequency modulation,
+// Fig. 3b open-loop at 50 MHz.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "circuit/sc_testbench.h"
+#include "common/table.h"
+#include "sc/compact_model.h"
+
+namespace {
+
+using namespace vstack;
+
+sc::ScConverterDesign model_design(sc::ControlPolicy policy) {
+  sc::ScConverterDesign d;  // defaults mirror the testbench circuit
+  d.control = policy;
+  return d;
+}
+
+circuit::ScTestbenchConfig testbench_config(double load, double fsw) {
+  circuit::ScTestbenchConfig cfg;
+  cfg.load_current = load;
+  cfg.switching_frequency = fsw;
+  return cfg;
+}
+
+void run_policy(sc::ControlPolicy policy, const std::vector<double>& loads_ma,
+                const char* figure, const char* title) {
+  bench::print_header(figure, title);
+  const sc::ScCompactModel model(model_design(policy));
+
+  TextTable t({"Load (mA)", "Eff model (%)", "Eff sim (%)",
+               "Vdrop model (mV)", "Vdrop sim (mV)", "f_sw (MHz)"});
+  for (const double ma : loads_ma) {
+    const double load = ma * 1e-3;
+    const auto op = model.evaluate(2.0, 0.0, load);
+
+    circuit::ScSimulationOptions sim_opts;
+    sim_opts.settle_periods = 80;
+    sim_opts.measure_periods = 20;
+    const auto sim = circuit::simulate_push_pull_sc(
+        testbench_config(load, op.switching_frequency), sim_opts);
+
+    t.add_row({TextTable::num(ma, 1),
+               TextTable::num(op.efficiency * 100.0, 1),
+               TextTable::num(sim.efficiency * 100.0, 1),
+               TextTable::num(op.voltage_drop * 1e3, 1),
+               TextTable::num(sim.voltage_drop * 1e3, 1),
+               TextTable::num(op.switching_frequency / 1e6, 1)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  run_policy(vstack::sc::ControlPolicy::ClosedLoop,
+             {1.6, 3.1, 6.3, 12.5, 25.0, 50.0, 100.0}, "Fig 3a",
+             "SC model validation, closed-loop control (efficiency vs load)");
+  vstack::bench::print_note(
+      "paper Fig. 3a: closed-loop efficiency stays high (~85-95%) across "
+      "the 1.6-100 mA range; model tracks simulation");
+
+  run_policy(vstack::sc::ControlPolicy::OpenLoop,
+             {10, 20, 30, 40, 50, 60, 70, 80, 90}, "Fig 3b",
+             "SC model validation, open-loop control (efficiency + Vdrop)");
+  vstack::bench::print_note(
+      "paper Fig. 3b: open-loop efficiency climbs ~55% -> ~85% with load; "
+      "output drop grows linearly at ~0.6 Ohm (55-60 mV at 90 mA)");
+  return 0;
+}

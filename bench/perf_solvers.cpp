@@ -1,0 +1,105 @@
+// google-benchmark timing of the linear-algebra kernels on PDN-shaped
+// systems: CG vs BiCGSTAB, Jacobi vs ILU(0), and a full PDN solve.
+#include <benchmark/benchmark.h>
+
+#include "core/study.h"
+#include "la/skyline_cholesky.h"
+#include "la/solve.h"
+#include "power/workload.h"
+
+namespace {
+
+using namespace vstack;
+
+la::CsrMatrix grid_matrix(std::size_t m) {
+  la::CooBuilder b(m * m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const std::size_t i = r * m + c;
+      b.add(i, i, 4.0);
+      if (r > 0) b.add(i, i - m, -1.0);
+      if (r + 1 < m) b.add(i, i + m, -1.0);
+      if (c > 0) b.add(i, i - 1, -1.0);
+      if (c + 1 < m) b.add(i, i + 1, -1.0);
+    }
+  }
+  return b.build();
+}
+
+void BM_CgJacobi(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
+  const la::Vector b(a.size(), 1.0);
+  const auto precond = la::make_jacobi(a);
+  for (auto _ : state) {
+    la::Vector x;
+    auto report = la::conjugate_gradient(a, b, x, *precond);
+    benchmark::DoNotOptimize(report.iterations);
+  }
+}
+BENCHMARK(BM_CgJacobi)->Arg(32)->Arg(64);
+
+void BM_CgIlu0(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
+  const la::Vector b(a.size(), 1.0);
+  const auto precond = la::make_ilu0(a);
+  for (auto _ : state) {
+    la::Vector x;
+    auto report = la::conjugate_gradient(a, b, x, *precond);
+    benchmark::DoNotOptimize(report.iterations);
+  }
+}
+BENCHMARK(BM_CgIlu0)->Arg(32)->Arg(64);
+
+void BM_BiCgStabIlu0(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
+  const la::Vector b(a.size(), 1.0);
+  const auto precond = la::make_ilu0(a);
+  for (auto _ : state) {
+    la::Vector x;
+    auto report = la::bicgstab(a, b, x, *precond);
+    benchmark::DoNotOptimize(report.iterations);
+  }
+}
+BENCHMARK(BM_BiCgStabIlu0)->Arg(32)->Arg(64);
+
+void BM_SkylineCholeskyFactor(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    la::ReorderedCholesky chol(a);
+    benchmark::DoNotOptimize(chol.envelope_size());
+  }
+}
+BENCHMARK(BM_SkylineCholeskyFactor)->Arg(32)->Arg(64);
+
+void BM_SkylineCholeskyResolve(benchmark::State& state) {
+  // Per-RHS cost once factored -- the transient engine's inner loop.
+  const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
+  const la::ReorderedCholesky chol(a);
+  const la::Vector b(a.size(), 1.0);
+  for (auto _ : state) {
+    auto x = chol.solve(b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SkylineCholeskyResolve)->Arg(32)->Arg(64);
+
+void BM_FullPdnSolve(benchmark::State& state) {
+  const auto ctx = core::StudyContext::paper_defaults();
+  auto cfg = core::make_stacked(ctx, static_cast<std::size_t>(state.range(0)),
+                                ctx.base.tsv, 8);
+  pdn::PdnModel model(cfg, ctx.layer_floorplan);
+  const auto loads = model.network().build_loads(
+      ctx.core_model,
+      power::interleaved_layer_activities(
+          static_cast<std::size_t>(state.range(0)), 0.5));
+  for (auto _ : state) {
+    auto sol = model.solve(loads);
+    benchmark::DoNotOptimize(sol.max_node_deviation_fraction);
+  }
+}
+BENCHMARK(BM_FullPdnSolve)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Regenerates the paper's Table 1: major PDN modeling parameters.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "pdn/params.h"
+
+int main() {
+  using namespace vstack;
+  using namespace vstack::units;
+
+  bench::print_header("Table 1", "Major PDN modeling parameters");
+  const pdn::PdnParameters p;
+  p.validate();
+
+  TextTable t({"Parameter", "Value"});
+  t.add_row({"C4 Pad Pitch (um)", TextTable::num(p.c4_pitch / um, 0)});
+  t.add_row({"C4 Pad Resistance (mOhm)",
+             TextTable::num(p.c4_resistance / mOhm, 0)});
+  t.add_row({"Minimum TSV Pitch (um)",
+             TextTable::num(p.tsv_min_pitch / um, 0)});
+  t.add_row({"TSV Diameter (um)", TextTable::num(p.tsv_diameter / um, 0)});
+  t.add_row({"Single TSV's Resistance (mOhm)",
+             TextTable::num(p.tsv_resistance / mOhm, 3)});
+  t.add_row({"TSV Keep-Out Zone's Side Length (um)",
+             TextTable::num(p.tsv_koz_side / um, 2)});
+  t.add_row({"On-chip PDN's Pitch,Width,Thickness (um)",
+             TextTable::num(p.grid_pitch / um, 0) + "," +
+                 TextTable::num(p.grid_width / um, 0) + "," +
+                 TextTable::num(p.grid_thickness / um, 2)});
+  t.print(std::cout);
+
+  bench::print_note("derived per-net sheet resistance: " +
+                    TextTable::num(p.sheet_resistance() * 1e3, 1) +
+                    " mOhm/sq");
+  bench::print_note(
+      "paper quotes the strap thickness row as '720'; the physically "
+      "consistent value is 0.72 um of top-level metal, used here");
+  return 0;
+}

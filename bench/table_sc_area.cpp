@@ -1,0 +1,37 @@
+// Regenerates the paper's Sec. 3.1 converter-area results: 0.472 mm^2 with
+// MIM capacitors, 0.102 mm^2 ferroelectric, 0.082 mm^2 deep trench, and the
+// resulting per-converter core-area overhead (~3% with high-density caps).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/study.h"
+#include "sc/area.h"
+
+int main() {
+  using namespace vstack;
+
+  bench::print_header("Sec 3.1", "SC converter area by capacitor technology");
+  const auto ctx = core::StudyContext::paper_defaults();
+  const sc::ScCompactModel model(ctx.base.converter);
+
+  TextTable t({"Capacitor Technology", "Converter Area (mm^2)",
+               "Core-Area Overhead per Converter"});
+  for (const auto& tech : sc::standard_capacitor_technologies()) {
+    const double area = sc::converter_area(ctx.base.converter, tech);
+    t.add_row({tech.name, TextTable::num(area / units::mm2, 3),
+               TextTable::percent(area / ctx.core_model.area(), 1)});
+  }
+  t.print(std::cout);
+
+  bench::print_note("R_SSL = " +
+                    TextTable::num(model.r_ssl(
+                        ctx.base.converter.nominal_switching_frequency), 3) +
+                    " Ohm, R_FSL = " + TextTable::num(model.r_fsl(), 3) +
+                    " Ohm, R_SERIES = " +
+                    TextTable::num(model.r_series(
+                        ctx.base.converter.nominal_switching_frequency), 3) +
+                    " Ohm (paper: 0.6 Ohm)");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Visual inspection of where the noise and heat actually sit: renders the
+// worst layer's droop map, the chip power map, and the hottest layer's
+// temperature field as ASCII heatmaps.
+//
+//   $ ./noise_map [stacked|regular] [imbalance%]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/study.h"
+#include "floorplan/heatmap.h"
+#include "power/workload.h"
+#include "thermal/thermal_grid.h"
+
+int main(int argc, char** argv) {
+  using namespace vstack;
+
+  const bool stacked = !(argc > 1 && std::strcmp(argv[1], "regular") == 0);
+  const double imbalance = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.5;
+
+  auto ctx = core::StudyContext::paper_defaults();
+  const std::size_t layers = 8;
+  const auto cfg = stacked
+                       ? core::make_stacked(ctx, layers, ctx.base.tsv, 8)
+                       : core::make_regular(ctx, layers, ctx.base.tsv, 0.25);
+  pdn::PdnModel model(cfg, ctx.layer_floorplan);
+  const auto acts = power::interleaved_layer_activities(layers, imbalance);
+  const auto sol = model.solve_activities(ctx.core_model, acts);
+
+  // Find the worst layer by droop magnitude.
+  std::size_t worst_layer = 0;
+  double worst = -1.0;
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (const double d : sol.layer_droop[l].values) {
+      if (std::abs(d) > worst) {
+        worst = std::abs(d);
+        worst_layer = l;
+      }
+    }
+  }
+
+  std::cout << (stacked ? "Voltage-stacked" : "Regular") << " PDN, "
+            << layers << " layers, " << imbalance * 100
+            << "% interleaved imbalance\n";
+  std::cout << "\nSupply droop map, layer " << worst_layer
+            << " (worst layer; max noise "
+            << sol.max_node_deviation_fraction * 100 << "% Vdd):\n";
+  floorplan::HeatmapOptions droop_opts;
+  droop_opts.legend_scale = 1e3;
+  droop_opts.legend_unit = "mV";
+  floorplan::render_heatmap(sol.layer_droop[worst_layer], std::cout,
+                            droop_opts);
+
+  std::cout << "\nLayer power map (active layer, full activity):\n";
+  const auto power_map = floorplan::layer_power_map(
+      ctx.layer_floorplan, ctx.core_model, std::vector<double>(16, 1.0), 32,
+      32);
+  floorplan::HeatmapOptions power_opts;
+  power_opts.legend_unit = "W/cell";
+  floorplan::render_heatmap(power_map, std::cout, power_opts);
+
+  // Thermal field of the full stack.
+  thermal::ThermalConfig tcfg;
+  std::vector<floorplan::GridMap> maps;
+  for (std::size_t l = 0; l < layers; ++l) {
+    maps.push_back(floorplan::layer_power_map(
+        ctx.layer_floorplan, ctx.core_model,
+        std::vector<double>(16, acts[l]), tcfg.nx, tcfg.ny));
+  }
+  const auto thermal = thermal::solve_stack_temperature(
+      tcfg, ctx.layer_floorplan.width, ctx.layer_floorplan.height, maps);
+  std::cout << "\nTemperature map, layer " << thermal.hottest_layer
+            << " (hottest; " << thermal.max_celsius << " C peak):\n";
+  floorplan::HeatmapOptions t_opts;
+  t_opts.legend_unit = "C";
+  floorplan::render_heatmap(
+      thermal.layer_temperature[thermal.hottest_layer], std::cout, t_opts);
+  return 0;
+}

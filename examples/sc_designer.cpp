@@ -1,0 +1,62 @@
+// SC converter design explorer: sweep switching frequency and capacitor
+// technology for the 2:1 push-pull cell, check the compact model against
+// the switch-level simulator at the chosen point, and report the design's
+// area/efficiency envelope.
+//
+//   $ ./sc_designer [load_mA]
+#include <cstdlib>
+#include <iostream>
+
+#include "circuit/sc_testbench.h"
+#include "common/table.h"
+#include "sc/area.h"
+#include "sc/compact_model.h"
+
+int main(int argc, char** argv) {
+  using namespace vstack;
+
+  const double load = (argc > 1 ? std::atof(argv[1]) : 60.0) * 1e-3;
+
+  std::cout << "SC converter designer -- 2:1 push-pull, 8 nF fly caps, "
+               "4-way interleaved, load "
+            << load * 1e3 << " mA\n\n";
+
+  // Frequency sweep with the compact model.
+  TextTable f({"f_sw (MHz)", "R_SSL (Ohm)", "R_SERIES (Ohm)", "Vdrop (mV)",
+               "Efficiency"});
+  for (const double mhz : {12.5, 25.0, 50.0, 100.0, 200.0}) {
+    sc::ScConverterDesign d;
+    d.nominal_switching_frequency = mhz * 1e6;
+    const sc::ScCompactModel model(d);
+    const auto op = model.evaluate(2.0, 0.0, load);
+    f.add_row({TextTable::num(mhz, 1), TextTable::num(op.r_ssl, 3),
+               TextTable::num(op.r_series, 3),
+               TextTable::num(op.voltage_drop * 1e3, 1),
+               TextTable::percent(op.efficiency, 1)});
+  }
+  f.print(std::cout);
+  std::cout << "\n";
+
+  // Area by capacitor technology.
+  TextTable a({"Capacitor tech", "Area (mm^2)"});
+  sc::ScConverterDesign d;
+  for (const auto& tech : sc::standard_capacitor_technologies()) {
+    a.add_row({tech.name,
+               TextTable::num(sc::converter_area(d, tech) / 1e-6, 3)});
+  }
+  a.print(std::cout);
+
+  // Cross-check the 50 MHz point against the switch-level simulator.
+  const sc::ScCompactModel model(d);
+  const auto op = model.evaluate(2.0, 0.0, load);
+  circuit::ScTestbenchConfig tb;
+  tb.load_current = load;
+  const auto sim = circuit::simulate_push_pull_sc(tb);
+  std::cout << "\nSwitch-level cross-check @50 MHz: model "
+            << TextTable::percent(op.efficiency, 1) << " / "
+            << TextTable::num(op.voltage_drop * 1e3, 1) << " mV, simulation "
+            << TextTable::percent(sim.efficiency, 1) << " / "
+            << TextTable::num(sim.voltage_drop * 1e3, 1) << " mV (ripple "
+            << TextTable::num(sim.output_ripple * 1e3, 2) << " mV)\n";
+  return 0;
+}

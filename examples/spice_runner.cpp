@@ -1,0 +1,92 @@
+// Run a SPICE-subset netlist through the transient engine.
+//
+//   $ ./spice_runner circuit.sp          # run a file
+//   $ ./spice_runner                     # run the built-in demo (a 2:1
+//                                        # switched-capacitor halver)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "circuit/spice_parser.h"
+#include "common/table.h"
+
+namespace {
+
+constexpr const char* kDemoNetlist = R"(.title built-in 2:1 SC halver demo
+* One push-pull cell: C1/C2 swap between the upper and lower positions.
+V1 vtop 0 2.0
+C1 c1t c1b 2n IC=1.0
+C2 c2t c2b 2n IC=1.0
+Cout vout 0 1n IC=1.0
+S1 c1t vtop 0.45 1g PHASE=0.0 DUTY=0.48
+S2 c1b vout 0.45 1g PHASE=0.0 DUTY=0.48
+S3 c2t vout 0.45 1g PHASE=0.0 DUTY=0.48
+S4 c2b 0    0.45 1g PHASE=0.0 DUTY=0.48
+S5 c1t vout 0.45 1g PHASE=0.5 DUTY=0.48
+S6 c1b 0    0.45 1g PHASE=0.5 DUTY=0.48
+S7 c2t vtop 0.45 1g PHASE=0.5 DUTY=0.48
+S8 c2b vout 0.45 1g PHASE=0.5 DUTY=0.48
+Iload vout 0 50m
+.clock 20n
+.tran 0.3125n 2u
+.end
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vstack;
+  using namespace vstack::circuit;
+
+  std::string text;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  } else {
+    text = kDemoNetlist;
+  }
+
+  const ParsedCircuit circuit = parse_spice(text);
+  std::cout << "Parsed: " << (circuit.title.empty() ? "(untitled)"
+                                                    : circuit.title)
+            << " -- " << circuit.netlist.node_count() - 1 << " nodes, "
+            << circuit.netlist.resistors().size() << " R, "
+            << circuit.netlist.capacitors().size() << " C, "
+            << circuit.netlist.switches().size() << " S, "
+            << circuit.netlist.voltage_sources().size() << " V, "
+            << circuit.netlist.current_sources().size() << " I\n";
+
+  if (!circuit.has_tran) {
+    std::cout << "No .tran card; running DC operating point.\n";
+    TransientSimulator sim(circuit.netlist, circuit.clock_period);
+    const auto dc = dc_solve(circuit.netlist, sim.switch_states(0.0));
+    TextTable t({"Node", "Voltage (V)"});
+    for (const auto& [name, node] : circuit.node_by_name) {
+      t.add_row({name, TextTable::num(dc.node_voltages[node], 4)});
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
+  TransientSimulator sim(circuit.netlist, circuit.clock_period);
+  const auto result = sim.run(circuit.tran);
+  const double settle = 0.75 * circuit.tran.stop_time;
+
+  TextTable t({"Node", "Avg (V)", "Min (V)", "Max (V)"});
+  for (const auto& [name, node] : circuit.node_by_name) {
+    t.add_row({name,
+               TextTable::num(result.average_node_voltage(node, settle), 4),
+               TextTable::num(result.min_node_voltage(node, settle), 4),
+               TextTable::num(result.max_node_voltage(node, settle), 4)});
+  }
+  t.print(std::cout);
+  std::cout << "(statistics over the last quarter of the "
+            << circuit.tran.stop_time * 1e6 << " us run)\n";
+  return 0;
+}

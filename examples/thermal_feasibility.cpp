@@ -1,0 +1,50 @@
+// Thermal feasibility of many-layer stacks (the paper's Sec. 4.1 setup
+// step): with conventional air cooling, how many 7.6 W processor layers can
+// be stacked before the hotspot crosses 100 C?
+//
+//   $ ./thermal_feasibility [sink_resistance_K_per_W]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "floorplan/floorplan.h"
+#include "floorplan/power_map.h"
+#include "power/core_power_model.h"
+#include "thermal/thermal_grid.h"
+
+int main(int argc, char** argv) {
+  using namespace vstack;
+
+  thermal::ThermalConfig cfg;
+  if (argc > 1) cfg.sink_resistance = std::atof(argv[1]);
+
+  const auto model = power::CorePowerModel::cortex_a9_like();
+  const auto fp = floorplan::paper_layer_floorplan();
+  const auto layer_map = floorplan::layer_power_map(
+      fp, model, std::vector<double>(16, 1.0), cfg.nx, cfg.ny);
+
+  std::cout << "Thermal feasibility: 16-core 7.6 W layers, air-cooled sink "
+            << cfg.sink_resistance << " K/W, ambient "
+            << cfg.ambient_celsius << " C\n\n";
+
+  TextTable t({"Layers", "Hotspot (C)", "Mean (C)", "Hottest layer",
+               "< 100 C?"});
+  std::vector<floorplan::GridMap> stack;
+  for (std::size_t layers = 1; layers <= 12; ++layers) {
+    stack.push_back(layer_map);
+    const auto r = thermal::solve_stack_temperature(cfg, fp.width, fp.height,
+                                                    stack);
+    t.add_row({std::to_string(layers), TextTable::num(r.max_celsius, 1),
+               TextTable::num(r.mean_celsius, 1),
+               std::to_string(r.hottest_layer),
+               r.max_celsius < 100.0 ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  const std::size_t feasible = thermal::max_feasible_layers(
+      cfg, fp.width, fp.height, layer_map, 100.0, 16);
+  std::cout << "\nMaximum feasible stack: " << feasible
+            << " layers (paper Sec. 4.1: up to 8 layers below 100 C with "
+               "conventional air cooling).\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "circuit/mna.h"
+
+namespace vstack::circuit {
+
+MnaSystem::MnaSystem(const Netlist& netlist) : netlist_(netlist) {}
+
+std::size_t MnaSystem::unknown_count() const {
+  return (netlist_.node_count() - 1) + netlist_.voltage_sources().size();
+}
+
+std::size_t MnaSystem::voltage_index(NodeId node) const {
+  VS_REQUIRE(node != kGround, "ground has no voltage unknown");
+  VS_REQUIRE(node < netlist_.node_count(), "node out of range");
+  return node - 1;
+}
+
+std::size_t MnaSystem::source_current_index(std::size_t vsource_index) const {
+  VS_REQUIRE(vsource_index < netlist_.voltage_sources().size(),
+             "voltage source index out of range");
+  return (netlist_.node_count() - 1) + vsource_index;
+}
+
+void MnaSystem::stamp_conductance(la::DenseMatrix& m, NodeId a, NodeId b,
+                                  double conductance) const {
+  if (a != kGround) {
+    m(voltage_index(a), voltage_index(a)) += conductance;
+  }
+  if (b != kGround) {
+    m(voltage_index(b), voltage_index(b)) += conductance;
+  }
+  if (a != kGround && b != kGround) {
+    m(voltage_index(a), voltage_index(b)) -= conductance;
+    m(voltage_index(b), voltage_index(a)) -= conductance;
+  }
+}
+
+la::DenseMatrix MnaSystem::assemble_matrix(
+    const std::vector<bool>& switch_on,
+    const std::vector<double>& cap_conductance) const {
+  VS_REQUIRE(switch_on.size() == netlist_.switches().size(),
+             "switch state vector size mismatch");
+  VS_REQUIRE(cap_conductance.empty() ||
+                 cap_conductance.size() == netlist_.capacitors().size(),
+             "capacitor conductance vector size mismatch");
+
+  la::DenseMatrix m(unknown_count(), unknown_count(), 0.0);
+
+  for (const auto& r : netlist_.resistors()) {
+    stamp_conductance(m, r.a, r.b, 1.0 / r.resistance);
+  }
+  for (std::size_t s = 0; s < netlist_.switches().size(); ++s) {
+    const auto& sw = netlist_.switches()[s];
+    const double res = switch_on[s] ? sw.on_resistance : sw.off_resistance;
+    stamp_conductance(m, sw.a, sw.b, 1.0 / res);
+  }
+  if (!cap_conductance.empty()) {
+    for (std::size_t c = 0; c < netlist_.capacitors().size(); ++c) {
+      if (cap_conductance[c] > 0.0) {
+        stamp_conductance(m, netlist_.capacitors()[c].a,
+                          netlist_.capacitors()[c].b, cap_conductance[c]);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < netlist_.voltage_sources().size(); ++v) {
+    const auto& src = netlist_.voltage_sources()[v];
+    const std::size_t branch = source_current_index(v);
+    // Branch current unknown is defined as flowing INTO the + terminal.
+    if (src.positive != kGround) {
+      m(voltage_index(src.positive), branch) += 1.0;
+      m(branch, voltage_index(src.positive)) += 1.0;
+    }
+    if (src.negative != kGround) {
+      m(voltage_index(src.negative), branch) -= 1.0;
+      m(branch, voltage_index(src.negative)) -= 1.0;
+    }
+  }
+  return m;
+}
+
+la::Vector MnaSystem::assemble_rhs(
+    const std::vector<double>& cap_history_current) const {
+  VS_REQUIRE(cap_history_current.empty() ||
+                 cap_history_current.size() == netlist_.capacitors().size(),
+             "capacitor history vector size mismatch");
+
+  la::Vector rhs(unknown_count(), 0.0);
+
+  for (const auto& src : netlist_.current_sources()) {
+    // `current` flows from_node -> to_node through the source: it leaves
+    // from_node (negative injection) and enters to_node.
+    if (src.from_node != kGround) {
+      rhs[voltage_index(src.from_node)] -= src.current;
+    }
+    if (src.to_node != kGround) {
+      rhs[voltage_index(src.to_node)] += src.current;
+    }
+  }
+  if (!cap_history_current.empty()) {
+    for (std::size_t c = 0; c < netlist_.capacitors().size(); ++c) {
+      const auto& cap = netlist_.capacitors()[c];
+      const double ieq = cap_history_current[c];  // enters terminal a
+      if (cap.a != kGround) rhs[voltage_index(cap.a)] += ieq;
+      if (cap.b != kGround) rhs[voltage_index(cap.b)] -= ieq;
+    }
+  }
+  for (std::size_t v = 0; v < netlist_.voltage_sources().size(); ++v) {
+    rhs[source_current_index(v)] = netlist_.voltage_sources()[v].voltage;
+  }
+  return rhs;
+}
+
+double MnaSystem::node_voltage(const la::Vector& solution, NodeId node) const {
+  if (node == kGround) return 0.0;
+  return solution[voltage_index(node)];
+}
+
+DcSolution dc_solve(const Netlist& netlist,
+                    const std::vector<bool>& switch_on) {
+  MnaSystem mna(netlist);
+  const la::DenseMatrix m = mna.assemble_matrix(switch_on, {});
+  const la::Vector rhs = mna.assemble_rhs({});
+  const la::Vector x = la::DenseLu(m).solve(rhs);
+
+  DcSolution sol;
+  sol.node_voltages.assign(netlist.node_count(), 0.0);
+  for (NodeId n = 1; n < netlist.node_count(); ++n) {
+    sol.node_voltages[n] = mna.node_voltage(x, n);
+  }
+  sol.vsource_currents.assign(netlist.voltage_sources().size(), 0.0);
+  for (std::size_t v = 0; v < netlist.voltage_sources().size(); ++v) {
+    // Report current DELIVERED by the source (out of the + terminal): the
+    // negative of the MNA branch unknown.
+    sol.vsource_currents[v] = -x[mna.source_current_index(v)];
+  }
+  return sol;
+}
+
+}  // namespace vstack::circuit

@@ -1,0 +1,63 @@
+// Modified nodal analysis assembly for the circuit module.
+//
+// Unknown ordering: node voltages for nodes 1..n-1 (ground eliminated),
+// followed by one branch current per voltage source.  Capacitors are stamped
+// through companion models supplied by the caller (DC analysis passes a zero
+// conductance scale, leaving them open).
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "la/dense_lu.h"
+
+namespace vstack::circuit {
+
+class MnaSystem {
+ public:
+  explicit MnaSystem(const Netlist& netlist);
+
+  /// Total unknowns: (node_count - 1) voltages + voltage-source currents.
+  std::size_t unknown_count() const;
+
+  /// Row/column of a node voltage unknown; node must not be ground.
+  std::size_t voltage_index(NodeId node) const;
+
+  /// Row/column of a voltage source's branch-current unknown.
+  std::size_t source_current_index(std::size_t vsource_index) const;
+
+  /// Assemble the MNA matrix.
+  ///   switch_on:        per-switch on/off state (size = switches().size()).
+  ///   cap_conductance:  per-capacitor companion conductance Geq (size =
+  ///                     capacitors().size()); pass an empty vector for DC.
+  la::DenseMatrix assemble_matrix(const std::vector<bool>& switch_on,
+                                  const std::vector<double>& cap_conductance)
+      const;
+
+  /// Assemble the right-hand side.
+  ///   cap_history_current: per-capacitor companion source Ieq entering the
+  ///                        capacitor's `a` terminal; empty for DC.
+  la::Vector assemble_rhs(const std::vector<double>& cap_history_current)
+      const;
+
+  /// Voltage of `node` given a solution vector (0 for ground).
+  double node_voltage(const la::Vector& solution, NodeId node) const;
+
+  const Netlist& netlist() const { return netlist_; }
+
+ private:
+  void stamp_conductance(la::DenseMatrix& m, NodeId a, NodeId b,
+                         double conductance) const;
+
+  const Netlist& netlist_;
+};
+
+/// DC operating point (capacitors open, switches forced to a given state).
+struct DcSolution {
+  la::Vector node_voltages;     // indexed by NodeId, [0] = 0
+  la::Vector vsource_currents;  // current out of the + terminal, per source
+};
+
+DcSolution dc_solve(const Netlist& netlist, const std::vector<bool>& switch_on);
+
+}  // namespace vstack::circuit

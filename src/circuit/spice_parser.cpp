@@ -1,0 +1,242 @@
+#include "circuit/spice_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vstack::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Strip comments (anything after ';' or a leading '*') and whitespace.
+std::string clean_line(const std::string& raw) {
+  std::string line = raw;
+  const auto semi = line.find(';');
+  if (semi != std::string::npos) line.erase(semi);
+  // Trim.
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = line.find_last_not_of(" \t\r");
+  line = line.substr(first, last - first + 1);
+  if (!line.empty() && line.front() == '*') return "";
+  return line;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  VS_FAIL("spice parse error at line " + std::to_string(line_no) + ": " +
+          message);
+}
+
+/// KEY=VALUE parameter, case-insensitive key.
+bool parse_param(const std::string& token, const std::string& key,
+                 double* out) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  if (lower(token.substr(0, eq)) != key) return false;
+  *out = parse_spice_value(token.substr(eq + 1));
+  return true;
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& token) {
+  VS_REQUIRE(!token.empty(), "empty numeric token");
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    VS_FAIL("malformed numeric value '" + token + "'");
+  }
+  const std::string suffix = lower(token.substr(consumed));
+  if (suffix.empty()) return value;
+  if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+  switch (suffix.front()) {
+    case 'f': return value * 1e-15;
+    case 'p': return value * 1e-12;
+    case 'n': return value * 1e-9;
+    case 'u': return value * 1e-6;
+    case 'm': return value * 1e-3;
+    case 'k': return value * 1e3;
+    case 'g': return value * 1e9;
+    case 't': return value * 1e12;
+    default:
+      VS_FAIL("unknown value suffix '" + suffix + "' in '" + token + "'");
+  }
+}
+
+ParsedCircuit parse_spice(const std::string& text) {
+  ParsedCircuit out;
+
+  const auto node_of = [&out](const std::string& name) -> NodeId {
+    const std::string key = lower(name);
+    if (key == "0" || key == "gnd") return kGround;
+    const auto it = out.node_by_name.find(key);
+    if (it != out.node_by_name.end()) return it->second;
+    const NodeId id = out.netlist.create_node(key);
+    out.node_by_name.emplace(key, id);
+    return id;
+  };
+
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  bool ended = false;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::string line = clean_line(raw);
+    if (line.empty()) continue;
+    if (ended) fail(line_no, "content after .end");
+    const auto tokens = tokenize(line);
+    const std::string head = lower(tokens.front());
+
+    if (head.front() == '.') {
+      if (head == ".title") {
+        const auto pos = line.find_first_of(" \t");
+        out.title = (pos == std::string::npos)
+                        ? ""
+                        : line.substr(line.find_first_not_of(" \t", pos));
+      } else if (head == ".clock") {
+        if (tokens.size() != 2) fail(line_no, ".clock needs one value");
+        out.clock_period = parse_spice_value(tokens[1]);
+      } else if (head == ".tran") {
+        if (tokens.size() < 3) fail(line_no, ".tran needs step and stop");
+        out.has_tran = true;
+        out.tran.time_step = parse_spice_value(tokens[1]);
+        out.tran.stop_time = parse_spice_value(tokens[2]);
+        if (tokens.size() > 3 && lower(tokens[3]) == "dc") {
+          out.tran.start_from_dc = true;
+        }
+      } else if (head == ".end") {
+        ended = true;
+      } else {
+        fail(line_no, "unknown directive '" + head + "'");
+      }
+      continue;
+    }
+
+    switch (head.front()) {
+      case 'r': {
+        if (tokens.size() != 4) fail(line_no, "R card: R<name> a b value");
+        out.netlist.add_resistor(node_of(tokens[1]), node_of(tokens[2]),
+                                 parse_spice_value(tokens[3]));
+        break;
+      }
+      case 'c': {
+        if (tokens.size() < 4 || tokens.size() > 5) {
+          fail(line_no, "C card: C<name> a b value [IC=v0]");
+        }
+        double ic = 0.0;
+        if (tokens.size() == 5 && !parse_param(tokens[4], "ic", &ic)) {
+          fail(line_no, "expected IC=<v0>");
+        }
+        out.netlist.add_capacitor(node_of(tokens[1]), node_of(tokens[2]),
+                                  parse_spice_value(tokens[3]), ic);
+        break;
+      }
+      case 'v': {
+        if (tokens.size() != 4) fail(line_no, "V card: V<name> n+ n- value");
+        out.netlist.add_voltage_source(node_of(tokens[1]),
+                                       node_of(tokens[2]),
+                                       parse_spice_value(tokens[3]));
+        break;
+      }
+      case 'i': {
+        if (tokens.size() != 4) {
+          fail(line_no, "I card: I<name> from to value");
+        }
+        out.netlist.add_current_source(node_of(tokens[1]),
+                                       node_of(tokens[2]),
+                                       parse_spice_value(tokens[3]));
+        break;
+      }
+      case 's': {
+        if (tokens.size() != 7) {
+          fail(line_no,
+               "S card: S<name> a b Ron Roff PHASE=<off> DUTY=<duty>");
+        }
+        double phase = 0.0, duty = 0.5;
+        if (!parse_param(tokens[5], "phase", &phase)) {
+          fail(line_no, "expected PHASE=<offset>");
+        }
+        if (!parse_param(tokens[6], "duty", &duty)) {
+          fail(line_no, "expected DUTY=<duty>");
+        }
+        out.netlist.add_switch(node_of(tokens[1]), node_of(tokens[2]),
+                               parse_spice_value(tokens[3]),
+                               parse_spice_value(tokens[4]),
+                               ClockPhase{phase, duty});
+        break;
+      }
+      default:
+        fail(line_no, "unknown element card '" + tokens.front() + "'");
+    }
+  }
+  return out;
+}
+
+std::string write_spice(const ParsedCircuit& circuit) {
+  std::ostringstream oss;
+  if (!circuit.title.empty()) oss << ".title " << circuit.title << "\n";
+
+  const auto& net = circuit.netlist;
+  const auto name = [&net](NodeId node) -> std::string {
+    return node == kGround ? "0" : net.node_name(node);
+  };
+
+  std::size_t idx = 0;
+  for (const auto& v : net.voltage_sources()) {
+    oss << "V" << ++idx << " " << name(v.positive) << " " << name(v.negative)
+        << " " << v.voltage << "\n";
+  }
+  idx = 0;
+  for (const auto& r : net.resistors()) {
+    oss << "R" << ++idx << " " << name(r.a) << " " << name(r.b) << " "
+        << r.resistance << "\n";
+  }
+  idx = 0;
+  for (const auto& c : net.capacitors()) {
+    oss << "C" << ++idx << " " << name(c.a) << " " << name(c.b) << " "
+        << c.capacitance << " IC=" << c.initial_voltage << "\n";
+  }
+  idx = 0;
+  for (const auto& s : net.switches()) {
+    oss << "S" << ++idx << " " << name(s.a) << " " << name(s.b) << " "
+        << s.on_resistance << " " << s.off_resistance
+        << " PHASE=" << s.phase.phase_offset << " DUTY=" << s.phase.duty
+        << "\n";
+  }
+  idx = 0;
+  for (const auto& i : net.current_sources()) {
+    oss << "I" << ++idx << " " << name(i.from_node) << " " << name(i.to_node)
+        << " " << i.current << "\n";
+  }
+
+  oss << ".clock " << circuit.clock_period << "\n";
+  if (circuit.has_tran) {
+    oss << ".tran " << circuit.tran.time_step << " "
+        << circuit.tran.stop_time;
+    if (circuit.tran.start_from_dc) oss << " DC";
+    oss << "\n";
+  }
+  oss << ".end\n";
+  return oss.str();
+}
+
+}  // namespace vstack::circuit

@@ -1,0 +1,50 @@
+// SPICE-subset netlist parser.
+//
+// Lets converter testbenches be written as plain text instead of C++.  The
+// dialect covers exactly what the transient engine supports:
+//
+//   * comment                       ; trailing comments too
+//   .title <anything>
+//   V<name> <n+> <n-> <value>
+//   I<name> <from> <to> <value>
+//   R<name> <a> <b> <value>
+//   C<name> <a> <b> <value> [IC=<v0>]
+//   S<name> <a> <b> <Ron> <Roff> PHASE=<offset> DUTY=<duty>
+//   .clock <period>                 ; switch phases are fractions of this
+//   .tran <step> <stop> [DC]        ; DC requests start_from_dc
+//   .end
+//
+// Values accept SPICE suffixes (f p n u m k meg g t).  Node "0" or "gnd"
+// is ground; all other node names are created on first use.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "circuit/netlist.h"
+#include "circuit/transient.h"
+
+namespace vstack::circuit {
+
+struct ParsedCircuit {
+  Netlist netlist;
+  std::string title;
+  double clock_period = 1.0;  // [s]; defaults to 1 s if no .clock card
+  bool has_tran = false;
+  TransientOptions tran;
+
+  /// Node id by source-text name (excluding ground aliases).
+  std::map<std::string, NodeId> node_by_name;
+};
+
+/// Parse a netlist from text.  Throws vstack::Error with a line number on
+/// any malformed card.
+ParsedCircuit parse_spice(const std::string& text);
+
+/// Parse a single SPICE value with magnitude suffix ("4.7n", "1meg", "10").
+double parse_spice_value(const std::string& token);
+
+/// Serialize a netlist back to the dialect (round-trip support).
+std::string write_spice(const ParsedCircuit& circuit);
+
+}  // namespace vstack::circuit

@@ -1,0 +1,189 @@
+#include "circuit/transient.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::circuit {
+
+namespace {
+
+/// Fractional part in [0, 1).
+double frac(double x) { return x - std::floor(x); }
+
+}  // namespace
+
+double TransientResult::average_node_voltage(NodeId node,
+                                             double from_time) const {
+  VS_REQUIRE(!time.empty(), "no samples recorded");
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < time.size(); ++k) {
+    if (time[k] < from_time) continue;
+    sum += (node == kGround) ? 0.0 : node_voltages[k][node];
+    ++count;
+  }
+  VS_REQUIRE(count > 0, "averaging window contains no samples");
+  return sum / static_cast<double>(count);
+}
+
+double TransientResult::average_vsource_current(std::size_t source,
+                                                double from_time) const {
+  VS_REQUIRE(!time.empty(), "no samples recorded");
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < time.size(); ++k) {
+    if (time[k] < from_time) continue;
+    VS_REQUIRE(source < vsource_currents[k].size(),
+               "voltage source index out of range");
+    sum += vsource_currents[k][source];
+    ++count;
+  }
+  VS_REQUIRE(count > 0, "averaging window contains no samples");
+  return sum / static_cast<double>(count);
+}
+
+double TransientResult::min_node_voltage(NodeId node, double from_time) const {
+  VS_REQUIRE(!time.empty(), "no samples recorded");
+  double m = 1e300;
+  for (std::size_t k = 0; k < time.size(); ++k) {
+    if (time[k] < from_time) continue;
+    m = std::min(m, node == kGround ? 0.0 : node_voltages[k][node]);
+  }
+  return m;
+}
+
+double TransientResult::max_node_voltage(NodeId node, double from_time) const {
+  VS_REQUIRE(!time.empty(), "no samples recorded");
+  double m = -1e300;
+  for (std::size_t k = 0; k < time.size(); ++k) {
+    if (time[k] < from_time) continue;
+    m = std::max(m, node == kGround ? 0.0 : node_voltages[k][node]);
+  }
+  return m;
+}
+
+TransientSimulator::TransientSimulator(const Netlist& netlist,
+                                       double clock_period)
+    : netlist_(netlist), clock_period_(clock_period) {
+  VS_REQUIRE(clock_period > 0.0, "clock period must be positive");
+}
+
+std::vector<bool> TransientSimulator::switch_states(double t) const {
+  std::vector<bool> on(netlist_.switches().size());
+  for (std::size_t s = 0; s < on.size(); ++s) {
+    const auto& phase = netlist_.switches()[s].phase;
+    on[s] = frac(t / clock_period_ + phase.phase_offset) < phase.duty;
+  }
+  return on;
+}
+
+TransientResult TransientSimulator::run(const TransientOptions& options) {
+  VS_REQUIRE(options.stop_time > 0.0, "stop_time must be positive");
+  VS_REQUIRE(options.time_step > 0.0, "time_step must be positive");
+  VS_REQUIRE(options.time_step < options.stop_time,
+             "time_step must be smaller than stop_time");
+
+  const MnaSystem mna(netlist_);
+  const auto& caps = netlist_.capacitors();
+  const std::size_t n_steps =
+      static_cast<std::size_t>(std::llround(options.stop_time /
+                                            options.time_step));
+  const double h = options.time_step;
+
+  // Per-capacitor state.
+  std::vector<double> cap_voltage(caps.size());
+  std::vector<double> cap_current(caps.size(), 0.0);
+  for (std::size_t c = 0; c < caps.size(); ++c) {
+    cap_voltage[c] = caps[c].initial_voltage;
+  }
+  if (options.start_from_dc) {
+    const DcSolution dc = dc_solve(netlist_, switch_states(0.0));
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      cap_voltage[c] =
+          dc.node_voltages[caps[c].a] - dc.node_voltages[caps[c].b];
+    }
+  }
+
+  // Factor cache keyed by (switch pattern, integration scheme).
+  struct CacheKey {
+    std::vector<bool> pattern;
+    bool backward_euler;
+    bool operator<(const CacheKey& o) const {
+      if (backward_euler != o.backward_euler) {
+        return backward_euler < o.backward_euler;
+      }
+      return pattern < o.pattern;
+    }
+  };
+  std::map<CacheKey, std::unique_ptr<la::DenseLu>> factor_cache;
+
+  TransientResult result;
+  result.time.reserve(n_steps);
+  result.node_voltages.reserve(n_steps);
+  result.vsource_currents.reserve(n_steps);
+
+  std::vector<bool> prev_state = switch_states(0.5 * h);
+  int backward_euler_steps = 2;  // start conservatively
+
+  std::vector<double> geq(caps.size());
+  std::vector<double> ieq(caps.size());
+
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    const double t_new = static_cast<double>(step + 1) * h;
+    // Evaluate switch state at the midpoint of the step so events that land
+    // exactly on a boundary take effect in the step that follows them.
+    const std::vector<bool> state = switch_states(t_new - 0.5 * h);
+    if (state != prev_state) {
+      backward_euler_steps = 2;
+      prev_state = state;
+    }
+    const bool be = backward_euler_steps > 0;
+    if (backward_euler_steps > 0) --backward_euler_steps;
+
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      if (be) {
+        geq[c] = caps[c].capacitance / h;
+        ieq[c] = geq[c] * cap_voltage[c];
+      } else {
+        geq[c] = 2.0 * caps[c].capacitance / h;
+        ieq[c] = geq[c] * cap_voltage[c] + cap_current[c];
+      }
+    }
+
+    CacheKey key{state, be};
+    auto it = factor_cache.find(key);
+    if (it == factor_cache.end()) {
+      auto lu = std::make_unique<la::DenseLu>(mna.assemble_matrix(state, geq));
+      it = factor_cache.emplace(std::move(key), std::move(lu)).first;
+    }
+
+    const la::Vector x = it->second->solve(mna.assemble_rhs(ieq));
+
+    // Update capacitor companions.
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      const double va = mna.node_voltage(x, caps[c].a);
+      const double vb = mna.node_voltage(x, caps[c].b);
+      const double v_new = va - vb;
+      cap_current[c] = geq[c] * v_new - ieq[c];
+      cap_voltage[c] = v_new;
+    }
+
+    // Record.
+    result.time.push_back(t_new);
+    la::Vector volts(netlist_.node_count(), 0.0);
+    for (NodeId nd = 1; nd < netlist_.node_count(); ++nd) {
+      volts[nd] = mna.node_voltage(x, nd);
+    }
+    result.node_voltages.push_back(std::move(volts));
+    la::Vector src(netlist_.voltage_sources().size(), 0.0);
+    for (std::size_t v = 0; v < src.size(); ++v) {
+      src[v] = -x[mna.source_current_index(v)];
+    }
+    result.vsource_currents.push_back(std::move(src));
+  }
+
+  return result;
+}
+
+}  // namespace vstack::circuit

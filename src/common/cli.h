@@ -1,0 +1,43 @@
+// Minimal command-line argument parser for the vstack tools.
+//
+// Grammar: [subcommand] [positional...] [--key=value | --flag]...
+// Unknown options are an error (catches typos in experiment scripts).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vstack {
+
+class CliArgs {
+ public:
+  /// Parse argv.  `known_options` lists the accepted --keys (without the
+  /// leading dashes); an empty list accepts anything.
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> known_options = {});
+
+  const std::string& program() const { return program_; }
+
+  /// First positional argument (conventionally the subcommand), or "".
+  std::string subcommand() const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; throw vstack::Error on malformed values.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+ private:
+  std::string program_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace vstack

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace vstack::detail {
+
+void throw_error(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream oss;
+  oss << "vstack error: " << message << " [" << expr << " at " << file << ":"
+      << line << "]";
+  throw Error(oss.str());
+}
+
+}  // namespace vstack::detail

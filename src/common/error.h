@@ -1,0 +1,37 @@
+// Error handling for the vstack library.
+//
+// All precondition/postcondition violations throw vstack::Error with a
+// message that includes the failing expression and source location.  The
+// library never calls abort()/exit(); callers decide how to handle failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vstack {
+
+/// Exception type thrown on any contract violation or model error.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace vstack
+
+/// Precondition / invariant check.  Always enabled (models are cheap relative
+/// to the solves they feed; silent bad inputs are far more expensive).
+#define VS_REQUIRE(expr, message)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::vstack::detail::throw_error(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                     \
+  } while (false)
+
+/// Unconditional failure with a message.
+#define VS_FAIL(message) \
+  ::vstack::detail::throw_error("unreachable", __FILE__, __LINE__, (message))

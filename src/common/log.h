@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr.
+//
+// The solvers use this to report convergence diagnostics without polluting
+// the bench tables printed on stdout.  Off by default above `Warn`.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vstack {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one message (appends a newline).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream oss;
+  explicit LogLine(LogLevel lvl) : level(lvl) {}
+  ~LogLine() { log_message(level, oss.str()); }
+};
+}  // namespace detail
+
+}  // namespace vstack
+
+#define VS_LOG(level_enum, expr)                                \
+  do {                                                          \
+    if (static_cast<int>(level_enum) >=                         \
+        static_cast<int>(::vstack::log_level())) {              \
+      ::vstack::detail::LogLine line(level_enum);               \
+      line.oss << expr;                                         \
+    }                                                           \
+  } while (false)
+
+#define VS_LOG_DEBUG(expr) VS_LOG(::vstack::LogLevel::Debug, expr)
+#define VS_LOG_INFO(expr) VS_LOG(::vstack::LogLevel::Info, expr)
+#define VS_LOG_WARN(expr) VS_LOG(::vstack::LogLevel::Warn, expr)
+#define VS_LOG_ERROR(expr) VS_LOG(::vstack::LogLevel::Error, expr)

@@ -1,0 +1,65 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace vstack {
+
+namespace {
+
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  VS_REQUIRE(q >= 0.0 && q <= 100.0, "percentile q must be in [0, 100]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double q) {
+  VS_REQUIRE(!samples.empty(), "percentile of empty sample");
+  std::sort(samples.begin(), samples.end());
+  return sorted_percentile(samples, q);
+}
+
+double mean(const std::vector<double>& samples) {
+  VS_REQUIRE(!samples.empty(), "mean of empty sample");
+  const double sum = std::accumulate(samples.begin(), samples.end(), 0.0);
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double ss = 0.0;
+  for (double x : samples) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(samples.size() - 1));
+}
+
+BoxPlotStats box_plot_stats(std::vector<double> samples) {
+  VS_REQUIRE(!samples.empty(), "box_plot_stats of empty sample");
+  std::sort(samples.begin(), samples.end());
+  BoxPlotStats s;
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p25 = sorted_percentile(samples, 25.0);
+  s.median = sorted_percentile(samples, 50.0);
+  s.p75 = sorted_percentile(samples, 75.0);
+  s.mean = mean(samples);
+  return s;
+}
+
+double rms(const std::vector<double>& samples) {
+  VS_REQUIRE(!samples.empty(), "rms of empty sample");
+  double ss = 0.0;
+  for (double x : samples) ss += x * x;
+  return std::sqrt(ss / static_cast<double>(samples.size()));
+}
+
+}  // namespace vstack

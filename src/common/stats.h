@@ -1,0 +1,36 @@
+// Descriptive statistics used by the workload model and the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vstack {
+
+/// Five-number summary plus mean; matches the paper's Fig. 7 box plot
+/// (whiskers at min/max, box at 25th/75th percentile, center at median).
+struct BoxPlotStats {
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample, q in [0, 100].
+/// The input need not be sorted.  Throws on an empty sample.
+double percentile(std::vector<double> samples, double q);
+
+/// Arithmetic mean.  Throws on an empty sample.
+double mean(const std::vector<double>& samples);
+
+/// Unbiased sample standard deviation; returns 0 for n < 2.
+double stddev(const std::vector<double>& samples);
+
+/// Compute the full box-plot summary in one pass over a sorted copy.
+BoxPlotStats box_plot_stats(std::vector<double> samples);
+
+/// Root-mean-square of a sample.  Throws on an empty sample.
+double rms(const std::vector<double>& samples);
+
+}  // namespace vstack

@@ -1,0 +1,39 @@
+// Aligned text tables.
+//
+// Every bench binary regenerates one of the paper's tables or figures as a
+// text table; this helper keeps their output format consistent so
+// EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vstack {
+
+/// Builds an aligned, pipe-separated text table row by row.
+class TextTable {
+ public:
+  /// Begin a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row of already-formatted cells; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Convenience: format a percentage ("12.3%") from a fraction.
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Render the table with a header separator.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vstack

@@ -1,0 +1,56 @@
+// Design-space exploration -- the workflow the paper's introduction
+// promises its model enables: "evaluate the benefits and costs of design
+// scenarios with different number of regulators and different TSV/C4 pad
+// allocations".
+//
+// Enumerate candidate PDN designs for a stack, evaluate each on the four
+// axes the paper trades (voltage noise, EM lifetime, area overhead, system
+// efficiency), and extract the Pareto-optimal set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+
+namespace vstack::core {
+
+/// One evaluated candidate.
+struct DesignPoint {
+  std::string label;
+  pdn::StackupConfig config;
+
+  // Objectives (noise/area minimized; lifetime/efficiency maximized).
+  double noise = 0.0;          // worst node deviation at the ref. imbalance
+  double tsv_mttf = 0.0;       // normalized to the context's 2-layer V-S
+  double c4_mttf = 0.0;
+  double area_overhead = 0.0;  // fraction of core area (TSV KoZ + converters)
+  double efficiency = 0.0;     // system efficiency at the ref. imbalance
+
+  bool feasible = true;  // converter current limits respected
+};
+
+struct DesignSpaceOptions {
+  std::size_t layers = 8;
+  /// Reference workload imbalance for noise/efficiency (paper: the 65%
+  /// application mean).
+  double reference_imbalance = 0.65;
+  std::vector<double> regular_c4_fractions{0.25, 0.5, 1.0};
+  std::vector<std::size_t> stacked_converter_counts{2, 4, 6, 8};
+};
+
+/// Evaluate the full candidate grid: every TSV topology for both PDN
+/// styles, crossed with pad fractions (regular) or converter counts (V-S).
+std::vector<DesignPoint> enumerate_designs(const StudyContext& ctx,
+                                           const DesignSpaceOptions& options);
+
+/// Indices of the Pareto-optimal points: no other feasible point is at
+/// least as good on all four objectives and strictly better on one.
+/// Infeasible points are never Pareto-optimal.
+std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points);
+
+/// True if `a` dominates `b` (>= on every objective, > on at least one,
+/// with noise/area compared inverted).
+bool dominates(const DesignPoint& a, const DesignPoint& b);
+
+}  // namespace vstack::core

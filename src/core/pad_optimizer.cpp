@@ -1,0 +1,77 @@
+#include "core/pad_optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::core {
+
+std::size_t total_pad_sites(const StudyContext& ctx) {
+  const double pitch = ctx.base.params.c4_pitch;
+  const auto nx =
+      static_cast<std::size_t>(ctx.layer_floorplan.width / pitch);
+  const auto ny =
+      static_cast<std::size_t>(ctx.layer_floorplan.height / pitch);
+  return nx * ny;
+}
+
+PadBudgetResult minimize_regular_power_pads(const StudyContext& ctx,
+                                            std::size_t layers,
+                                            const PadRequirement& req) {
+  VS_REQUIRE(req.max_noise_fraction > 0.0, "noise budget must be positive");
+  const std::size_t sites = total_pad_sites(ctx);
+  const std::vector<double> full(layers, 1.0);
+
+  PadBudgetResult best;
+  // Ascending ladder: the first fraction that meets both targets is the
+  // cheapest (both metrics improve monotonically with more power pads).
+  for (const double fraction :
+       {0.05, 0.10, 0.15, 0.20, 0.25, 0.375, 0.50, 0.625, 0.75, 0.875,
+        1.0}) {
+    const auto cfg = make_regular(ctx, layers, ctx.base.tsv, fraction);
+    const auto r = evaluate_scenario(ctx, cfg, full);
+    if (r.c4_mttf >= req.min_c4_mttf &&
+        r.solution.max_node_deviation_fraction <= req.max_noise_fraction) {
+      best.feasible = true;
+      best.knob = fraction;
+      best.power_pads = static_cast<std::size_t>(
+          std::llround(fraction * static_cast<double>(sites)));
+      best.io_pads = sites - best.power_pads;
+      best.achieved_c4_mttf = r.c4_mttf;
+      best.achieved_noise = r.solution.max_node_deviation_fraction;
+      return best;
+    }
+  }
+  return best;  // infeasible even with every pad devoted to power
+}
+
+PadBudgetResult minimize_stacked_power_pads(const StudyContext& ctx,
+                                            std::size_t layers,
+                                            const PadRequirement& req) {
+  VS_REQUIRE(req.max_noise_fraction > 0.0, "noise budget must be positive");
+  const std::size_t sites = total_pad_sites(ctx);
+  const std::vector<double> full(layers, 1.0);
+  const std::size_t cores = ctx.layer_floorplan.core_count();
+
+  PadBudgetResult best;
+  for (const std::size_t vdd_per_core : {2u, 4u, 8u, 12u, 16u, 24u, 32u}) {
+    auto local = ctx;
+    local.base.vdd_pads_per_core = vdd_per_core;
+    const auto cfg = make_stacked(local, layers, ctx.base.tsv,
+                                  ctx.base.converters_per_core);
+    const auto r = evaluate_scenario(local, cfg, full);
+    if (r.c4_mttf >= req.min_c4_mttf &&
+        r.solution.max_node_deviation_fraction <= req.max_noise_fraction) {
+      best.feasible = true;
+      best.knob = static_cast<double>(vdd_per_core);
+      best.power_pads = 2 * vdd_per_core * cores;  // Vdd + ground pads
+      best.io_pads = sites - best.power_pads;
+      best.achieved_c4_mttf = r.c4_mttf;
+      best.achieved_noise = r.solution.max_node_deviation_fraction;
+      return best;
+    }
+  }
+  return best;
+}
+
+}  // namespace vstack::core

@@ -1,0 +1,49 @@
+// Power-pad budget optimization -- quantifies the paper's Sec. 5.1 claim
+// that "because V-S extends the pad array's EM lifetime, it reduces the
+// requirement for power supply pads and allows more pads to be used for
+// I/O".
+//
+// Given lifetime and noise targets, find the smallest power-pad allocation
+// (for the regular topology) or the smallest per-core Vdd-pad count (for
+// the stack) that meets both, and report how many pad sites are left for
+// I/O.
+#pragma once
+
+#include "core/study.h"
+
+namespace vstack::core {
+
+struct PadRequirement {
+  /// Minimum acceptable EM-damage-free lifetime of the C4 array, in the
+  /// same normalized units as a reference scenario's c4_mttf.
+  double min_c4_mttf = 0.0;
+  /// Maximum acceptable voltage noise (fraction of Vdd).
+  double max_noise_fraction = 0.05;
+};
+
+struct PadBudgetResult {
+  bool feasible = false;
+  std::size_t power_pads = 0;  // total pad sites spent on power delivery
+  std::size_t io_pads = 0;     // sites left over for I/O
+  double achieved_c4_mttf = 0.0;
+  double achieved_noise = 0.0;
+  /// The configuration knob that realised the budget: the power fraction
+  /// for regular, the per-core Vdd pad count for the stack.
+  double knob = 0.0;
+};
+
+/// Total C4 sites available on the die at the configured pad pitch.
+std::size_t total_pad_sites(const StudyContext& ctx);
+
+/// Smallest power-C4 fraction meeting the requirement for a regular PDN
+/// (searched over a fixed candidate ladder of fractions).
+PadBudgetResult minimize_regular_power_pads(const StudyContext& ctx,
+                                            std::size_t layers,
+                                            const PadRequirement& req);
+
+/// Smallest per-core Vdd pad count meeting the requirement for a V-S PDN.
+PadBudgetResult minimize_stacked_power_pads(const StudyContext& ctx,
+                                            std::size_t layers,
+                                            const PadRequirement& req);
+
+}  // namespace vstack::core

@@ -1,0 +1,76 @@
+// Sweep drivers that regenerate each of the paper's result figures.
+// The bench binaries print these rows; the integration tests assert the
+// paper's qualitative claims on them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "power/workload.h"
+
+namespace vstack::core {
+
+/// Fig. 5a: normalized TSV EM-free MTTF vs layer count.
+struct Fig5aRow {
+  std::size_t layers = 0;
+  double reg_dense = 0.0;
+  double reg_sparse = 0.0;
+  double reg_few = 0.0;
+  double vs_few = 0.0;  // all normalized to the 2-layer V-S PDN
+};
+std::vector<Fig5aRow> run_fig5a(const StudyContext& ctx,
+                                const std::vector<std::size_t>& layer_counts);
+
+/// Fig. 5b: normalized C4 EM-free MTTF vs layer count.
+struct Fig5bRow {
+  std::size_t layers = 0;
+  double reg_25 = 0.0;
+  double reg_50 = 0.0;
+  double reg_75 = 0.0;
+  double reg_100 = 0.0;
+  double vs = 0.0;  // normalized to the 2-layer V-S PDN
+};
+std::vector<Fig5bRow> run_fig5b(const StudyContext& ctx,
+                                const std::vector<std::size_t>& layer_counts);
+
+/// Fig. 6: maximum on-chip voltage noise vs workload imbalance, 8-layer
+/// stack.  Entries where the converter current limit is violated are
+/// reported as std::nullopt (the paper skips those points).
+struct Fig6Row {
+  double imbalance = 0.0;
+  std::vector<std::optional<double>> vs_noise;  // one per converter count
+};
+struct Fig6Result {
+  std::vector<std::size_t> converter_counts;
+  std::vector<Fig6Row> rows;
+  // Regular-PDN reference lines (worst case: all layers active).
+  double reg_dense = 0.0;
+  double reg_sparse = 0.0;
+  double reg_few = 0.0;
+};
+Fig6Result run_fig6(const StudyContext& ctx, std::size_t layers,
+                    const std::vector<std::size_t>& converter_counts,
+                    const std::vector<double>& imbalances);
+
+/// Fig. 7: per-application power distributions (PARSEC campaign).
+std::vector<power::ApplicationPowerSummary> run_fig7(const StudyContext& ctx,
+                                                     std::size_t samples,
+                                                     std::uint64_t seed);
+
+/// Fig. 8: system power efficiency vs imbalance.
+struct Fig8Row {
+  double imbalance = 0.0;
+  std::vector<std::optional<double>> vs_efficiency;  // per converter count
+  double regular_sc = 0.0;  // converters provide all power
+};
+struct Fig8Result {
+  std::vector<std::size_t> converter_counts;
+  std::vector<Fig8Row> rows;
+};
+Fig8Result run_fig8(const StudyContext& ctx, std::size_t layers,
+                    const std::vector<std::size_t>& converter_counts,
+                    const std::vector<double>& imbalances);
+
+}  // namespace vstack::core

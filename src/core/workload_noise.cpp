@@ -1,0 +1,54 @@
+#include "core/workload_noise.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "power/workload.h"
+
+namespace vstack::core {
+
+NoiseDistributionResult sample_noise_distribution(
+    const StudyContext& ctx, const pdn::StackupConfig& config,
+    SchedulingPolicy policy, std::size_t samples, std::uint64_t seed) {
+  VS_REQUIRE(samples > 0, "need at least one sample");
+
+  pdn::PdnModel model(config, ctx.layer_floorplan);
+  const auto profiles = power::parsec_profiles();
+  const std::size_t layers = config.layer_count;
+  const std::size_t cores = ctx.layer_floorplan.core_count();
+  Rng rng(seed);
+
+  std::vector<double> noise_samples;
+  noise_samples.reserve(samples);
+  NoiseDistributionResult out;
+
+  std::vector<std::vector<double>> acts(layers,
+                                        std::vector<double>(cores, 0.0));
+  for (std::size_t s = 0; s < samples; ++s) {
+    if (policy == SchedulingPolicy::SameAppPerStack) {
+      for (std::size_t core = 0; core < cores; ++core) {
+        const auto& app = profiles[rng.uniform_index(profiles.size())];
+        for (std::size_t l = 0; l < layers; ++l) {
+          acts[l][core] = power::sample_activity(app, rng);
+        }
+      }
+    } else {
+      for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t core = 0; core < cores; ++core) {
+          const auto& app = profiles[rng.uniform_index(profiles.size())];
+          acts[l][core] = power::sample_activity(app, rng);
+        }
+      }
+    }
+    const auto sol = model.solve(
+        model.network().build_loads_per_core(ctx.core_model, acts));
+    noise_samples.push_back(sol.max_node_deviation_fraction);
+    if (!sol.converter_limit_ok) ++out.limit_violations;
+  }
+
+  out.noise = box_plot_stats(noise_samples);
+  out.mean_noise = mean(noise_samples);
+  out.samples = samples;
+  return out;
+}
+
+}  // namespace vstack::core

@@ -1,0 +1,33 @@
+// Average-case voltage noise under realistic workloads -- the machinery
+// behind the paper's abstract-level claim that V-S costs "only marginally
+// increased average-case voltage noise (e.g., 0.75% Vdd IR drop)".
+//
+// Per sample, every core of every layer draws an activity window from a
+// PARSEC application (per the scheduling policy), the PDN is solved, and
+// the noise metric recorded; the result is a noise DISTRIBUTION rather
+// than the interleaved worst case of Fig. 6.
+#pragma once
+
+#include "common/stats.h"
+#include "core/study.h"
+
+namespace vstack::core {
+
+enum class SchedulingPolicy {
+  SameAppPerStack,  // each vertical core stack runs one application
+  RandomMix         // every (layer, core) slot draws independently
+};
+
+struct NoiseDistributionResult {
+  BoxPlotStats noise;             // distribution of the per-sample noise
+  double mean_noise = 0.0;
+  std::size_t samples = 0;
+  std::size_t limit_violations = 0;  // samples exceeding the converter limit
+};
+
+/// Sample the noise distribution of a PDN design under PARSEC workloads.
+NoiseDistributionResult sample_noise_distribution(
+    const StudyContext& ctx, const pdn::StackupConfig& config,
+    SchedulingPolicy policy, std::size_t samples, std::uint64_t seed);
+
+}  // namespace vstack::core

@@ -1,0 +1,49 @@
+// Thermal-cycling (Coffin-Manson) fatigue of C4 solder bumps -- the other
+// classic pad wearout mechanism, complementing the paper's EM study.
+//
+//   N_f = C * (dT)^{-q}
+//
+// where dT is the junction temperature swing of a power cycle and q ~ 2-2.5
+// for solder.  Combined with Black EM as independent competing risks, this
+// lets the library answer which mechanism actually limits a design: V-S
+// extends EM life so far that fatigue becomes the binding constraint.
+#pragma once
+
+#include <vector>
+
+#include "em/array_mttf.h"
+
+namespace vstack::em {
+
+struct ThermalCyclingModel {
+  /// Cycles to failure at a 1 K swing (sets the absolute scale; lifetimes
+  /// are reported normalized, like the EM results).
+  double prefactor = 1e10;
+  double exponent = 2.2;       // q
+  double cycle_period = 60.0;  // [s] wall-clock per power cycle
+
+  void validate() const;
+
+  /// Median cycles to failure for a bump seeing a dT swing [K].
+  /// Returns +infinity for a zero swing.
+  double cycles_to_failure(double delta_t) const;
+
+  /// Median wall-clock time to failure (cycles * period).
+  double time_to_failure(double delta_t) const;
+};
+
+/// Expected fatigue-free lifetime of a bump array under per-bump
+/// temperature swings, with lognormal cycle-life spread (same first-failure
+/// statistics as the EM arrays).
+double cycling_array_lifetime(const std::vector<double>& delta_ts,
+                              const ThermalCyclingModel& model,
+                              const ArrayMttfOptions& options = {});
+
+/// Combined lifetime under two independent competing risks, each summarised
+/// as a lognormal with the given median and shape: solves
+/// 1 - S_a(t) * S_b(t) = target.
+double competing_risk_lifetime(double median_a, double sigma_a,
+                               double median_b, double sigma_b,
+                               double probability_target = 0.5);
+
+}  // namespace vstack::em

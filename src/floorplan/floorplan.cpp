@@ -1,0 +1,124 @@
+#include "floorplan/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace vstack::floorplan {
+
+Rect Floorplan::core_rect(std::size_t core_index) const {
+  VS_REQUIRE(core_index < core_count(), "core index out of range");
+  const double tile_w = width / static_cast<double>(cores_x);
+  const double tile_h = height / static_cast<double>(cores_y);
+  const std::size_t cx = core_index % cores_x;
+  const std::size_t cy = core_index / cores_x;
+  return Rect{static_cast<double>(cx) * tile_w,
+              static_cast<double>(cy) * tile_h, tile_w, tile_h};
+}
+
+double Floorplan::placed_area() const {
+  double a = 0.0;
+  for (const auto& b : blocks) a += b.rect.area();
+  return a;
+}
+
+namespace {
+
+/// Recursive area bisection of `indices` (into `areas`) within `rect`.
+void bisect(const std::vector<double>& areas, std::vector<std::size_t> indices,
+            const Rect& rect, std::vector<Rect>& out) {
+  if (indices.size() == 1) {
+    out[indices.front()] = rect;
+    return;
+  }
+  // Greedy balanced partition: largest-first into the lighter half.
+  std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+    return areas[a] > areas[b];
+  });
+  std::vector<std::size_t> left, right;
+  double left_area = 0.0, right_area = 0.0;
+  for (const std::size_t i : indices) {
+    // Keep each side non-empty even if areas are extremely skewed.
+    if (right.empty() && left.size() + 1 == indices.size()) {
+      right.push_back(i);
+      right_area += areas[i];
+    } else if (left_area <= right_area) {
+      left.push_back(i);
+      left_area += areas[i];
+    } else {
+      right.push_back(i);
+      right_area += areas[i];
+    }
+  }
+  const double frac = left_area / (left_area + right_area);
+
+  Rect r_left = rect, r_right = rect;
+  if (rect.width >= rect.height) {
+    r_left.width = rect.width * frac;
+    r_right.x = rect.x + r_left.width;
+    r_right.width = rect.width - r_left.width;
+  } else {
+    r_left.height = rect.height * frac;
+    r_right.y = rect.y + r_left.height;
+    r_right.height = rect.height - r_left.height;
+  }
+  bisect(areas, std::move(left), r_left, out);
+  bisect(areas, std::move(right), r_right, out);
+}
+
+}  // namespace
+
+std::vector<Rect> place_core_blocks(const power::CorePowerModel& model,
+                                    const Rect& tile) {
+  VS_REQUIRE(tile.area() > 0.0, "tile must have positive area");
+  const auto& blocks = model.blocks();
+
+  std::vector<double> areas;
+  areas.reserve(blocks.size());
+  for (const auto& b : blocks) areas.push_back(b.area);
+
+  // Scale block areas to fill the tile exactly (whitespace is distributed
+  // proportionally, matching how ArchFP pads slicing plans).
+  const double total = std::accumulate(areas.begin(), areas.end(), 0.0);
+  for (auto& a : areas) a *= tile.area() / total;
+
+  std::vector<std::size_t> indices(blocks.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<Rect> out(blocks.size());
+  bisect(areas, std::move(indices), tile, out);
+  return out;
+}
+
+Floorplan make_layer_floorplan(const power::CorePowerModel& model,
+                               std::size_t cores_x, std::size_t cores_y) {
+  VS_REQUIRE(cores_x >= 1 && cores_y >= 1, "need at least one core");
+  Floorplan fp;
+  fp.cores_x = cores_x;
+  fp.cores_y = cores_y;
+  const double total_area =
+      model.area() * static_cast<double>(cores_x * cores_y);
+  // Square die with the aspect ratio of the core grid.
+  const double aspect =
+      static_cast<double>(cores_x) / static_cast<double>(cores_y);
+  fp.height = std::sqrt(total_area / aspect);
+  fp.width = total_area / fp.height;
+
+  for (std::size_t c = 0; c < fp.core_count(); ++c) {
+    const Rect tile = fp.core_rect(c);
+    const auto rects = place_core_blocks(model, tile);
+    for (std::size_t b = 0; b < rects.size(); ++b) {
+      fp.blocks.push_back(PlacedBlock{
+          "core" + std::to_string(c) + "." + model.blocks()[b].name, c, b,
+          rects[b]});
+    }
+  }
+  return fp;
+}
+
+Floorplan paper_layer_floorplan() {
+  return make_layer_floorplan(power::CorePowerModel::cortex_a9_like(), 4, 4);
+}
+
+}  // namespace vstack::floorplan

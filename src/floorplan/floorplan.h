@@ -1,0 +1,55 @@
+// Rapid pre-RTL floorplanning (the paper's ArchFP substitute).
+//
+// A layer floorplan is a grid of identical core tiles; within a tile the
+// architectural blocks are placed by recursive area bisection (a guillotine
+// slicing plan, the same family of plans ArchFP prototypes).  Only block
+// rectangles and their power reach the PDN model, so a deterministic slicing
+// plan is a faithful substitute.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "floorplan/geometry.h"
+#include "power/core_power_model.h"
+
+namespace vstack::floorplan {
+
+struct PlacedBlock {
+  std::string name;        // e.g. "core5.fp_neon"
+  std::size_t core_index;  // which core tile the block belongs to
+  std::size_t block_index; // index into CorePowerModel::blocks()
+  Rect rect;
+};
+
+struct Floorplan {
+  double width = 0.0;   // [m]
+  double height = 0.0;  // [m]
+  std::size_t cores_x = 0;
+  std::size_t cores_y = 0;
+  std::vector<PlacedBlock> blocks;
+
+  std::size_t core_count() const { return cores_x * cores_y; }
+
+  /// Bounding rectangle of one core tile.
+  Rect core_rect(std::size_t core_index) const;
+
+  /// Total placed area (must equal width * height up to rounding).
+  double placed_area() const;
+};
+
+/// Place one core's blocks inside `tile` by recursive area bisection.
+/// Returns rectangles in the same order as model.blocks().
+std::vector<Rect> place_core_blocks(const power::CorePowerModel& model,
+                                    const Rect& tile);
+
+/// Build a full square-ish layer: cores_x x cores_y tiles of the given core
+/// model.  The die is sized so tile area matches the model's core area.
+Floorplan make_layer_floorplan(const power::CorePowerModel& model,
+                               std::size_t cores_x, std::size_t cores_y);
+
+/// The paper's layer: 16 Cortex-A9-like cores in a 4 x 4 grid (44.12 mm^2).
+Floorplan paper_layer_floorplan();
+
+}  // namespace vstack::floorplan

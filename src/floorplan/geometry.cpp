@@ -1,0 +1,19 @@
+#include "floorplan/geometry.h"
+
+#include <algorithm>
+
+namespace vstack::floorplan {
+
+bool Rect::contains(double px, double py) const {
+  return px >= x && px < right() && py >= y && py < top();
+}
+
+double Rect::intersection_area(const Rect& other) const {
+  const double ix = std::max(0.0, std::min(right(), other.right()) -
+                                      std::max(x, other.x));
+  const double iy = std::max(0.0, std::min(top(), other.top()) -
+                                      std::max(y, other.y));
+  return ix * iy;
+}
+
+}  // namespace vstack::floorplan

@@ -1,0 +1,24 @@
+// Axis-aligned rectangle geometry for floorplanning.
+#pragma once
+
+namespace vstack::floorplan {
+
+struct Rect {
+  double x = 0.0;  // lower-left corner
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  double area() const { return width * height; }
+  double right() const { return x + width; }
+  double top() const { return y + height; }
+  double center_x() const { return x + 0.5 * width; }
+  double center_y() const { return y + 0.5 * height; }
+
+  bool contains(double px, double py) const;
+
+  /// Area of the intersection with another rectangle (0 if disjoint).
+  double intersection_area(const Rect& other) const;
+};
+
+}  // namespace vstack::floorplan

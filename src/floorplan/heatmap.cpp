@@ -1,0 +1,47 @@
+#include "floorplan/heatmap.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/error.h"
+
+namespace vstack::floorplan {
+
+char shade_of(double value, double lo, double hi, const std::string& ramp) {
+  VS_REQUIRE(!ramp.empty(), "shade ramp must not be empty");
+  if (hi <= lo) return ramp.front();
+  const double t = std::clamp((value - lo) / (hi - lo), 0.0, 1.0);
+  const auto idx = std::min(
+      static_cast<std::size_t>(t * static_cast<double>(ramp.size())),
+      ramp.size() - 1);
+  return ramp[idx];
+}
+
+void render_heatmap(const GridMap& map, std::ostream& os,
+                    const HeatmapOptions& options) {
+  VS_REQUIRE(map.nx > 0 && map.ny > 0 && !map.values.empty(),
+             "cannot render an empty map");
+  double lo = options.min_value, hi = options.max_value;
+  if (lo == hi) {
+    lo = *std::min_element(map.values.begin(), map.values.end());
+    hi = *std::max_element(map.values.begin(), map.values.end());
+  }
+
+  // Top row printed first so (0, 0) lands at the lower left.
+  for (std::size_t row = map.ny; row-- > 0;) {
+    os << "  ";
+    for (std::size_t col = 0; col < map.nx; ++col) {
+      os << shade_of(map.at(col, row), lo, hi, options.ramp);
+    }
+    os << "\n";
+  }
+  if (options.legend) {
+    os << "  [" << std::setprecision(3) << lo * options.legend_scale << " '"
+       << options.ramp.front() << "' .. " << hi * options.legend_scale
+       << " '" << options.ramp.back() << "'";
+    if (!options.legend_unit.empty()) os << " " << options.legend_unit;
+    os << "]\n";
+  }
+}
+
+}  // namespace vstack::floorplan

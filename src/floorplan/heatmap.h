@@ -1,0 +1,33 @@
+// ASCII heatmap rendering of GridMap fields (droop maps, temperature maps,
+// power maps) for terminal inspection -- the library has no GUI, but a
+// designer still wants to SEE where the hotspot or the worst droop sits.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "floorplan/power_map.h"
+
+namespace vstack::floorplan {
+
+struct HeatmapOptions {
+  /// Shade ramp from low to high; one character per level.
+  std::string ramp = " .:-=+*#%@";
+  /// Scale anchors; if min == max the map's own extrema are used.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// Print a numeric legend under the map.
+  bool legend = true;
+  /// Optional multiplier applied to legend values (e.g. 100 for percent).
+  double legend_scale = 1.0;
+  std::string legend_unit;
+};
+
+/// Render the map with (0,0) at the lower left, one character per cell.
+void render_heatmap(const GridMap& map, std::ostream& os,
+                    const HeatmapOptions& options = {});
+
+/// Character the given value maps to (exposed for tests).
+char shade_of(double value, double lo, double hi, const std::string& ramp);
+
+}  // namespace vstack::floorplan

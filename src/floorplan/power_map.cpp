@@ -1,0 +1,107 @@
+#include "floorplan/power_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::floorplan {
+
+double& GridMap::at(std::size_t ix, std::size_t iy) {
+  VS_REQUIRE(ix < nx && iy < ny, "grid index out of range");
+  return values[iy * nx + ix];
+}
+
+double GridMap::at(std::size_t ix, std::size_t iy) const {
+  VS_REQUIRE(ix < nx && iy < ny, "grid index out of range");
+  return values[iy * nx + ix];
+}
+
+double GridMap::total() const {
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s;
+}
+
+double GridMap::max_value() const {
+  double m = 0.0;
+  for (double v : values) m = std::max(m, v);
+  return m;
+}
+
+GridMap rasterize_power(const Floorplan& floorplan,
+                        const std::vector<double>& block_powers,
+                        std::size_t nx, std::size_t ny) {
+  VS_REQUIRE(nx >= 1 && ny >= 1, "grid must have at least one cell");
+  VS_REQUIRE(block_powers.size() == floorplan.blocks.size(),
+             "block power vector must match floorplan blocks");
+
+  GridMap map;
+  map.nx = nx;
+  map.ny = ny;
+  map.values.assign(nx * ny, 0.0);
+
+  const double cell_w = floorplan.width / static_cast<double>(nx);
+  const double cell_h = floorplan.height / static_cast<double>(ny);
+
+  for (std::size_t b = 0; b < floorplan.blocks.size(); ++b) {
+    const Rect& r = floorplan.blocks[b].rect;
+    const double power = block_powers[b];
+    if (power == 0.0) continue;
+    VS_REQUIRE(r.area() > 0.0, "placed block must have positive area");
+
+    const auto ix_lo = static_cast<std::size_t>(
+        std::clamp(std::floor(r.x / cell_w), 0.0, static_cast<double>(nx - 1)));
+    const auto ix_hi = static_cast<std::size_t>(std::clamp(
+        std::ceil(r.right() / cell_w), 1.0, static_cast<double>(nx)));
+    const auto iy_lo = static_cast<std::size_t>(
+        std::clamp(std::floor(r.y / cell_h), 0.0, static_cast<double>(ny - 1)));
+    const auto iy_hi = static_cast<std::size_t>(std::clamp(
+        std::ceil(r.top() / cell_h), 1.0, static_cast<double>(ny)));
+
+    for (std::size_t iy = iy_lo; iy < iy_hi; ++iy) {
+      for (std::size_t ix = ix_lo; ix < ix_hi; ++ix) {
+        const Rect cell{static_cast<double>(ix) * cell_w,
+                        static_cast<double>(iy) * cell_h, cell_w, cell_h};
+        const double overlap = r.intersection_area(cell);
+        if (overlap > 0.0) {
+          map.at(ix, iy) += power * overlap / r.area();
+        }
+      }
+    }
+  }
+  return map;
+}
+
+GridMap layer_power_map(const Floorplan& floorplan,
+                        const power::CorePowerModel& model,
+                        const std::vector<double>& core_activities,
+                        std::size_t nx, std::size_t ny) {
+  VS_REQUIRE(core_activities.size() == floorplan.core_count(),
+             "activity vector must match core count");
+  std::vector<double> block_powers(floorplan.blocks.size(), 0.0);
+  // Cache per-activity block power: cores often share activity levels.
+  for (std::size_t b = 0; b < floorplan.blocks.size(); ++b) {
+    const auto& placed = floorplan.blocks[b];
+    const double activity = core_activities[placed.core_index];
+    const auto& blk = model.blocks()[placed.block_index];
+    block_powers[b] = blk.peak_dynamic * activity + blk.leakage;
+  }
+  return rasterize_power(floorplan, block_powers, nx, ny);
+}
+
+std::size_t cell_of(const Floorplan& floorplan, std::size_t nx, std::size_t ny,
+                    double x, double y) {
+  VS_REQUIRE(x >= 0.0 && x <= floorplan.width && y >= 0.0 &&
+                 y <= floorplan.height,
+             "point outside the die");
+  const double cell_w = floorplan.width / static_cast<double>(nx);
+  const double cell_h = floorplan.height / static_cast<double>(ny);
+  const std::size_t ix = std::min(
+      static_cast<std::size_t>(x / cell_w), nx - 1);
+  const std::size_t iy = std::min(
+      static_cast<std::size_t>(y / cell_h), ny - 1);
+  return iy * nx + ix;
+}
+
+}  // namespace vstack::floorplan

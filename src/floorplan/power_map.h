@@ -1,0 +1,43 @@
+// Rasterisation of block power onto a regular grid.
+//
+// The PDN and thermal grids consume power per grid cell; this helper
+// distributes each placed block's power over the cells it overlaps,
+// area-weighted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+
+namespace vstack::floorplan {
+
+/// Dense nx x ny scalar field (row-major, [iy * nx + ix]).
+struct GridMap {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::vector<double> values;
+
+  double& at(std::size_t ix, std::size_t iy);
+  double at(std::size_t ix, std::size_t iy) const;
+  double total() const;
+  double max_value() const;
+};
+
+/// Rasterise arbitrary per-block powers (same order as floorplan.blocks).
+GridMap rasterize_power(const Floorplan& floorplan,
+                        const std::vector<double>& block_powers,
+                        std::size_t nx, std::size_t ny);
+
+/// Rasterise a layer at per-core activity factors: block power comes from
+/// the core model at each core's activity.
+GridMap layer_power_map(const Floorplan& floorplan,
+                        const power::CorePowerModel& model,
+                        const std::vector<double>& core_activities,
+                        std::size_t nx, std::size_t ny);
+
+/// Cell index of the grid cell containing a point.
+std::size_t cell_of(const Floorplan& floorplan, std::size_t nx, std::size_t ny,
+                    double x, double y);
+
+}  // namespace vstack::floorplan

@@ -1,0 +1,91 @@
+#include "la/bicgstab.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vstack::la {
+
+SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& precond,
+                     const IterativeOptions& options) {
+  const std::size_t n = a.size();
+  VS_REQUIRE(b.size() == n, "bicgstab: rhs size mismatch");
+  if (x.size() != n) x.assign(n, 0.0);
+
+  SolveReport report;
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    fill(x, 0.0);
+    report.converged = true;
+    return report;
+  }
+
+  Vector r = subtract(b, a.multiply(x));
+  Vector r_hat = r;  // shadow residual
+  Vector p(n, 0.0), v(n, 0.0), s(n), t(n), y(n), z(n);
+
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double rho_new = dot(r_hat, r);
+    if (std::abs(rho_new) < 1e-300) {
+      VS_LOG_WARN("BiCGSTAB: rho breakdown at iteration " << it);
+      break;
+    }
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    // p = r + beta * (p - omega * v)
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+    precond.apply(p, y);
+    a.multiply(y, v);
+    const double rhv = dot(r_hat, v);
+    if (std::abs(rhv) < 1e-300) {
+      VS_LOG_WARN("BiCGSTAB: alpha breakdown at iteration " << it);
+      break;
+    }
+    alpha = rho / rhv;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+
+    report.iterations = it + 1;
+    if (norm2(s) / b_norm < options.relative_tolerance) {
+      axpy(alpha, y, x);
+      report.residual_norm = norm2(s) / b_norm;
+      report.converged = true;
+      return report;
+    }
+
+    precond.apply(s, z);
+    a.multiply(z, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) {
+      VS_LOG_WARN("BiCGSTAB: omega breakdown at iteration " << it);
+      axpy(alpha, y, x);
+      break;
+    }
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * y[i] + omega * z[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    const double res = norm2(r) / b_norm;
+    report.residual_norm = res;
+    if (res < options.relative_tolerance) {
+      report.converged = true;
+      return report;
+    }
+    if (std::abs(omega) < 1e-300) {
+      VS_LOG_WARN("BiCGSTAB: stagnation (omega ~ 0) at iteration " << it);
+      break;
+    }
+  }
+
+  report.residual_norm = norm2(subtract(b, a.multiply(x))) / b_norm;
+  report.converged = report.residual_norm < options.relative_tolerance;
+  return report;
+}
+
+}  // namespace vstack::la

@@ -1,0 +1,16 @@
+// Preconditioned BiCGSTAB for the non-symmetric MNA systems produced by the
+// voltage-stacked PDN (the push-pull converter element couples node voltages
+// to a branch current asymmetrically).
+#pragma once
+
+#include "la/cg.h"
+
+namespace vstack::la {
+
+/// Solve A x = b with right-preconditioned BiCGSTAB.  `x` is the initial
+/// guess and receives the solution.
+SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& precond,
+                     const IterativeOptions& options = {});
+
+}  // namespace vstack::la

@@ -1,0 +1,64 @@
+#include "la/cg.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vstack::la {
+
+SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+                               const Preconditioner& precond,
+                               const IterativeOptions& options) {
+  const std::size_t n = a.size();
+  VS_REQUIRE(b.size() == n, "cg: rhs size mismatch");
+  if (x.size() != n) x.assign(n, 0.0);
+
+  SolveReport report;
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    fill(x, 0.0);
+    report.converged = true;
+    return report;
+  }
+
+  Vector r = subtract(b, a.multiply(x));
+  Vector z(n);
+  precond.apply(r, z);
+  Vector p = z;
+  Vector ap(n);
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) {
+      // Not SPD along this direction; bail out and report the residual.
+      VS_LOG_WARN("CG: non-positive curvature at iteration " << it);
+      break;
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+
+    const double res = norm2(r) / b_norm;
+    report.iterations = it + 1;
+    report.residual_norm = res;
+    if (res < options.relative_tolerance) {
+      report.converged = true;
+      return report;
+    }
+
+    precond.apply(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    xpby(z, beta, p);
+  }
+
+  report.residual_norm = norm2(subtract(b, a.multiply(x))) / b_norm;
+  report.converged = report.residual_norm < options.relative_tolerance;
+  return report;
+}
+
+}  // namespace vstack::la

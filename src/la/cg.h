@@ -1,0 +1,28 @@
+// Preconditioned conjugate gradient for symmetric positive-definite systems
+// (the regular-PDN and thermal grids).
+#pragma once
+
+#include "la/preconditioner.h"
+#include "la/sparse.h"
+
+namespace vstack::la {
+
+/// Convergence report shared by the Krylov solvers.
+struct SolveReport {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;  // final ||b - Ax|| / ||b||
+};
+
+struct IterativeOptions {
+  std::size_t max_iterations = 5000;
+  double relative_tolerance = 1e-10;
+};
+
+/// Solve A x = b with preconditioned CG.  `x` is used as the initial guess
+/// and receives the solution.
+SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+                               const Preconditioner& precond,
+                               const IterativeOptions& options = {});
+
+}  // namespace vstack::la

@@ -1,0 +1,96 @@
+#include "la/dense_lu.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::la {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {
+  VS_REQUIRE(rows > 0 && cols > 0, "dense matrix dimensions must be positive");
+}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix d(a.size(), a.size(), 0.0);
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      d(r, a.col_idx()[k]) = a.values()[k];
+    }
+  }
+  return d;
+}
+
+double& DenseMatrix::operator()(std::size_t r, std::size_t c) {
+  VS_REQUIRE(r < rows_ && c < cols_, "dense index out of range");
+  return data_[r * cols_ + c];
+}
+
+double DenseMatrix::operator()(std::size_t r, std::size_t c) const {
+  VS_REQUIRE(r < rows_ && c < cols_, "dense index out of range");
+  return data_[r * cols_ + c];
+}
+
+Vector DenseMatrix::multiply(const Vector& x) const {
+  VS_REQUIRE(x.size() == cols_, "dense multiply: dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += data_[r * cols_ + c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+  VS_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t pivot_row = k;
+    double pivot_val = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::abs(lu_(r, k)) > pivot_val) {
+        pivot_val = std::abs(lu_(r, k));
+        pivot_row = r;
+      }
+    }
+    VS_REQUIRE(pivot_val > 1e-300, "LU: numerically singular matrix");
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = lu_(r, k) / lu_(k, k);
+      lu_(r, k) = m;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= m * lu_(k, c);
+      }
+    }
+  }
+}
+
+Vector DenseLu::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  VS_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
+  Vector x(n);
+  // Apply permutation, forward solve (unit lower).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Backward solve (upper).
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace vstack::la

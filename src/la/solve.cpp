@@ -1,0 +1,52 @@
+#include "la/solve.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "la/dense_lu.h"
+
+namespace vstack::la {
+
+SolveReport solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                  const SolveOptions& options) {
+  SolverKind kind = options.kind;
+  if (kind == SolverKind::Auto) {
+    kind = a.is_symmetric(1e-12) ? SolverKind::Cg : SolverKind::BiCgStab;
+  }
+
+  if (kind == SolverKind::DenseLu) {
+    DenseLu lu(DenseMatrix::from_csr(a));
+    x = lu.solve(b);
+    SolveReport report;
+    report.converged = true;
+    report.iterations = 1;
+    report.residual_norm = 0.0;
+    return report;
+  }
+
+  const auto precond =
+      options.use_ilu0 ? make_ilu0(a) : make_jacobi(a);
+
+  SolveReport report;
+  if (kind == SolverKind::Cg) {
+    report = conjugate_gradient(a, b, x, *precond, options.iterative);
+  } else {
+    report = bicgstab(a, b, x, *precond, options.iterative);
+  }
+
+  if (!report.converged) {
+    VS_LOG_WARN("iterative solve stalled (residual="
+                << report.residual_norm << " after " << report.iterations
+                << " iterations); retrying with dense LU");
+    // Robust fallback for small systems; a dense factorization of anything
+    // much larger would not fit in memory, so refuse instead.
+    VS_REQUIRE(a.size() <= 4000,
+               "iterative solver failed to converge on a large system");
+    DenseLu lu(DenseMatrix::from_csr(a));
+    x = lu.solve(b);
+    report.converged = true;
+    report.residual_norm = 0.0;
+  }
+  return report;
+}
+
+}  // namespace vstack::la

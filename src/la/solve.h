@@ -1,0 +1,23 @@
+// Front-door solve: picks CG for symmetric matrices and BiCGSTAB otherwise,
+// with ILU(0) preconditioning, and throws if the system fails to converge.
+#pragma once
+
+#include "la/bicgstab.h"
+#include "la/cg.h"
+
+namespace vstack::la {
+
+enum class SolverKind { Auto, Cg, BiCgStab, DenseLu };
+
+struct SolveOptions {
+  SolverKind kind = SolverKind::Auto;
+  IterativeOptions iterative;
+  bool use_ilu0 = true;  // fall back to Jacobi when false
+};
+
+/// Solve A x = b; x is the initial guess and receives the solution.
+/// Throws vstack::Error if the selected solver does not converge.
+SolveReport solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                  const SolveOptions& options = {});
+
+}  // namespace vstack::la

@@ -1,0 +1,118 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace vstack::la {
+
+CooBuilder::CooBuilder(std::size_t n) : n_(n) {
+  VS_REQUIRE(n > 0, "matrix dimension must be positive");
+}
+
+void CooBuilder::add(std::size_t row, std::size_t col, double value) {
+  VS_REQUIRE(row < n_ && col < n_, "stamp index out of range");
+  rows_.push_back(row);
+  cols_.push_back(col);
+  values_.push_back(value);
+}
+
+CsrMatrix CooBuilder::build() const {
+  // Sort entry indices by (row, col), then merge duplicates.
+  std::vector<std::size_t> order(rows_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rows_[a] != rows_[b]) return rows_[a] < rows_[b];
+    return cols_[a] < cols_[b];
+  });
+
+  // row_ptr holds per-row entry counts during the merge pass and is turned
+  // into cumulative offsets afterwards.
+  std::vector<std::size_t> row_ptr(n_ + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(order.size());
+  values.reserve(order.size());
+
+  std::size_t prev_row = n_;  // sentinel: no previous entry
+  std::size_t prev_col = n_;
+  for (const std::size_t e : order) {
+    if (!values.empty() && rows_[e] == prev_row && cols_[e] == prev_col) {
+      values.back() += values_[e];
+      continue;
+    }
+    col_idx.push_back(cols_[e]);
+    values.push_back(values_[e]);
+    row_ptr[rows_[e] + 1]++;
+    prev_row = rows_[e];
+    prev_col = cols_[e];
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  return CsrMatrix(n_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix::CsrMatrix(std::size_t n, std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values)
+    : n_(n),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  VS_REQUIRE(row_ptr_.size() == n_ + 1, "row_ptr size must be n + 1");
+  VS_REQUIRE(col_idx_.size() == values_.size(),
+             "col_idx and values must have equal length");
+  VS_REQUIRE(row_ptr_.back() == values_.size(),
+             "row_ptr must end at nnz");
+}
+
+void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  VS_REQUIRE(x.size() == n_, "multiply: dimension mismatch");
+  y.assign(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = s;
+  }
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  Vector y;
+  multiply(x, y);
+  return y;
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  VS_REQUIRE(row < n_ && col < n_, "at: index out of range");
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) d[r] = at(r, r);
+  return d;
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  double max_abs = 0.0;
+  for (double v : values_) max_abs = std::max(max_abs, std::abs(v));
+  const double threshold = tol * std::max(max_abs, 1.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t c = col_idx_[k];
+      if (std::abs(values_[k] - at(c, r)) > threshold) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vstack::la

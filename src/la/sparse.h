@@ -1,0 +1,75 @@
+// Sparse matrix storage.
+//
+// Matrices are assembled through CooBuilder (duplicate entries are summed,
+// which is exactly the "stamping" discipline of modified nodal analysis) and
+// then frozen into compressed-sparse-row form for the solvers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace vstack::la {
+
+class CsrMatrix;
+
+/// Coordinate-format assembly buffer.  add(i, j, v) may be called any number
+/// of times for the same (i, j); values accumulate, matching MNA stamping.
+class CooBuilder {
+ public:
+  explicit CooBuilder(std::size_t n);
+
+  /// Accumulate `value` at (row, col).  Indices must be < n.
+  void add(std::size_t row, std::size_t col, double value);
+
+  std::size_t size() const { return n_; }
+  std::size_t entry_count() const { return rows_.size(); }
+
+  /// Sort, merge duplicates, and produce the CSR matrix.
+  CsrMatrix build() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> rows_;
+  std::vector<std::size_t> cols_;
+  std::vector<double> values_;
+};
+
+/// Square compressed-sparse-row matrix with sorted, unique column indices
+/// per row.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t n, std::vector<std::size_t> row_ptr,
+            std::vector<std::size_t> col_idx, std::vector<double> values);
+
+  std::size_t size() const { return n_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// y = A * x
+  void multiply(const Vector& x, Vector& y) const;
+  Vector multiply(const Vector& x) const;
+
+  /// Entry lookup (binary search within the row); 0 if not stored.
+  double at(std::size_t row, std::size_t col) const;
+
+  /// Extract the diagonal; absent diagonal entries read as 0.
+  Vector diagonal() const;
+
+  /// Structural + numerical symmetry check within `tol` (relative to the
+  /// largest absolute entry).  Used to pick CG vs BiCGSTAB.
+  bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace vstack::la

@@ -1,0 +1,46 @@
+#include "la/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::la {
+
+double dot(const Vector& a, const Vector& b) {
+  VS_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vector& a) {
+  double m = 0.0;
+  for (double x : a) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  VS_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(const Vector& x, double beta, Vector& y) {
+  VS_REQUIRE(x.size() == y.size(), "xpby: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  VS_REQUIRE(a.size() == b.size(), "subtract: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+void fill(Vector& v, double value) {
+  std::fill(v.begin(), v.end(), value);
+}
+
+}  // namespace vstack::la

@@ -1,0 +1,31 @@
+// Dense vector kernels shared by the iterative solvers.
+#pragma once
+
+#include <vector>
+
+namespace vstack::la {
+
+using Vector = std::vector<double>;
+
+/// Dot product; vectors must have equal length.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& a);
+
+/// Infinity norm (max absolute entry); 0 for an empty vector.
+double norm_inf(const Vector& a);
+
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// y = x + beta * y  (used by CG's direction update)
+void xpby(const Vector& x, double beta, Vector& y);
+
+/// out = a - b
+Vector subtract(const Vector& a, const Vector& b);
+
+/// Fill with a constant.
+void fill(Vector& v, double value);
+
+}  // namespace vstack::la

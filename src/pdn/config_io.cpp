@@ -1,0 +1,149 @@
+#include "pdn/config_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vstack::pdn {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+double to_number(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    VS_REQUIRE(used == value.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    VS_FAIL("config key '" + key + "' expects a number, got '" + value +
+            "'");
+  }
+}
+
+TsvConfig tsv_by_name(const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "dense") return TsvConfig::dense();
+  if (n == "sparse") return TsvConfig::sparse();
+  if (n == "few") return TsvConfig::few();
+  VS_FAIL("unknown tsv config '" + name + "' (dense|sparse|few)");
+}
+
+}  // namespace
+
+StackupConfig parse_stackup_config(const std::string& text,
+                                   const StackupConfig& base) {
+  StackupConfig cfg = base;
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string line = raw;
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    VS_REQUIRE(eq != std::string::npos,
+               "config line " + std::to_string(line_no) +
+                   " is not 'key = value'");
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    VS_REQUIRE(!value.empty(), "config key '" + key + "' has no value");
+
+    if (key == "topology") {
+      const std::string v = lower(value);
+      if (v == "regular") {
+        cfg.topology = PdnTopology::Regular3d;
+      } else if (v == "stacked" || v == "voltage-stacked") {
+        cfg.topology = PdnTopology::VoltageStacked;
+      } else {
+        VS_FAIL("unknown topology '" + value + "' (regular|stacked)");
+      }
+    } else if (key == "layers") {
+      cfg.layer_count = static_cast<std::size_t>(to_number(key, value));
+    } else if (key == "vdd") {
+      cfg.vdd = to_number(key, value);
+    } else if (key == "tsv") {
+      cfg.tsv = tsv_by_name(value);
+    } else if (key == "power_c4_fraction") {
+      cfg.power_c4_fraction = to_number(key, value);
+    } else if (key == "vdd_pads_per_core") {
+      cfg.vdd_pads_per_core = static_cast<std::size_t>(to_number(key, value));
+    } else if (key == "converters_per_core") {
+      cfg.converters_per_core =
+          static_cast<std::size_t>(to_number(key, value));
+    } else if (key == "converter_reference") {
+      const std::string v = lower(value);
+      if (v == "ideal") {
+        cfg.converter_reference = ConverterReference::IdealRails;
+      } else if (v == "adjacent") {
+        cfg.converter_reference = ConverterReference::AdjacentRails;
+      } else {
+        VS_FAIL("unknown converter_reference '" + value +
+                "' (ideal|adjacent)");
+      }
+    } else if (key == "control") {
+      const std::string v = lower(value);
+      if (v == "open") {
+        cfg.converter.control = sc::ControlPolicy::OpenLoop;
+      } else if (v == "closed") {
+        cfg.converter.control = sc::ControlPolicy::ClosedLoop;
+      } else {
+        VS_FAIL("unknown control '" + value + "' (open|closed)");
+      }
+    } else if (key == "grid") {
+      const auto n = static_cast<std::size_t>(to_number(key, value));
+      cfg.grid_nx = cfg.grid_ny = n;
+    } else {
+      VS_FAIL("unknown config key '" + key + "' at line " +
+              std::to_string(line_no));
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+std::string write_stackup_config(const StackupConfig& config) {
+  std::ostringstream oss;
+  oss << "topology = "
+      << (config.is_voltage_stacked() ? "stacked" : "regular") << "\n";
+  oss << "layers = " << config.layer_count << "\n";
+  oss << "vdd = " << config.vdd << "\n";
+  const std::string tsv = config.tsv.name == "Dense TSV"    ? "dense"
+                          : config.tsv.name == "Sparse TSV" ? "sparse"
+                                                            : "few";
+  oss << "tsv = " << tsv << "\n";
+  oss << "power_c4_fraction = " << config.power_c4_fraction << "\n";
+  oss << "vdd_pads_per_core = " << config.vdd_pads_per_core << "\n";
+  oss << "converters_per_core = " << config.converters_per_core << "\n";
+  oss << "converter_reference = "
+      << (config.converter_reference == ConverterReference::IdealRails
+              ? "ideal"
+              : "adjacent")
+      << "\n";
+  oss << "control = "
+      << (config.converter.control == sc::ControlPolicy::OpenLoop ? "open"
+                                                                  : "closed")
+      << "\n";
+  oss << "grid = " << config.grid_nx << "\n";
+  return oss.str();
+}
+
+}  // namespace vstack::pdn

@@ -1,0 +1,32 @@
+// Plain-text (key = value) serialization of StackupConfig, so experiments
+// can be described in version-controlled files and replayed by the CLI.
+//
+//   # 8-layer voltage stack
+//   topology = stacked          ; or "regular"
+//   layers = 8
+//   vdd = 1.0
+//   tsv = few                   ; dense | sparse | few
+//   power_c4_fraction = 0.25
+//   vdd_pads_per_core = 32
+//   converters_per_core = 8
+//   converter_reference = ideal ; ideal | adjacent
+//   control = open              ; open | closed
+//   grid = 32
+//
+// Unknown keys are errors; omitted keys keep their defaults.
+#pragma once
+
+#include <string>
+
+#include "pdn/stackup.h"
+
+namespace vstack::pdn {
+
+/// Parse a configuration from text, starting from `base` defaults.
+StackupConfig parse_stackup_config(const std::string& text,
+                                   const StackupConfig& base = {});
+
+/// Serialize a configuration to the same format (round-trip capable).
+std::string write_stackup_config(const StackupConfig& config);
+
+}  // namespace vstack::pdn

@@ -1,0 +1,71 @@
+#include "pdn/decap_optimizer.h"
+
+#include "common/error.h"
+
+namespace vstack::pdn {
+
+double peak_noise_for_allocation(
+    const PdnModel& model, const power::CorePowerModel& core_model,
+    const std::vector<double>& activities_before,
+    const std::vector<double>& activities_after,
+    const std::vector<double>& layer_density,
+    const PdnTransientOptions& options) {
+  PdnTransientOptions local = options;
+  local.layer_decap_density = layer_density;
+  return simulate_load_step(model, core_model, activities_before,
+                            activities_after, local)
+      .peak_noise;
+}
+
+DecapAllocation optimize_layer_decap(
+    const PdnModel& model, const power::CorePowerModel& core_model,
+    const std::vector<double>& activities_before,
+    const std::vector<double>& activities_after,
+    const DecapOptimizerOptions& options) {
+  const std::size_t layers = model.config().layer_count;
+  VS_REQUIRE(options.shift_fraction > 0.0 && options.shift_fraction < 1.0,
+             "shift fraction must be in (0, 1)");
+
+  DecapAllocation result;
+  result.layer_density.assign(layers, options.transient.decap_density);
+  result.uniform_noise = peak_noise_for_allocation(
+      model, core_model, activities_before, activities_after,
+      result.layer_density, options.transient);
+  result.peak_noise = result.uniform_noise;
+
+  // Coordinate descent: for each donor layer, try shifting part of its
+  // share to each other layer and keep the best improving move.
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    bool improved = false;
+    for (std::size_t donor = 0; donor < layers; ++donor) {
+      std::size_t best_receiver = donor;
+      double best_noise = result.peak_noise;
+      std::vector<double> best_profile;
+      for (std::size_t receiver = 0; receiver < layers; ++receiver) {
+        if (receiver == donor) continue;
+        auto candidate = result.layer_density;
+        const double moved = options.shift_fraction * candidate[donor];
+        if (candidate[donor] - moved <= 0.0) continue;
+        candidate[donor] -= moved;
+        candidate[receiver] += moved;
+        const double noise = peak_noise_for_allocation(
+            model, core_model, activities_before, activities_after,
+            candidate, options.transient);
+        if (noise < best_noise) {
+          best_noise = noise;
+          best_receiver = receiver;
+          best_profile = std::move(candidate);
+        }
+      }
+      if (best_receiver != donor) {
+        result.layer_density = std::move(best_profile);
+        result.peak_noise = best_noise;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace vstack::pdn

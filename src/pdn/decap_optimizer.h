@@ -1,0 +1,44 @@
+// Decap budget allocation across the stack's layers.
+//
+// On-chip decoupling capacitance is a silicon budget like pads and TSVs.
+// Given a fixed total (expressed as an average density), this optimizer
+// redistributes it across layers to minimize the peak transient excursion
+// of a load step -- coordinate descent on the per-layer shares, evaluated
+// with the RLC transient engine.
+#pragma once
+
+#include "pdn/transient.h"
+
+namespace vstack::pdn {
+
+struct DecapAllocation {
+  /// Per-layer decap density [F/m^2]; averages to the configured budget.
+  std::vector<double> layer_density;
+  double peak_noise = 0.0;     // of the optimized allocation
+  double uniform_noise = 0.0;  // of the uniform baseline
+};
+
+struct DecapOptimizerOptions {
+  PdnTransientOptions transient;
+  std::size_t rounds = 2;       // coordinate-descent sweeps over the layers
+  double shift_fraction = 0.5;  // how much of a layer's share a move shifts
+};
+
+/// Optimize the per-layer split of the transient option's decap budget for
+/// the given load step.  The total capacitance is conserved.
+DecapAllocation optimize_layer_decap(
+    const PdnModel& model, const power::CorePowerModel& core_model,
+    const std::vector<double>& activities_before,
+    const std::vector<double>& activities_after,
+    const DecapOptimizerOptions& options = {});
+
+/// Transient peak for an explicit per-layer decap profile (used by the
+/// optimizer and exposed for studies).
+double peak_noise_for_allocation(
+    const PdnModel& model, const power::CorePowerModel& core_model,
+    const std::vector<double>& activities_before,
+    const std::vector<double>& activities_after,
+    const std::vector<double>& layer_density,
+    const PdnTransientOptions& options);
+
+}  // namespace vstack::pdn

@@ -1,0 +1,128 @@
+// Structural builder for the 3D PDN resistive network.
+//
+// Translates a StackupConfig plus a layer floorplan into nodes, lumped
+// conductor groups, load injections and converter elements.  Layer 0 is the
+// package (C4) side.  In the voltage-stacked topology, "rail r" (r = 0..N)
+// denotes the series chain: rail 0 is the board ground (layer 0's Gnd net),
+// rail l+1 is layer l's Vdd net (stitched to layer l+1's Gnd net by
+// recycling TSVs), rail N is fed by through-vias at N * Vdd.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+#include "pdn/stackup.h"
+
+namespace vstack::pdn {
+
+enum class ConductorKind {
+  GridStrap,     // on-chip metal segment
+  PackageVdd,    // lumped package resistance, supply side
+  PackageGnd,    // lumped package resistance, ground side
+  C4Vdd,         // Vdd bump (regular topology)
+  C4Gnd,         // ground bump (both topologies)
+  TsvVdd,        // inter-layer Vdd TSV (regular)
+  TsvGnd,        // inter-layer ground TSV (regular)
+  RecyclingTsv,  // rail-stitching TSV (voltage-stacked)
+  ThroughVia     // pad + through-via chain to the top rail (voltage-stacked)
+};
+
+/// `count` identical conductors in parallel between two nodes, stamped as a
+/// single lumped resistance.  For EM accounting, each physical conductor
+/// additionally consists of `em_segments` series segments that all carry the
+/// per-conductor current (through-vias cross layer_count-1 interfaces).
+struct ConductorGroup {
+  ConductorKind kind = ConductorKind::GridStrap;
+  std::size_t node_a = 0;
+  std::size_t node_b = 0;
+  double unit_resistance = 0.0;
+  std::size_t count = 1;
+  std::size_t em_segments = 1;
+};
+
+/// Ideal current-source load drawing `current` from a Vdd node into the
+/// layer's ground node (VoltSpot's load model).
+struct LoadInjection {
+  std::size_t vdd_node = 0;
+  std::size_t gnd_node = 0;
+  double current = 0.0;
+};
+
+/// One push-pull SC converter instance: regulates `out` toward the midpoint
+/// of `top` and `bottom` through r_series (stamped as the symmetric PSD
+/// block (1/r) * v v^T with v = (1/2, 1/2, -1) on (top, bottom, out)).
+struct ConverterInstance {
+  std::size_t top = 0;
+  std::size_t bottom = 0;
+  std::size_t out = 0;
+  double r_series = 0.0;
+  std::size_t core = 0;
+  std::size_t level = 0;  // intermediate rail index (1..N-1)
+};
+
+/// Fixed-potential sentinels used in ConductorGroup node slots.
+inline constexpr std::size_t kFixedSupply = static_cast<std::size_t>(-1);
+inline constexpr std::size_t kFixedGround = static_cast<std::size_t>(-2);
+
+class PdnNetwork {
+ public:
+  PdnNetwork(const StackupConfig& config,
+             const floorplan::Floorplan& floorplan);
+
+  const StackupConfig& config() const { return config_; }
+  const floorplan::Floorplan& floorplan() const { return floorplan_; }
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t package_vdd_node() const { return 0; }
+  std::size_t package_gnd_node() const { return 1; }
+
+  /// Grid node indices; layer in [0, N), cell in [0, nx*ny).
+  std::size_t vdd_node(std::size_t layer, std::size_t cell) const;
+  std::size_t gnd_node(std::size_t layer, std::size_t cell) const;
+
+  const std::vector<ConductorGroup>& conductors() const { return conductors_; }
+  const std::vector<ConverterInstance>& converters() const {
+    return converters_;
+  }
+
+  /// Build per-cell loads for the given per-layer core activities.
+  /// activities[l] applies to every core of layer l.
+  std::vector<LoadInjection> build_loads(
+      const power::CorePowerModel& model,
+      const std::vector<double>& layer_activities) const;
+
+  /// Build loads from explicit per-layer, per-core activity factors
+  /// (activities[l][c]); used for workload-schedule studies.
+  std::vector<LoadInjection> build_loads_per_core(
+      const power::CorePowerModel& model,
+      const std::vector<std::vector<double>>& core_activities) const;
+
+  /// Heterogeneous stacks (e.g. memory-on-logic): each layer has its own
+  /// power model and floorplan (all floorplans must share the die
+  /// footprint).  activities[l] applies to every tile of layer l.
+  std::vector<LoadInjection> build_loads_layered(
+      const std::vector<const power::CorePowerModel*>& models,
+      const std::vector<const floorplan::Floorplan*>& floorplans,
+      const std::vector<double>& layer_activities) const;
+
+  /// Deterministically distribute `count` items over `slots` slots; slot j
+  /// receives floor((j+1)k/m) - floor(jk/m) items.  Exposed for tests.
+  static std::vector<std::size_t> distribute(std::size_t count,
+                                             std::size_t slots);
+
+ private:
+  void build_grid_straps();
+  void build_package();
+  void build_regular_topology();
+  void build_stacked_topology();
+  std::vector<std::size_t> core_cells(std::size_t core) const;
+
+  StackupConfig config_;
+  const floorplan::Floorplan& floorplan_;
+  std::size_t node_count_ = 0;
+  std::vector<ConductorGroup> conductors_;
+  std::vector<ConverterInstance> converters_;
+};
+
+}  // namespace vstack::pdn

@@ -1,0 +1,58 @@
+#include "pdn/params.h"
+
+#include "common/error.h"
+
+namespace vstack::pdn {
+
+void PdnParameters::validate() const {
+  VS_REQUIRE(c4_pitch > 0.0 && c4_resistance > 0.0,
+             "C4 parameters must be positive");
+  VS_REQUIRE(tsv_min_pitch > 0.0 && tsv_diameter > 0.0 &&
+                 tsv_resistance > 0.0 && tsv_koz_side > 0.0,
+             "TSV parameters must be positive");
+  VS_REQUIRE(tsv_diameter < tsv_koz_side,
+             "keep-out zone must enclose the TSV");
+  VS_REQUIRE(grid_pitch > 0.0 && grid_width > 0.0 && grid_thickness > 0.0,
+             "grid strap parameters must be positive");
+  VS_REQUIRE(grid_width < grid_pitch, "strap width must fit within the pitch");
+  VS_REQUIRE(package_resistance > 0.0, "package resistance must be positive");
+  VS_REQUIRE(copper_resistivity > 0.0, "resistivity must be positive");
+}
+
+double PdnParameters::sheet_resistance() const {
+  return copper_resistivity * grid_pitch / (grid_width * grid_thickness);
+}
+
+double PdnParameters::tsv_koz_area() const {
+  return tsv_koz_side * tsv_koz_side;
+}
+
+void TsvConfig::validate() const {
+  VS_REQUIRE(effective_pitch > 0.0, "effective pitch must be positive");
+  VS_REQUIRE(tsvs_per_core >= 2, "need at least one TSV per net per core");
+}
+
+double TsvConfig::area_overhead(const PdnParameters& params,
+                                double core_area) const {
+  VS_REQUIRE(core_area > 0.0, "core area must be positive");
+  return static_cast<double>(tsvs_per_core) * params.tsv_koz_area() /
+         core_area;
+}
+
+TsvConfig TsvConfig::dense() {
+  return {"Dense TSV", 20 * units::um, 6650};
+}
+
+TsvConfig TsvConfig::sparse() {
+  return {"Sparse TSV", 40 * units::um, 1675};
+}
+
+TsvConfig TsvConfig::few() {
+  return {"Few TSV", 240 * units::um, 110};
+}
+
+std::vector<TsvConfig> TsvConfig::paper_configs() {
+  return {dense(), sparse(), few()};
+}
+
+}  // namespace vstack::pdn

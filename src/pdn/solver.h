@@ -1,0 +1,109 @@
+// IR-drop solver for the 3D PDN and the paper's per-conductor current
+// reports.
+//
+// The MNA system is assembled without branch unknowns: loads are current
+// injections, the package supply is folded into the right-hand side, and
+// each push-pull converter stamps the symmetric PSD block (1/R) v v^T with
+// v = (1/2, 1/2, -1) on (top, bottom, out) -- algebraically identical to a
+// resistor R between the output and the virtual midpoint (V_top+V_bottom)/2.
+// The full system therefore stays SPD for both topologies and is solved
+// with ILU(0)-preconditioned CG.
+#pragma once
+
+#include "floorplan/power_map.h"
+#include "la/solve.h"
+#include "pdn/network.h"
+
+namespace vstack::pdn {
+
+struct PdnSolution {
+  /// Solved potentials for every unknown node.
+  la::Vector node_voltages;
+  double supply_voltage = 0.0;
+
+  /// Per-layer droop maps: nominal per-layer Vdd minus the local supply
+  /// span (positive = droop) [V].
+  std::vector<floorplan::GridMap> layer_droop;
+  double max_ir_drop = 0.0;            // [V], worst droop across all layers
+  double max_ir_drop_fraction = 0.0;   // / vdd
+  double max_overshoot_fraction = 0.0; // worst span ABOVE nominal / vdd
+
+  /// Maximum deviation of ANY grid node from its nominal rail potential,
+  /// as a fraction of vdd.  This is VoltSpot's voltage-noise metric and the
+  /// quantity the paper's Fig. 6 reports as "maximum on-chip IR drop".
+  double max_node_deviation_fraction = 0.0;
+
+  /// Per-physical-conductor current magnitudes for the EM study.
+  std::vector<double> c4_pad_currents;   // every power bump (incl. via pads)
+  std::vector<double> tsv_currents;      // every TSV / via segment
+
+  /// Layer interface (lower layer index) of each tsv_currents entry;
+  /// enables thermal-EM coupling (per-conductor temperatures).
+  std::vector<unsigned> tsv_interface_of;
+
+  /// Signed converter output currents (positive = sourcing into the rail).
+  std::vector<double> converter_currents;
+  double max_converter_current = 0.0;
+  bool converter_limit_ok = true;
+
+  double supply_current = 0.0;  // drawn from the off-chip source [A]
+  double supply_power = 0.0;    // supply_voltage * supply_current [W]
+  double load_power = 0.0;      // actually delivered to the loads [W]
+
+  /// Resistive-path efficiency (grid + converter conduction only; switching
+  /// parasitics are accounted by sc::evaluate_ladder_power / core layer).
+  double resistive_efficiency = 0.0;
+
+  la::SolveReport report;
+};
+
+struct PdnSolveOptions {
+  la::IterativeOptions iterative{20000, 1e-9};
+  /// Fixed-point refinements of the per-converter series resistance for
+  /// closed-loop converter control (ignored for open loop).
+  std::size_t control_iterations = 3;
+};
+
+class PdnModel {
+ public:
+  PdnModel(const StackupConfig& config,
+           const floorplan::Floorplan& floorplan);
+
+  const PdnNetwork& network() const { return network_; }
+  const StackupConfig& config() const { return network_.config(); }
+
+  /// Solve for explicit load injections.
+  ///
+  /// The assembled matrix and its ILU(0) factorization depend only on the
+  /// topology and the converter resistances, so they are cached across
+  /// calls and the previous solution warm-starts the next CG run -- Monte
+  /// Carlo noise sampling re-solves the same system with new right-hand
+  /// sides two orders of magnitude faster than a cold solve.
+  /// (Consequently a PdnModel is not safe for concurrent use.)
+  PdnSolution solve(const std::vector<LoadInjection>& loads,
+                    const PdnSolveOptions& options = {}) const;
+
+  /// Convenience: build loads from per-layer activities and solve.
+  PdnSolution solve_activities(const power::CorePowerModel& model,
+                               const std::vector<double>& layer_activities,
+                               const PdnSolveOptions& options = {}) const;
+
+ private:
+  PdnSolution solve_once(const std::vector<LoadInjection>& loads,
+                         const std::vector<double>& converter_r_series,
+                         const PdnSolveOptions& options) const;
+
+  PdnNetwork network_;
+
+  /// Cached system keyed by the converter resistance vector.
+  struct CachedSystem {
+    std::vector<double> r_series;
+    la::CsrMatrix matrix;
+    la::Vector base_rhs;  // fixed-rail + ideal-reference injections
+    std::unique_ptr<la::Preconditioner> precond;
+  };
+  mutable std::unique_ptr<CachedSystem> cache_;
+  mutable la::Vector last_solution_;
+};
+
+}  // namespace vstack::pdn

@@ -1,0 +1,28 @@
+#include "pdn/stackup.h"
+
+#include "common/error.h"
+
+namespace vstack::pdn {
+
+void StackupConfig::validate() const {
+  VS_REQUIRE(layer_count >= 1, "need at least one layer");
+  VS_REQUIRE(vdd > 0.0, "vdd must be positive");
+  params.validate();
+  tsv.validate();
+  VS_REQUIRE(power_c4_fraction > 0.0 && power_c4_fraction <= 1.0,
+             "power C4 fraction must be in (0, 1]");
+  VS_REQUIRE(grid_nx >= 4 && grid_ny >= 4, "grid must be at least 4x4");
+  if (is_voltage_stacked()) {
+    VS_REQUIRE(layer_count >= 2, "voltage stacking needs at least two layers");
+    VS_REQUIRE(vdd_pads_per_core >= 1, "need at least one Vdd pad per core");
+    VS_REQUIRE(converters_per_core >= 1,
+               "voltage stacking requires explicit regulators");
+    converter.validate();
+  }
+}
+
+double StackupConfig::supply_voltage() const {
+  return is_voltage_stacked() ? static_cast<double>(layer_count) * vdd : vdd;
+}
+
+}  // namespace vstack::pdn

@@ -1,0 +1,70 @@
+// Design description of a full 3D-IC power delivery network.
+#pragma once
+
+#include <cstddef>
+
+#include "pdn/params.h"
+#include "sc/compact_model.h"
+
+namespace vstack::pdn {
+
+enum class PdnTopology {
+  Regular3d,      // all layers' Vdd/Gnd nets in parallel through TSV stacks
+  VoltageStacked  // layers in series; SC converters regulate mid rails
+};
+
+/// What the converter's "(V_top + V_bottom)/2" refers to.
+///
+/// `IdealRails` regulates each intermediate rail toward its NOMINAL
+/// potential (level * vdd) through R_SERIES -- the converter bank acts as a
+/// stiff reference, and per-level drops do not accumulate across the stack.
+/// The paper's Fig. 6 noise levels are only reproducible in this mode.
+///
+/// `AdjacentRails` uses the SOLVED neighbouring rail voltages (a literal
+/// reading of the paper's compact model).  Because the interleaved high-low
+/// pattern loads every other level with same-sign mismatch current, the
+/// per-level droop then accumulates quadratically with layer count -- a
+/// property of midpoint-referenced ladder stacks this library exposes as an
+/// ablation (see EXPERIMENTS.md).
+enum class ConverterReference { IdealRails, AdjacentRails };
+
+/// Complete scenario description consumed by PdnModel.
+struct StackupConfig {
+  PdnTopology topology = PdnTopology::Regular3d;
+  std::size_t layer_count = 2;
+  double vdd = 1.0;  // per-layer supply [V]
+
+  PdnParameters params;
+  TsvConfig tsv = TsvConfig::few();
+
+  /// Fraction of C4 pad sites allocated to power delivery (split evenly
+  /// between Vdd and Gnd).  Regular topology draws all current through
+  /// these; the voltage-stacked topology uses `vdd_pads_per_core` instead.
+  double power_c4_fraction = 0.25;
+
+  /// Voltage-stacked topology: Vdd pads per core, each feeding exactly one
+  /// through-via to the top rail (paper: 32 per core); an equal number of
+  /// ground pads serves the bottom rail.
+  std::size_t vdd_pads_per_core = 32;
+
+  /// Voltage-stacked topology: SC converters per core at EVERY intermediate
+  /// rail (the paper's "converters per core").
+  std::size_t converters_per_core = 8;
+  sc::ScConverterDesign converter;
+  ConverterReference converter_reference = ConverterReference::IdealRails;
+
+  /// Electrical grid resolution per layer (cells per edge).
+  std::size_t grid_nx = 32;
+  std::size_t grid_ny = 32;
+
+  void validate() const;
+
+  bool is_voltage_stacked() const {
+    return topology == PdnTopology::VoltageStacked;
+  }
+
+  /// Nominal off-chip supply: vdd for regular, layer_count * vdd stacked.
+  double supply_voltage() const;
+};
+
+}  // namespace vstack::pdn

@@ -1,0 +1,256 @@
+#include "pdn/transient.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "la/cg.h"
+#include "la/preconditioner.h"
+#include "la/skyline_cholesky.h"
+
+namespace vstack::pdn {
+
+namespace {
+
+bool is_fixed(std::size_t node) {
+  return node == kFixedSupply || node == kFixedGround;
+}
+
+}  // namespace
+
+void PdnTransientOptions::validate() const {
+  VS_REQUIRE(decap_density > 0.0, "decap density must be positive");
+  VS_REQUIRE(package_inductance > 0.0, "package inductance must be positive");
+  VS_REQUIRE(time_step > 0.0, "time step must be positive");
+  VS_REQUIRE(duration > time_step, "duration must exceed the time step");
+  VS_REQUIRE(step_time >= 0.0 && step_time < duration,
+             "step time must lie within the run");
+}
+
+PdnTransientResult simulate_load_step(
+    const PdnModel& model, const power::CorePowerModel& core_model,
+    const std::vector<double>& activities_before,
+    const std::vector<double>& activities_after,
+    const PdnTransientOptions& options) {
+  options.validate();
+  const PdnNetwork& net = model.network();
+  const StackupConfig& cfg = model.config();
+  const double v_supply = cfg.supply_voltage();
+  const double h = options.time_step;
+
+  // Two extra unknowns split the package resistors so the loop inductance
+  // can sit between the ideal source and the package node.
+  const std::size_t n = net.node_count() + 2;
+  const std::size_t lvdd_mid = net.node_count();
+  const std::size_t lgnd_mid = net.node_count() + 1;
+
+  // --- Static + companion matrix (constant over the run). -------------
+  la::CooBuilder builder(n);
+  const double g_l = h / (2.0 * options.package_inductance);
+
+  for (const auto& group : net.conductors()) {
+    const double g = static_cast<double>(group.count) / group.unit_resistance;
+    std::size_t a = group.node_a;
+    std::size_t b = group.node_b;
+    // Reroute package resistors through the inductor mid nodes.
+    if (group.kind == ConductorKind::PackageVdd) a = lvdd_mid;
+    if (group.kind == ConductorKind::PackageGnd) b = lgnd_mid;
+
+    const bool a_fixed = is_fixed(a);
+    const bool b_fixed = is_fixed(b);
+    VS_REQUIRE(!(a_fixed && b_fixed), "conductor between two fixed rails");
+    if (!a_fixed && !b_fixed) {
+      builder.add(a, a, g);
+      builder.add(b, b, g);
+      builder.add(a, b, -g);
+      builder.add(b, a, -g);
+    } else {
+      const std::size_t free_node = a_fixed ? b : a;
+      builder.add(free_node, free_node, g);
+      // No static fixed-rail injections remain: both package paths now go
+      // through the inductor companions below.
+    }
+  }
+
+  // Converters (quasi-static: regulation bandwidth assumed above the step).
+  const bool ideal_reference =
+      cfg.converter_reference == ConverterReference::IdealRails;
+  for (const auto& conv : net.converters()) {
+    const double g = 1.0 / conv.r_series;
+    if (ideal_reference) {
+      builder.add(conv.out, conv.out, g);
+    } else {
+      const std::size_t idx[3] = {conv.top, conv.bottom, conv.out};
+      const double v[3] = {0.5, 0.5, -1.0};
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+          builder.add(idx[i], idx[j], g * v[i] * v[j]);
+        }
+      }
+    }
+  }
+
+  // Decap companions: one per (layer, cell); density may vary per layer.
+  VS_REQUIRE(options.layer_decap_density.empty() ||
+                 options.layer_decap_density.size() == cfg.layer_count,
+             "per-layer decap vector must match layer count");
+  const std::size_t cells = cfg.grid_nx * cfg.grid_ny;
+  const double cell_area = net.floorplan().width * net.floorplan().height /
+                           static_cast<double>(cells);
+  std::vector<double> layer_g_c(cfg.layer_count);
+  for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+    const double density = options.layer_decap_density.empty()
+                               ? options.decap_density
+                               : options.layer_decap_density[l];
+    VS_REQUIRE(density > 0.0, "decap density must be positive");
+    layer_g_c[l] = 2.0 * density * cell_area / h;
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const std::size_t a = net.vdd_node(l, cell);
+      const std::size_t b = net.gnd_node(l, cell);
+      builder.add(a, a, layer_g_c[l]);
+      builder.add(b, b, layer_g_c[l]);
+      builder.add(a, b, -layer_g_c[l]);
+      builder.add(b, a, -layer_g_c[l]);
+    }
+  }
+
+  // Inductor companions: supply -> lvdd_mid, lgnd_mid -> ground.
+  builder.add(lvdd_mid, lvdd_mid, g_l);
+  builder.add(lgnd_mid, lgnd_mid, g_l);
+
+  const la::CsrMatrix matrix = builder.build();
+  std::unique_ptr<la::ReorderedCholesky> direct;
+  std::unique_ptr<la::Preconditioner> precond;
+  if (n <= options.direct_solver_node_limit) {
+    direct = std::make_unique<la::ReorderedCholesky>(matrix);
+  } else {
+    precond = la::make_ilu0(matrix);
+  }
+
+  // --- Initial condition: DC solve before the step. --------------------
+  const auto loads_before = net.build_loads(core_model, activities_before);
+  const auto loads_after = net.build_loads(core_model, activities_after);
+  const PdnSolution dc = model.solve(loads_before);
+
+  la::Vector x(n, 0.0);
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    x[i] = dc.node_voltages[i];
+  }
+  x[lvdd_mid] = v_supply;  // inductors are shorts at DC
+  x[lgnd_mid] = 0.0;
+
+  // Capacitor states.
+  std::vector<double> cap_v(cfg.layer_count * cells, 0.0);
+  std::vector<double> cap_i(cfg.layer_count * cells, 0.0);
+  for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      cap_v[l * cells + cell] = x[net.vdd_node(l, cell)] -
+                                x[net.gnd_node(l, cell)];
+    }
+  }
+  // Inductor states (current flowing from the fixed rail into the chip on
+  // the Vdd side, and from the chip into ground on the return side).
+  double lvdd_i = dc.supply_current;
+  double lgnd_i = dc.supply_current;
+  double lvdd_v = 0.0, lgnd_v = 0.0;  // DC inductor voltage is zero
+
+  // Nominal rail potentials for the noise metric.
+  const auto nominal = [&](std::size_t l, bool vdd_net) {
+    const double gnd = cfg.is_voltage_stacked()
+                           ? static_cast<double>(l) * cfg.vdd
+                           : 0.0;
+    return vdd_net ? gnd + cfg.vdd : gnd;
+  };
+  const auto worst_noise_of = [&](const la::Vector& sol) {
+    double worst = 0.0;
+    for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        worst = std::max(worst, std::abs(sol[net.vdd_node(l, cell)] -
+                                         nominal(l, true)));
+        worst = std::max(worst, std::abs(sol[net.gnd_node(l, cell)] -
+                                         nominal(l, false)));
+      }
+    }
+    return worst / cfg.vdd;
+  };
+
+  PdnTransientResult result;
+  result.initial_noise = worst_noise_of(x);
+
+  const auto n_steps = static_cast<std::size_t>(
+      std::llround(options.duration / h));
+  result.time.reserve(n_steps);
+  result.worst_noise.reserve(n_steps);
+  result.supply_current.reserve(n_steps);
+  result.peak_noise = result.initial_noise;
+  result.peak_time = 0.0;
+
+  la::Vector rhs(n, 0.0);
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    const double t_new = static_cast<double>(step + 1) * h;
+    const auto& loads = (t_new >= options.step_time) ? loads_after
+                                                     : loads_before;
+
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (const auto& load : loads) {
+      rhs[load.vdd_node] -= load.current;
+      rhs[load.gnd_node] += load.current;
+    }
+    if (ideal_reference) {
+      for (const auto& conv : net.converters()) {
+        rhs[conv.out] += (1.0 / conv.r_series) *
+                         static_cast<double>(conv.level) * cfg.vdd;
+      }
+    }
+    // Capacitor histories.
+    for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        const std::size_t k = l * cells + cell;
+        const double j_c = layer_g_c[l] * cap_v[k] + cap_i[k];
+        rhs[net.vdd_node(l, cell)] += j_c;
+        rhs[net.gnd_node(l, cell)] -= j_c;
+      }
+    }
+    // Inductor histories (fixed-rail side folded into the RHS).
+    const double j_lvdd = lvdd_i + g_l * lvdd_v;
+    rhs[lvdd_mid] += g_l * v_supply + j_lvdd;
+    const double j_lgnd = lgnd_i + g_l * lgnd_v;
+    rhs[lgnd_mid] += -j_lgnd;  // current leaves the mid node into ground
+
+    if (direct) {
+      x = direct->solve(rhs);
+    } else {
+      const auto report =
+          la::conjugate_gradient(matrix, rhs, x, *precond, options.iterative);
+      VS_REQUIRE(report.converged, "transient PDN step failed to converge");
+    }
+
+    // Update states.
+    for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        const std::size_t k = l * cells + cell;
+        const double v_new =
+            x[net.vdd_node(l, cell)] - x[net.gnd_node(l, cell)];
+        cap_i[k] =
+            layer_g_c[l] * v_new - (layer_g_c[l] * cap_v[k] + cap_i[k]);
+        cap_v[k] = v_new;
+      }
+    }
+    lvdd_v = v_supply - x[lvdd_mid];
+    lvdd_i = j_lvdd + g_l * lvdd_v;
+    lgnd_v = x[lgnd_mid];  // mid node minus ground
+    lgnd_i = j_lgnd + g_l * lgnd_v;
+
+    const double noise = worst_noise_of(x);
+    result.time.push_back(t_new);
+    result.worst_noise.push_back(noise);
+    result.supply_current.push_back(lvdd_i);
+    if (noise > result.peak_noise) {
+      result.peak_noise = noise;
+      result.peak_time = t_new;
+    }
+  }
+  result.final_noise = result.worst_noise.back();
+  return result;
+}
+
+}  // namespace vstack::pdn

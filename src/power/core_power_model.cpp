@@ -1,0 +1,108 @@
+#include "power/core_power_model.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vstack::power {
+
+CorePowerModel::CorePowerModel(std::vector<BlockPower> blocks,
+                               double nominal_vdd, double nominal_frequency)
+    : blocks_(std::move(blocks)),
+      nominal_vdd_(nominal_vdd),
+      nominal_frequency_(nominal_frequency) {
+  VS_REQUIRE(!blocks_.empty(), "power model needs at least one block");
+  VS_REQUIRE(nominal_vdd_ > 0.0, "nominal vdd must be positive");
+  VS_REQUIRE(nominal_frequency_ > 0.0, "nominal frequency must be positive");
+  for (const auto& b : blocks_) {
+    VS_REQUIRE(b.peak_dynamic >= 0.0 && b.leakage >= 0.0 && b.area > 0.0,
+               "block power/area values must be non-negative (area positive)");
+  }
+}
+
+CorePowerModel CorePowerModel::cortex_a9_like() {
+  using units::mm2;
+  using units::W;
+  // Calibration targets (paper Sec. 4.1): a 16-core layer peaks at 7.6 W in
+  // 44.12 mm^2 at 1 V / 1 GHz => per-core tile 0.475 W / 2.7575 mm^2.
+  // Leakage is 10% of peak; the block split follows typical McPAT output
+  // for an in-order-width-2 OoO core with NEON and an L2 slice.
+  std::vector<BlockPower> blocks{
+      {"fetch_l1i", 0.0700 * W, 0.0060 * W, 0.3800 * mm2},
+      {"decode_rename", 0.0480 * W, 0.0040 * W, 0.2200 * mm2},
+      {"int_alu", 0.0800 * W, 0.0060 * W, 0.3000 * mm2},
+      {"fp_neon", 0.0720 * W, 0.0070 * W, 0.4200 * mm2},
+      {"lsu_l1d", 0.0775 * W, 0.0070 * W, 0.4000 * mm2},
+      {"l2_slice", 0.0500 * W, 0.0125 * W, 0.8600 * mm2},
+      {"noc_clock", 0.0300 * W, 0.0050 * W, 0.1775 * mm2},
+  };
+  return CorePowerModel(std::move(blocks), 1.0, 1e9);
+}
+
+CorePowerModel CorePowerModel::dram_like() {
+  using units::mm2;
+  using units::W;
+  // Per-tile: 1.5 W / 16 = 93.75 mW peak, ~40% of it leakage/refresh
+  // (DRAM layers burn background power regardless of access activity).
+  std::vector<BlockPower> blocks{
+      {"banks", 0.0400 * W, 0.0250 * W, 2.2000 * mm2},
+      {"row_buffers", 0.0100 * W, 0.0050 * W, 0.3000 * mm2},
+      {"io_tsv_if", 0.00625 * W, 0.0075 * W, 0.2575 * mm2},
+  };
+  return CorePowerModel(std::move(blocks), 1.0, 1e9);
+}
+
+double CorePowerModel::peak_dynamic_power() const {
+  double p = 0.0;
+  for (const auto& b : blocks_) p += b.peak_dynamic;
+  return p;
+}
+
+double CorePowerModel::leakage_power() const {
+  double p = 0.0;
+  for (const auto& b : blocks_) p += b.leakage;
+  return p;
+}
+
+double CorePowerModel::peak_total_power() const {
+  return peak_dynamic_power() + leakage_power();
+}
+
+double CorePowerModel::area() const {
+  double a = 0.0;
+  for (const auto& b : blocks_) a += b.area;
+  return a;
+}
+
+double CorePowerModel::dynamic_power(double activity, double vdd,
+                                     double frequency) const {
+  VS_REQUIRE(activity >= 0.0 && activity <= 1.0, "activity must be in [0, 1]");
+  VS_REQUIRE(vdd > 0.0 && frequency > 0.0, "vdd/frequency must be positive");
+  const double v_scale = (vdd / nominal_vdd_) * (vdd / nominal_vdd_);
+  const double f_scale = frequency / nominal_frequency_;
+  return peak_dynamic_power() * activity * v_scale * f_scale;
+}
+
+double CorePowerModel::dynamic_power(double activity) const {
+  return dynamic_power(activity, nominal_vdd_, nominal_frequency_);
+}
+
+double CorePowerModel::leakage_power(double vdd) const {
+  VS_REQUIRE(vdd > 0.0, "vdd must be positive");
+  return leakage_power() * (vdd / nominal_vdd_);
+}
+
+double CorePowerModel::total_power(double activity) const {
+  return dynamic_power(activity) + leakage_power();
+}
+
+std::vector<double> CorePowerModel::block_powers(double activity) const {
+  VS_REQUIRE(activity >= 0.0 && activity <= 1.0, "activity must be in [0, 1]");
+  std::vector<double> out;
+  out.reserve(blocks_.size());
+  for (const auto& b : blocks_) {
+    out.push_back(b.peak_dynamic * activity + b.leakage);
+  }
+  return out;
+}
+
+}  // namespace vstack::power

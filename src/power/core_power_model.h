@@ -1,0 +1,70 @@
+// Architecture-level power and area model ("mcpat-lite").
+//
+// The paper derives per-core power/area with McPAT for a 40 nm dual-core
+// ARM Cortex-A9 at 1 GHz and replicates it into a 16-core layer with 7.6 W
+// peak power and 44.12 mm^2 of area.  This module provides an analytical
+// per-block model calibrated to exactly those published totals; the PDN
+// study consumes only the resulting block power map, so matching the totals
+// and a plausible block breakdown preserves the experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vstack::power {
+
+/// One architectural block of a core tile.
+struct BlockPower {
+  std::string name;
+  double peak_dynamic = 0.0;  // [W] at nominal V/f and activity = 1
+  double leakage = 0.0;       // [W] at nominal V and reference temperature
+  double area = 0.0;          // [m^2]
+};
+
+/// Per-core power/area model with simple V/f scaling.
+class CorePowerModel {
+ public:
+  CorePowerModel(std::vector<BlockPower> blocks, double nominal_vdd,
+                 double nominal_frequency);
+
+  /// The paper's core: ARM Cortex-A9-like tile (core + L2 slice) calibrated
+  /// so a 16-core layer peaks at 7.6 W in 44.12 mm^2 at 1 V / 1 GHz.
+  static CorePowerModel cortex_a9_like();
+
+  /// A DRAM-like tile of the same footprint (the Micron HMC the paper cites
+  /// as 3D-stacking precedent): same 2.7575 mm^2 area, ~1.5 W per 16-tile
+  /// layer at full activity, leakage-dominated.  Used for memory-on-logic
+  /// heterogeneous-stack studies.
+  static CorePowerModel dram_like();
+
+  const std::vector<BlockPower>& blocks() const { return blocks_; }
+  double nominal_vdd() const { return nominal_vdd_; }
+  double nominal_frequency() const { return nominal_frequency_; }
+
+  double peak_dynamic_power() const;  // sum of block peaks [W]
+  double leakage_power() const;       // at nominal V [W]
+  double peak_total_power() const;    // dynamic + leakage [W]
+  double area() const;                // [m^2]
+
+  /// Dynamic power at an activity factor in [0, 1] with alpha-C-V^2-f
+  /// scaling from the nominal point.
+  double dynamic_power(double activity, double vdd, double frequency) const;
+  double dynamic_power(double activity) const;
+
+  /// Leakage scales ~linearly with V around the nominal point.
+  double leakage_power(double vdd) const;
+
+  /// Total core power at an activity factor (nominal V/f).
+  double total_power(double activity) const;
+
+  /// Per-block total power at an activity factor (nominal V/f); same order
+  /// as blocks().
+  std::vector<double> block_powers(double activity) const;
+
+ private:
+  std::vector<BlockPower> blocks_;
+  double nominal_vdd_;
+  double nominal_frequency_;
+};
+
+}  // namespace vstack::power

@@ -1,0 +1,65 @@
+#include "power/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vstack::power {
+
+double ActivityTrace::mean() const {
+  return vstack::mean(activities);
+}
+
+double ActivityTrace::min() const {
+  VS_REQUIRE(!activities.empty(), "empty trace");
+  return *std::min_element(activities.begin(), activities.end());
+}
+
+double ActivityTrace::max() const {
+  VS_REQUIRE(!activities.empty(), "empty trace");
+  return *std::max_element(activities.begin(), activities.end());
+}
+
+ActivityTrace generate_trace(const ApplicationProfile& profile,
+                             std::size_t samples, double correlation,
+                             Rng& rng) {
+  profile.validate();
+  VS_REQUIRE(samples > 0, "trace needs at least one sample");
+  VS_REQUIRE(correlation >= 0.0 && correlation < 1.0,
+             "correlation must be in [0, 1)");
+
+  ActivityTrace trace;
+  trace.application = profile.name;
+  trace.activities.reserve(samples);
+
+  // AR(1) on the underlying Beta draw's latent uniform position: blend the
+  // previous normalized position with a fresh draw, then clamp to the
+  // support.  Marginals remain inside [lo, hi] with the calibrated spread.
+  double position = rng.beta(profile.beta_alpha, profile.beta_beta);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double fresh = rng.beta(profile.beta_alpha, profile.beta_beta);
+    position = correlation * position + (1.0 - correlation) * fresh;
+    position = std::clamp(position, 0.0, 1.0);
+    trace.activities.push_back(profile.activity_lo +
+                               (profile.activity_hi - profile.activity_lo) *
+                                   position);
+  }
+  return trace;
+}
+
+double lag1_autocorrelation(const ActivityTrace& trace) {
+  const auto& x = trace.activities;
+  VS_REQUIRE(x.size() >= 3, "autocorrelation needs at least three samples");
+  const double m = vstack::mean(x);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    den += (x[i] - m) * (x[i] - m);
+    if (i + 1 < x.size()) num += (x[i] - m) * (x[i + 1] - m);
+  }
+  VS_REQUIRE(den > 0.0, "constant trace has undefined autocorrelation");
+  return num / den;
+}
+
+}  // namespace vstack::power

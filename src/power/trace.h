@@ -1,0 +1,38 @@
+// Time-correlated activity traces.
+//
+// The statistical sampling of Fig. 7 treats samples as independent; real
+// applications have phase behaviour, so consecutive 2k-cycle windows are
+// correlated.  Traces here follow an AR(1) random walk inside the
+// application's activity support, which preserves the marginal spread
+// (what Fig. 7 calibrates) while adding a tunable correlation time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "power/workload.h"
+
+namespace vstack::power {
+
+struct ActivityTrace {
+  std::string application;
+  double sample_period = 2e-6;  // [s]; 2k cycles at 1 GHz
+  std::vector<double> activities;
+
+  double mean() const;
+  double min() const;
+  double max() const;
+};
+
+/// Generate a trace of `samples` windows.  `correlation` in [0, 1) is the
+/// AR(1) coefficient between consecutive windows (0 = the independent
+/// sampling of Fig. 7).
+ActivityTrace generate_trace(const ApplicationProfile& profile,
+                             std::size_t samples, double correlation,
+                             Rng& rng);
+
+/// Empirical lag-1 autocorrelation of a trace (for tests/analysis).
+double lag1_autocorrelation(const ActivityTrace& trace);
+
+}  // namespace vstack::power

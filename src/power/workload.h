@@ -1,0 +1,78 @@
+// Synthetic PARSEC-like workload model (the documented substitution for the
+// paper's gem5 + PARSEC 2.0 statistical sampling, Sec. 5.2 / Fig. 7).
+//
+// The paper simulates one thousand 2k-cycle samples per application and
+// computes each sample's average power with McPAT.  We do not have gem5
+// traces, so each application is modeled as a bounded activity-factor
+// distribution whose spread is calibrated to the paper's reported imbalance
+// statistics: the best-case application (blackscholes) shows ~10% maximum
+// imbalance across its samples, the worst exceeds 90%, and the mean of the
+// per-application maxima is ~65%.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "power/core_power_model.h"
+
+namespace vstack::power {
+
+/// Activity-factor distribution of one application: activity is drawn as
+/// lo + (hi - lo) * Beta(alpha, beta).
+struct ApplicationProfile {
+  std::string name;
+  double activity_lo = 0.0;
+  double activity_hi = 1.0;
+  double beta_alpha = 1.5;
+  double beta_beta = 1.5;
+
+  void validate() const;
+
+  /// Worst-case imbalance ratio between two samples of this application,
+  /// measured on dynamic power: 1 - lo/hi (the support-bound value).
+  double support_imbalance() const;
+};
+
+/// The 13 PARSEC 2.0 applications with calibrated activity ranges.
+std::vector<ApplicationProfile> parsec_profiles();
+
+/// Number of statistical samples per application used by the paper.
+inline constexpr std::size_t kPaperSampleCount = 1000;
+
+/// Draw one activity factor.
+double sample_activity(const ApplicationProfile& profile, Rng& rng);
+
+/// Draw `count` per-sample core powers (dynamic + leakage) at nominal V/f.
+std::vector<double> sample_core_powers(const CorePowerModel& model,
+                                       const ApplicationProfile& profile,
+                                       std::size_t count, Rng& rng);
+
+/// Maximum workload-imbalance ratio across a set of power samples, defined
+/// on the dynamic component as the paper does: the low-power sample consumes
+/// X% less dynamic power than the high-power one.
+double max_imbalance_ratio(const std::vector<double>& powers,
+                           double leakage_power);
+
+/// Summary of one application's sampling campaign (one Fig. 7 box).
+struct ApplicationPowerSummary {
+  std::string name;
+  BoxPlotStats power;       // distribution of per-sample core power [W]
+  double max_imbalance = 0.0;  // worst pairwise imbalance within the app
+};
+
+/// Run the full Fig. 7 campaign: every application, `count` samples each.
+std::vector<ApplicationPowerSummary> run_sampling_campaign(
+    const CorePowerModel& model, std::size_t count, Rng& rng);
+
+/// Mean of the per-application maximum-imbalance ratios (the paper's 65%).
+double mean_max_imbalance(const std::vector<ApplicationPowerSummary>& s);
+
+/// Per-layer activity factors for the interleaved high-low pattern used in
+/// Fig. 6 / Fig. 8: odd-indexed layers are fully active, even-indexed layers
+/// consume `imbalance` lower dynamic power (imbalance = 1 -> idle).
+std::vector<double> interleaved_layer_activities(std::size_t layer_count,
+                                                 double imbalance);
+
+}  // namespace vstack::power

@@ -1,0 +1,33 @@
+#include "sc/area.h"
+
+#include "common/error.h"
+
+namespace vstack::sc {
+
+// Densities back-solved from the paper's converter areas with 8 nF of fly
+// capacitance and kSwitchAndControlArea of fixed overhead.
+CapacitorTechnology mim_capacitor() {
+  return {"MIM", 8e-9 / (0.472e-6 - kSwitchAndControlArea)};
+}
+
+CapacitorTechnology ferroelectric_capacitor() {
+  return {"ferroelectric", 8e-9 / (0.102e-6 - kSwitchAndControlArea)};
+}
+
+CapacitorTechnology deep_trench_capacitor() {
+  return {"deep-trench", 8e-9 / (0.082e-6 - kSwitchAndControlArea)};
+}
+
+std::vector<CapacitorTechnology> standard_capacitor_technologies() {
+  return {mim_capacitor(), ferroelectric_capacitor(),
+          deep_trench_capacitor()};
+}
+
+double converter_area(const ScConverterDesign& design,
+                      const CapacitorTechnology& technology) {
+  VS_REQUIRE(technology.density > 0.0, "capacitor density must be positive");
+  return design.total_fly_capacitance / technology.density +
+         kSwitchAndControlArea;
+}
+
+}  // namespace vstack::sc

@@ -1,0 +1,40 @@
+// Area model for integrated SC converters (paper Sec. 3.1).
+//
+// Fly capacitors dominate converter area, so the area is driven by the
+// integrated-capacitor technology.  Densities are calibrated so an 8 nF
+// converter reproduces the paper's reported areas: 0.472 mm^2 (MIM),
+// 0.102 mm^2 (ferroelectric [17]), 0.082 mm^2 (deep trench [12]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sc/compact_model.h"
+
+namespace vstack::sc {
+
+struct CapacitorTechnology {
+  std::string name;
+  double density = 0.0;  // [F/m^2]
+};
+
+/// MIM capacitors: paper's default implementation (0.472 mm^2 @ 8 nF).
+CapacitorTechnology mim_capacitor();
+
+/// Ferroelectric high-density capacitors (0.102 mm^2 @ 8 nF).
+CapacitorTechnology ferroelectric_capacitor();
+
+/// Deep-trench capacitors (0.082 mm^2 @ 8 nF).
+CapacitorTechnology deep_trench_capacitor();
+
+/// All three technologies, in the paper's order.
+std::vector<CapacitorTechnology> standard_capacitor_technologies();
+
+/// Fixed non-capacitor area per converter (switches, drivers, clocking).
+inline constexpr double kSwitchAndControlArea = 0.01e-6;  // [m^2]
+
+/// Total silicon area of one converter instance.
+double converter_area(const ScConverterDesign& design,
+                      const CapacitorTechnology& technology);
+
+}  // namespace vstack::sc

@@ -1,0 +1,66 @@
+#include "sc/buck_converter.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+
+void BuckConverterDesign::validate() const {
+  VS_REQUIRE(inductance > 0.0, "inductance must be positive");
+  VS_REQUIRE(inductor_dcr >= 0.0, "inductor DCR must be >= 0");
+  VS_REQUIRE(switch_on_resistance > 0.0, "switch resistance must be positive");
+  VS_REQUIRE(switching_frequency > 0.0, "frequency must be positive");
+  VS_REQUIRE(max_load_current > 0.0, "current limit must be positive");
+  VS_REQUIRE(inductor_density > 0.0, "inductor density must be positive");
+}
+
+double BuckConverterDesign::area() const {
+  return inductance / inductor_density + control_area;
+}
+
+BuckConverterModel::BuckConverterModel(BuckConverterDesign design)
+    : design_(design) {
+  design_.validate();
+}
+
+BuckOperatingPoint BuckConverterModel::evaluate(double v_top, double v_bottom,
+                                                double load_current) const {
+  VS_REQUIRE(v_top > v_bottom, "V_top must exceed V_bottom");
+
+  BuckOperatingPoint op;
+  const double v_in = v_top - v_bottom;
+  const double duty = 0.5;
+  const double midpoint = 0.5 * (v_top + v_bottom);
+  const double magnitude = std::abs(load_current);
+
+  // Inductor ripple at D = 0.5: dI = V_in * D * (1 - D) / (L * f).
+  op.ripple_current = v_in * duty * (1.0 - duty) /
+                      (design_.inductance * design_.switching_frequency);
+
+  // Effective series resistance: one switch conducting at a time + DCR.
+  const double r_eff = design_.switch_on_resistance + design_.inductor_dcr;
+  op.voltage_drop = magnitude * r_eff;
+  op.output_voltage = (load_current >= 0.0) ? midpoint - op.voltage_drop
+                                            : midpoint + op.voltage_drop;
+  op.output_power = magnitude * op.output_voltage;
+
+  // RMS current includes the triangular ripple: I_rms^2 = I^2 + dI^2/12.
+  const double i_rms_sq =
+      magnitude * magnitude +
+      op.ripple_current * op.ripple_current / 12.0;
+  op.conduction_loss = i_rms_sq * r_eff;
+  op.switching_loss =
+      (2.0 * design_.switch_output_capacitance * v_in * v_in +
+       design_.gate_charge_power_per_hz) *
+      design_.switching_frequency;
+
+  op.input_power = op.output_power + op.conduction_loss + op.switching_loss;
+  op.efficiency = (op.input_power > 0.0 && magnitude > 0.0)
+                      ? op.output_power / op.input_power
+                      : 0.0;
+  op.within_current_limit = magnitude <= design_.max_load_current;
+  return op;
+}
+
+}  // namespace vstack::sc

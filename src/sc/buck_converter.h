@@ -1,0 +1,61 @@
+// Inductive (buck) converter model -- the alternative the paper explicitly
+// defers ("leave the study of inductive converters for future work",
+// Sec. 2.1), implemented here as an extension.
+//
+// A synchronous buck halving V_in to V_out = D * V_in (D = 0.5 for the
+// stacking use case) with losses split into:
+//   conduction: I^2 * (R_dson + R_dcr)     (switches + inductor winding)
+//   switching:  (C_oss V^2 + Q_g V_g) f    (output and gate charge)
+//   core/ripple: fixed fraction of the inductor's VA at the ripple current
+// On-chip inductors have poor quality and density, which is what makes SC
+// converters the favoured integrated option (Steyaert et al. [17]).
+#pragma once
+
+namespace vstack::sc {
+
+struct BuckConverterDesign {
+  double inductance = 50e-9;          // [H] integrated inductor
+  double inductor_dcr = 0.15;         // [Ohm] winding resistance
+  double switch_on_resistance = 0.1;  // [Ohm] per active switch (2 conduct)
+  double switching_frequency = 100e6; // [Hz]
+  double output_capacitance = 2e-9;   // [F]
+  double switch_output_capacitance = 50e-12;  // [F] C_oss per switch
+  double gate_charge_power_per_hz = 4e-12;    // [W/Hz] total gate drive
+  double max_load_current = 100e-3;   // [A]
+  /// Integrated inductor area density is poor: ~20 nH/mm^2 achievable with
+  /// on-chip spirals, so a 50 nH buck costs ~2.5 mm^2.
+  double inductor_density = 20e-9 / 1e-6;  // [H/m^2]
+  double control_area = 0.02e-6;           // [m^2] switches + compensation
+
+  void validate() const;
+  double area() const;  // inductor + control [m^2]
+};
+
+struct BuckOperatingPoint {
+  double output_voltage = 0.0;
+  double voltage_drop = 0.0;
+  double ripple_current = 0.0;  // peak-to-peak inductor ripple [A]
+  double output_power = 0.0;
+  double conduction_loss = 0.0;
+  double switching_loss = 0.0;
+  double input_power = 0.0;
+  double efficiency = 0.0;
+  bool within_current_limit = true;
+};
+
+class BuckConverterModel {
+ public:
+  explicit BuckConverterModel(BuckConverterDesign design);
+
+  const BuckConverterDesign& design() const { return design_; }
+
+  /// Evaluate a 2:1 (D = 0.5) conversion spanning v_top..v_bottom with a
+  /// signed load current at the midpoint output.
+  BuckOperatingPoint evaluate(double v_top, double v_bottom,
+                              double load_current) const;
+
+ private:
+  BuckConverterDesign design_;
+};
+
+}  // namespace vstack::sc

@@ -1,0 +1,110 @@
+#include "sc/compact_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+
+void ScConverterDesign::validate() const {
+  topology.validate();
+  VS_REQUIRE(total_fly_capacitance > 0.0, "fly capacitance must be positive");
+  VS_REQUIRE(total_switch_conductance > 0.0,
+             "switch conductance must be positive");
+  VS_REQUIRE(nominal_switching_frequency > 0.0,
+             "switching frequency must be positive");
+  VS_REQUIRE(duty_cycle > 0.0 && duty_cycle < 1.0, "duty cycle in (0, 1)");
+  VS_REQUIRE(bottom_plate_ratio >= 0.0, "bottom-plate ratio must be >= 0");
+  VS_REQUIRE(gate_capacitance_total >= 0.0, "gate capacitance must be >= 0");
+  VS_REQUIRE(max_load_current > 0.0, "current limit must be positive");
+  VS_REQUIRE(min_switching_frequency > 0.0 &&
+                 min_switching_frequency <= nominal_switching_frequency,
+             "frequency floor must be in (0, f_nominal]");
+}
+
+ScCompactModel::ScCompactModel(ScConverterDesign design)
+    : design_(std::move(design)) {
+  design_.validate();
+}
+
+double ScCompactModel::r_ssl(double switching_frequency) const {
+  VS_REQUIRE(switching_frequency > 0.0, "frequency must be positive");
+  const double ac_sum = design_.topology.cap_multiplier_sum();
+  return ac_sum * ac_sum /
+         (design_.total_fly_capacitance * switching_frequency);
+}
+
+double ScCompactModel::r_fsl() const {
+  const double ar_sum = design_.topology.switch_multiplier_sum();
+  return ar_sum * ar_sum /
+         (design_.total_switch_conductance * design_.duty_cycle);
+}
+
+double ScCompactModel::r_series(double switching_frequency) const {
+  const double ssl = r_ssl(switching_frequency);
+  const double fsl = r_fsl();
+  return std::sqrt(ssl * ssl + fsl * fsl);
+}
+
+double ScCompactModel::switching_frequency(double load_current) const {
+  const double magnitude = std::abs(load_current);
+  if (design_.control == ControlPolicy::OpenLoop) {
+    return design_.nominal_switching_frequency;
+  }
+  // Closed loop: proportional frequency modulation keeps the charge moved
+  // per cycle (and hence conduction/parasitic balance) roughly constant.
+  const double scaled = design_.nominal_switching_frequency * magnitude /
+                        design_.max_load_current;
+  return std::clamp(scaled, design_.min_switching_frequency,
+                    design_.nominal_switching_frequency);
+}
+
+double ScCompactModel::parasitic_power(double switching_frequency,
+                                       double local_vdd) const {
+  VS_REQUIRE(switching_frequency > 0.0, "frequency must be positive");
+  VS_REQUIRE(local_vdd >= 0.0, "local Vdd must be non-negative");
+  // Bottom plates swing by the per-layer supply once per period.
+  const double bottom_plate =
+      design_.bottom_plate_ratio * design_.total_fly_capacitance * local_vdd *
+      local_vdd * switching_frequency;
+  const double gate = design_.gate_capacitance_total *
+                      design_.gate_drive_voltage *
+                      design_.gate_drive_voltage * switching_frequency;
+  return bottom_plate + gate;
+}
+
+ScOperatingPoint ScCompactModel::evaluate(double v_top, double v_bottom,
+                                          double load_current) const {
+  VS_REQUIRE(v_top > v_bottom, "V_top must exceed V_bottom");
+
+  ScOperatingPoint op;
+  op.switching_frequency = switching_frequency(load_current);
+  op.r_ssl = r_ssl(op.switching_frequency);
+  op.r_fsl = r_fsl();
+  op.r_series = std::sqrt(op.r_ssl * op.r_ssl + op.r_fsl * op.r_fsl);
+  op.ideal_output_voltage =
+      v_bottom + design_.topology.ideal_ratio * (v_top - v_bottom);
+
+  const double magnitude = std::abs(load_current);
+  op.voltage_drop = magnitude * op.r_series;
+  // Sourcing pulls the output below the midpoint; sinking pushes it above.
+  op.output_voltage = (load_current >= 0.0)
+                          ? op.ideal_output_voltage - op.voltage_drop
+                          : op.ideal_output_voltage + op.voltage_drop;
+
+  const double local_vdd = 0.5 * (v_top - v_bottom);
+  op.output_power = magnitude * op.ideal_output_voltage -
+                    magnitude * magnitude * op.r_series;
+  op.conduction_loss = magnitude * magnitude * op.r_series;
+  op.parasitic_loss = parasitic_power(op.switching_frequency, local_vdd);
+  op.input_power = op.output_power + op.conduction_loss + op.parasitic_loss;
+  op.efficiency =
+      (op.input_power > 0.0 && magnitude > 0.0)
+          ? op.output_power / op.input_power
+          : 0.0;
+  op.within_current_limit = magnitude <= design_.max_load_current;
+  return op;
+}
+
+}  // namespace vstack::sc

@@ -1,0 +1,92 @@
+// Compact (resistive) model of the switched-capacitor converter — the
+// paper's Fig. 2 and Sec. 3.1.
+//
+// The converter is modeled as an ideal source at (V_top + V_bottom)/2 in
+// series with R_SERIES = sqrt(R_SSL^2 + R_FSL^2), plus a parasitic loss term
+// (bottom-plate and gate-drive charge, the role of R_PAR in the paper's
+// figure).  Both open-loop (fixed f_sw) and closed-loop (f_sw modulated with
+// load) control policies are supported; the paper evaluates open-loop and
+// leaves closed-loop as future work, which we implement as an extension.
+#pragma once
+
+#include "sc/topology.h"
+
+namespace vstack::sc {
+
+enum class ControlPolicy {
+  OpenLoop,   // constant switching frequency
+  ClosedLoop  // f_sw scaled proportionally to load current, with a floor
+};
+
+/// Electrical design of one converter instance.
+struct ScConverterDesign {
+  ScTopology topology = push_pull_2to1();
+
+  double total_fly_capacitance = 8e-9;   // C_tot [F]
+  double total_switch_conductance = 71.1;  // G_tot [S] (32 switches @ 0.45 Ohm)
+  double nominal_switching_frequency = 50e6;  // [Hz]
+  double duty_cycle = 0.5;                    // D_cyc
+
+  // Parasitics (R_PAR in the paper's compact model).
+  double bottom_plate_ratio = 0.015;  // parasitic / fly capacitance
+  double gate_capacitance_total = 64e-12;  // [F] all switch gates combined
+  double gate_drive_voltage = 1.0;         // [V]
+
+  double max_load_current = 100e-3;  // [A] per converter (paper: 100 mA)
+
+  ControlPolicy control = ControlPolicy::OpenLoop;
+  double min_switching_frequency = 1e6;  // closed-loop floor [Hz]
+
+  void validate() const;
+};
+
+/// Converter state at one (V_top, V_bottom, I_load) operating point.
+struct ScOperatingPoint {
+  double switching_frequency = 0.0;  // [Hz] chosen by the control policy
+  double r_ssl = 0.0;                // [Ohm]
+  double r_fsl = 0.0;                // [Ohm]
+  double r_series = 0.0;             // [Ohm]
+  double ideal_output_voltage = 0.0;  // (V_top + V_bottom)/2 [V]
+  double output_voltage = 0.0;        // ideal - |I| * R_series (push or pull)
+  double voltage_drop = 0.0;          // |I| * R_series [V]
+  double output_power = 0.0;          // |I| * output_voltage [W]
+  double conduction_loss = 0.0;       // I^2 * R_series [W]
+  double parasitic_loss = 0.0;        // bottom-plate + gate drive [W]
+  double input_power = 0.0;           // output + losses [W]
+  double efficiency = 0.0;            // output / input; 0 at zero load
+  bool within_current_limit = true;   // |I| <= max_load_current
+};
+
+class ScCompactModel {
+ public:
+  explicit ScCompactModel(ScConverterDesign design);
+
+  const ScConverterDesign& design() const { return design_; }
+
+  /// Slow-switching-limit impedance at a given frequency (paper eq. 1).
+  double r_ssl(double switching_frequency) const;
+
+  /// Fast-switching-limit impedance (paper eq. 2); frequency independent.
+  double r_fsl() const;
+
+  /// Combined series resistance sqrt(R_SSL^2 + R_FSL^2).
+  double r_series(double switching_frequency) const;
+
+  /// Frequency the control policy selects for a load current magnitude.
+  double switching_frequency(double load_current) const;
+
+  /// Parasitic power at a switching frequency and local Vdd (the swing the
+  /// bottom plates see is the per-layer supply, (V_top - V_bottom)/2).
+  double parasitic_power(double switching_frequency, double local_vdd) const;
+
+  /// Full operating-point evaluation.  `load_current` is signed: positive
+  /// when the converter sources current into the output rail, negative when
+  /// it sinks.  Both directions traverse the same R_series (push-pull).
+  ScOperatingPoint evaluate(double v_top, double v_bottom,
+                            double load_current) const;
+
+ private:
+  ScConverterDesign design_;
+};
+
+}  // namespace vstack::sc

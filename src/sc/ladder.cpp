@@ -1,0 +1,94 @@
+#include "sc/ladder.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+
+LadderCurrentSolution solve_ladder_currents(
+    const std::vector<double>& layer_currents) {
+  const std::size_t n = layer_currents.size();
+  VS_REQUIRE(n >= 2, "a voltage stack needs at least two layers");
+  for (double i : layer_currents) {
+    VS_REQUIRE(i >= 0.0, "layer load currents must be non-negative");
+  }
+
+  const std::size_t levels = n - 1;
+  // Thomas algorithm on the tridiagonal system
+  //   -1/2 * c_{k-1} + c_k - 1/2 * c_{k+1} = d_k.
+  std::vector<double> d(levels);
+  for (std::size_t k = 1; k <= levels; ++k) {
+    d[k - 1] = layer_currents[k - 1] - layer_currents[k];
+  }
+
+  std::vector<double> c_prime(levels, 0.0);
+  std::vector<double> d_prime(levels, 0.0);
+  const double lower = -0.5, diag = 1.0, upper = -0.5;
+
+  c_prime[0] = upper / diag;
+  d_prime[0] = d[0] / diag;
+  for (std::size_t k = 1; k < levels; ++k) {
+    const double denom = diag - lower * c_prime[k - 1];
+    c_prime[k] = upper / denom;
+    d_prime[k] = (d[k] - lower * d_prime[k - 1]) / denom;
+  }
+
+  LadderCurrentSolution sol;
+  sol.level_net_currents.assign(levels, 0.0);
+  sol.level_net_currents[levels - 1] = d_prime[levels - 1];
+  for (std::size_t k = levels - 1; k-- > 0;) {
+    sol.level_net_currents[k] =
+        d_prime[k] - c_prime[k] * sol.level_net_currents[k + 1];
+  }
+
+  sol.supply_current =
+      layer_currents.back() + 0.5 * sol.level_net_currents.back();
+  return sol;
+}
+
+void LadderStackDesign::validate() const {
+  VS_REQUIRE(layer_count >= 2, "stack needs at least two layers");
+  VS_REQUIRE(converters_per_level >= 1, "need at least one converter");
+  converter.validate();
+}
+
+LadderPowerBreakdown evaluate_ladder_power(
+    const LadderStackDesign& design, const std::vector<double>& layer_currents,
+    double vdd) {
+  design.validate();
+  VS_REQUIRE(layer_currents.size() == design.layer_count,
+             "layer current vector must match layer count");
+  VS_REQUIRE(vdd > 0.0, "vdd must be positive");
+
+  LadderPowerBreakdown out;
+  out.currents = solve_ladder_currents(layer_currents);
+
+  for (double i : layer_currents) out.load_power += i * vdd;
+
+  const ScCompactModel model(design.converter);
+  const double n_conv = static_cast<double>(design.converters_per_level);
+
+  for (std::size_t level = 1; level < design.layer_count; ++level) {
+    const double net = out.currents.level_net_currents[level - 1];
+    const double per_converter = std::abs(net) / n_conv;
+    out.max_converter_current =
+        std::max(out.max_converter_current, per_converter);
+    if (per_converter > design.converter.max_load_current) {
+      out.within_current_limits = false;
+    }
+    // Rails k-1 and k+1 bracket the cell.
+    const double v_top = static_cast<double>(level + 1) * vdd;
+    const double v_bottom = static_cast<double>(level - 1) * vdd;
+    const auto op = model.evaluate(v_top, v_bottom, per_converter);
+    out.conduction_loss += n_conv * op.conduction_loss;
+    out.parasitic_loss += n_conv * op.parasitic_loss;
+  }
+
+  out.input_power = out.load_power + out.conduction_loss + out.parasitic_loss;
+  out.efficiency =
+      out.input_power > 0.0 ? out.load_power / out.input_power : 0.0;
+  return out;
+}
+
+}  // namespace vstack::sc

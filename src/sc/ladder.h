@@ -1,0 +1,64 @@
+// Multi-output ladder composition of 2:1 push-pull cells (the paper's
+// extension of the two-load converter of [9] to many-layer stacks, Fig. 1).
+//
+// In an N-layer voltage stack, a converter cell at intermediate rail k
+// (k = 1..N-1) spans rails k-1 and k+1 and regulates rail k toward their
+// midpoint.  Sourcing a net current c_k into rail k draws c_k/2 from each
+// adjoining rail (2:1 charge balance), so the rail KCL forms a tridiagonal
+// system:
+//
+//   c_k - (c_{k-1} + c_{k+1})/2 = I_k - I_{k+1},  c_0 = c_N = 0
+//
+// where I_l is layer l's load current.  This module solves that system and
+// aggregates per-converter losses; the full spatial treatment (grid IR drop)
+// lives in src/pdn, which stamps each cell into the MNA matrix instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sc/compact_model.h"
+
+namespace vstack::sc {
+
+struct LadderCurrentSolution {
+  /// Net converter output current per intermediate rail; index k-1 holds
+  /// c_k.  Positive = sourcing into the rail, negative = sinking.
+  std::vector<double> level_net_currents;
+  /// Current drawn from the off-chip supply at the top rail.
+  double supply_current = 0.0;
+};
+
+/// Solve the ladder KCL for per-level converter currents.
+/// `layer_currents[l-1]` is layer l's load current; size must be >= 2.
+LadderCurrentSolution solve_ladder_currents(
+    const std::vector<double>& layer_currents);
+
+/// A voltage-stacked ladder: N layers, a bank of identical converters at
+/// every intermediate rail.
+struct LadderStackDesign {
+  std::size_t layer_count = 2;
+  std::size_t converters_per_level = 1;  // per whatever unit the currents use
+  ScConverterDesign converter;
+
+  void validate() const;
+};
+
+struct LadderPowerBreakdown {
+  double load_power = 0.0;       // sum of per-layer load powers [W]
+  double conduction_loss = 0.0;  // all converters' I^2 R [W]
+  double parasitic_loss = 0.0;   // all converters' bottom-plate + gate [W]
+  double input_power = 0.0;      // load + losses [W]
+  double efficiency = 0.0;       // load / input
+  double max_converter_current = 0.0;  // worst per-converter load [A]
+  bool within_current_limits = true;
+  LadderCurrentSolution currents;
+};
+
+/// Aggregate power bookkeeping for a stack under given per-layer currents.
+/// `vdd` is the per-layer supply; rail k sits at nominal k * vdd.
+LadderPowerBreakdown evaluate_ladder_power(
+    const LadderStackDesign& design, const std::vector<double>& layer_currents,
+    double vdd);
+
+}  // namespace vstack::sc

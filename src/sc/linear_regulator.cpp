@@ -1,0 +1,47 @@
+#include "sc/linear_regulator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+
+void LinearRegulatorDesign::validate() const {
+  VS_REQUIRE(output_resistance > 0.0, "output resistance must be positive");
+  VS_REQUIRE(quiescent_current >= 0.0, "quiescent current must be >= 0");
+  VS_REQUIRE(max_load_current > 0.0, "current limit must be positive");
+  VS_REQUIRE(area > 0.0, "area must be positive");
+}
+
+LinearRegulatorModel::LinearRegulatorModel(LinearRegulatorDesign design)
+    : design_(design) {
+  design_.validate();
+}
+
+LinearRegulatorOperatingPoint LinearRegulatorModel::evaluate(
+    double v_top, double v_bottom, double load_current) const {
+  VS_REQUIRE(v_top > v_bottom, "V_top must exceed V_bottom");
+
+  LinearRegulatorOperatingPoint op;
+  const double midpoint = 0.5 * (v_top + v_bottom);
+  const double magnitude = std::abs(load_current);
+  op.voltage_drop = magnitude * design_.output_resistance;
+  op.output_voltage = (load_current >= 0.0) ? midpoint - op.voltage_drop
+                                            : midpoint + op.voltage_drop;
+  op.output_power = magnitude * op.output_voltage;
+
+  // Sourcing burns (v_top - v_out) across the pass device; sinking burns
+  // (v_out - v_bottom).  Both are ~half the spanned voltage.
+  const double headroom = (load_current >= 0.0) ? v_top - op.output_voltage
+                                                : op.output_voltage - v_bottom;
+  op.pass_device_loss = magnitude * headroom;
+  op.quiescent_loss = design_.quiescent_current * (v_top - v_bottom);
+  op.input_power = op.output_power + op.pass_device_loss + op.quiescent_loss;
+  op.efficiency = (op.input_power > 0.0 && magnitude > 0.0)
+                      ? op.output_power / op.input_power
+                      : 0.0;
+  op.within_current_limit = magnitude <= design_.max_load_current;
+  return op;
+}
+
+}  // namespace vstack::sc

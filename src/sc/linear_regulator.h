@@ -1,0 +1,54 @@
+// Push-pull linear regulator model -- the paper's cited alternative to SC
+// conversion (Rajapandian et al. [13], "implicit DC-DC downconversion
+// through charge-recycling").
+//
+// A linear pass device sources mismatch current from the rail above the
+// output (or sinks it to the rail below), burning the full Vdd headroom
+// across itself: P_loss ~ |I| * (rail spacing).  Low area, no switching
+// parasitics, but efficiency collapses as the differential current grows --
+// the paper's motivation for switched-capacitor regulation.
+#pragma once
+
+namespace vstack::sc {
+
+struct LinearRegulatorDesign {
+  /// Output (pass-device) resistance in the active region [Ohm]; sets the
+  /// regulator's contribution to output voltage droop.
+  double output_resistance = 0.05;
+  /// Bias current drawn continuously from the spanned rails [A].
+  double quiescent_current = 50e-6;
+  /// Maximum source/sink current [A].
+  double max_load_current = 100e-3;
+  /// Silicon area [m^2]; linear regulators are tiny next to SC converters.
+  double area = 0.01e-6;
+
+  void validate() const;
+};
+
+struct LinearRegulatorOperatingPoint {
+  double output_voltage = 0.0;   // ideal midpoint - I * R_out (signed)
+  double voltage_drop = 0.0;     // |I| * R_out
+  double output_power = 0.0;     // |I| * V_out
+  double pass_device_loss = 0.0; // |I| * headroom burned in the pass device
+  double quiescent_loss = 0.0;   // bias burn across the spanned rails
+  double input_power = 0.0;
+  double efficiency = 0.0;
+  bool within_current_limit = true;
+};
+
+class LinearRegulatorModel {
+ public:
+  explicit LinearRegulatorModel(LinearRegulatorDesign design);
+
+  const LinearRegulatorDesign& design() const { return design_; }
+
+  /// Evaluate at a signed load current (positive = sourcing into the
+  /// output rail from the top rail; negative = sinking to the bottom rail).
+  LinearRegulatorOperatingPoint evaluate(double v_top, double v_bottom,
+                                         double load_current) const;
+
+ private:
+  LinearRegulatorDesign design_;
+};
+
+}  // namespace vstack::sc

@@ -1,0 +1,66 @@
+#include "sc/topology.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+
+double ScTopology::cap_multiplier_sum() const {
+  return std::accumulate(cap_charge_multipliers.begin(),
+                         cap_charge_multipliers.end(), 0.0);
+}
+
+double ScTopology::switch_multiplier_sum() const {
+  return std::accumulate(switch_charge_multipliers.begin(),
+                         switch_charge_multipliers.end(), 0.0);
+}
+
+void ScTopology::validate() const {
+  VS_REQUIRE(!cap_charge_multipliers.empty(),
+             "topology needs at least one fly capacitor");
+  VS_REQUIRE(!switch_charge_multipliers.empty(),
+             "topology needs at least one switch");
+  for (double a : cap_charge_multipliers) {
+    VS_REQUIRE(a > 0.0, "capacitor charge multipliers must be positive");
+  }
+  for (double a : switch_charge_multipliers) {
+    VS_REQUIRE(a > 0.0, "switch charge multipliers must be positive");
+  }
+  VS_REQUIRE(ideal_ratio > 0.0 && ideal_ratio < 1.0,
+             "ideal conversion ratio must be in (0, 1)");
+}
+
+ScTopology push_pull_2to1() {
+  ScTopology t;
+  t.name = "push-pull-2:1";
+  t.ideal_ratio = 0.5;
+  t.cap_charge_multipliers = {0.25, 0.25};
+  t.switch_charge_multipliers = std::vector<double>(8, 0.25);
+  t.validate();
+  return t;
+}
+
+ScTopology series_parallel_2to1() {
+  ScTopology t;
+  t.name = "series-parallel-2:1";
+  t.ideal_ratio = 0.5;
+  t.cap_charge_multipliers = {0.5};
+  t.switch_charge_multipliers = std::vector<double>(4, 0.5);
+  t.validate();
+  return t;
+}
+
+ScTopology series_parallel_step_down(std::size_t n) {
+  VS_REQUIRE(n >= 2, "step-down ratio needs n >= 2");
+  ScTopology t;
+  t.name = "series-parallel-" + std::to_string(n) + ":1";
+  t.ideal_ratio = 1.0 / static_cast<double>(n);
+  const double a = 1.0 / static_cast<double>(n);
+  t.cap_charge_multipliers = std::vector<double>(n - 1, a);
+  t.switch_charge_multipliers = std::vector<double>(3 * n - 2, a);
+  t.validate();
+  return t;
+}
+
+}  // namespace vstack::sc

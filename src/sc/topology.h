@@ -1,0 +1,58 @@
+// Switched-capacitor topology descriptions via charge-multiplier vectors
+// (Seeman's design methodology, the paper's Sec. 3.1).
+//
+// A topology is characterised, per unit of output charge and switching
+// period, by how much charge flows through each fly capacitor (a_c) and each
+// switch (a_r).  These two vectors determine the slow- and fast-switching
+// asymptotic output impedances:
+//
+//   R_SSL = (sum |a_c,i|)^2 / (C_tot * f_sw)            (paper eq. 1)
+//   R_FSL = (sum |a_r,i|)^2 / (G_tot * D_cyc)           (paper eq. 2)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vstack::sc {
+
+struct ScTopology {
+  std::string name;
+  /// Ideal conversion ratio V_out / V_in (input = top-to-bottom span).
+  double ideal_ratio = 0.5;
+  /// Per-capacitor charge multipliers |a_c,i|.
+  std::vector<double> cap_charge_multipliers;
+  /// Per-switch charge multipliers |a_r,i|.
+  std::vector<double> switch_charge_multipliers;
+
+  double cap_multiplier_sum() const;
+  double switch_multiplier_sum() const;
+  std::size_t capacitor_count() const { return cap_charge_multipliers.size(); }
+  std::size_t switch_count() const { return switch_charge_multipliers.size(); }
+
+  /// Validate invariants (non-empty, positive multipliers, ratio in (0,1)).
+  void validate() const;
+};
+
+/// The paper's converter: 2:1 push-pull cell (Fig. 1).  Both phases deliver
+/// output charge through complementary cap positions, so each of the two fly
+/// capacitors carries only 1/4 of the output charge per period
+/// (sum |a_c| = 1/2, giving R_SSL = 1/(4 C_tot f) -- the classic 2:1 value).
+/// Each of the 8 switches conducts 1/4 of the output charge in its phase.
+ScTopology push_pull_2to1();
+
+/// Conventional single-capacitor 2:1 divider (one phase charges, the other
+/// discharges): each coulomb of output charge passes through the single fly
+/// capacitor twice per period in halves (sum |a_c| = 1/2), and through the
+/// 4 switches in 1/2-sized shares.
+ScTopology series_parallel_2to1();
+
+/// General series-parallel 1/n step-down (n >= 2).  Phase A charges the
+/// n-1 fly caps in series with the output; phase B discharges them all in
+/// parallel into the output.  Charge balance gives a_c,i = 1/n for each of
+/// the n-1 caps and a_r,i = 1/n for each of the 3n-2 switches:
+///   sum |a_c| = (n-1)/n,    sum |a_r| = (3n-2)/n.
+/// Higher ratios could let one converter span several stack rails -- an
+/// exploration the library supports beyond the paper's 2:1 cells.
+ScTopology series_parallel_step_down(std::size_t n);
+
+}  // namespace vstack::sc

@@ -1,0 +1,143 @@
+#include "thermal/thermal_grid.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "la/solve.h"
+
+namespace vstack::thermal {
+
+void ThermalConfig::validate() const {
+  VS_REQUIRE(si_thickness > 0.0 && tim_thickness > 0.0,
+             "layer thicknesses must be positive");
+  VS_REQUIRE(k_silicon > 0.0 && k_tim > 0.0,
+             "thermal conductivities must be positive");
+  VS_REQUIRE(sink_resistance > 0.0 && board_resistance > 0.0,
+             "boundary resistances must be positive");
+  VS_REQUIRE(nx >= 2 && ny >= 2, "grid must be at least 2x2");
+}
+
+ThermalResult solve_stack_temperature(
+    const ThermalConfig& config, double die_width, double die_height,
+    const std::vector<floorplan::GridMap>& layer_power) {
+  config.validate();
+  VS_REQUIRE(die_width > 0.0 && die_height > 0.0,
+             "die dimensions must be positive");
+  VS_REQUIRE(!layer_power.empty(), "need at least one layer");
+  for (const auto& map : layer_power) {
+    VS_REQUIRE(map.nx == config.nx && map.ny == config.ny,
+               "power map grid must match the thermal grid");
+  }
+
+  const std::size_t layers = layer_power.size();
+  const std::size_t nx = config.nx, ny = config.ny;
+  const std::size_t per_layer = nx * ny;
+  const std::size_t n = layers * per_layer;
+
+  const double cell_w = die_width / static_cast<double>(nx);
+  const double cell_h = die_height / static_cast<double>(ny);
+  const double cell_area = cell_w * cell_h;
+  const double die_area = die_width * die_height;
+
+  // Lateral conductances through the silicon slab.
+  const double g_x = config.k_silicon * config.si_thickness * cell_h / cell_w;
+  const double g_y = config.k_silicon * config.si_thickness * cell_w / cell_h;
+  // Vertical: half-silicon + TIM + half-silicon in series, per cell.
+  const double r_vert =
+      (config.si_thickness / config.k_silicon +
+       config.tim_thickness / config.k_tim) /
+      cell_area;
+  const double g_vert = 1.0 / r_vert;
+  // Boundary conductances distributed per cell by area share.
+  const double g_sink = (1.0 / config.sink_resistance) * cell_area / die_area;
+  const double g_board =
+      (1.0 / config.board_resistance) * cell_area / die_area;
+
+  const auto index = [per_layer, nx](std::size_t layer, std::size_t ix,
+                                     std::size_t iy) {
+    return layer * per_layer + iy * nx + ix;
+  };
+
+  la::CooBuilder builder(n);
+  la::Vector rhs(n, 0.0);
+
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t i = index(l, ix, iy);
+        rhs[i] += layer_power[l].at(ix, iy);
+
+        if (ix + 1 < nx) {
+          const std::size_t j = index(l, ix + 1, iy);
+          builder.add(i, i, g_x);
+          builder.add(j, j, g_x);
+          builder.add(i, j, -g_x);
+          builder.add(j, i, -g_x);
+        }
+        if (iy + 1 < ny) {
+          const std::size_t j = index(l, ix, iy + 1);
+          builder.add(i, i, g_y);
+          builder.add(j, j, g_y);
+          builder.add(i, j, -g_y);
+          builder.add(j, i, -g_y);
+        }
+        if (l + 1 < layers) {
+          const std::size_t j = index(l + 1, ix, iy);
+          builder.add(i, i, g_vert);
+          builder.add(j, j, g_vert);
+          builder.add(i, j, -g_vert);
+          builder.add(j, i, -g_vert);
+        }
+        if (l == layers - 1) builder.add(i, i, g_sink);   // heat-sink side
+        if (l == 0) builder.add(i, i, g_board);           // package side
+      }
+    }
+  }
+
+  la::Vector theta;  // temperature rise over ambient
+  const auto report = la::solve(builder.build(), rhs, theta);
+  VS_REQUIRE(report.converged, "thermal solve failed to converge");
+
+  ThermalResult result;
+  result.layer_temperature.resize(layers);
+  result.max_celsius = -1e300;
+  double sum = 0.0;
+  for (std::size_t l = 0; l < layers; ++l) {
+    auto& map = result.layer_temperature[l];
+    map.nx = nx;
+    map.ny = ny;
+    map.values.assign(per_layer, 0.0);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const double t = config.ambient_celsius + theta[index(l, ix, iy)];
+        map.at(ix, iy) = t;
+        sum += t;
+        if (t > result.max_celsius) {
+          result.max_celsius = t;
+          result.hottest_layer = l;
+        }
+      }
+    }
+  }
+  result.mean_celsius = sum / static_cast<double>(n);
+  return result;
+}
+
+std::size_t max_feasible_layers(const ThermalConfig& config, double die_width,
+                                double die_height,
+                                const floorplan::GridMap& layer_power,
+                                double max_celsius, std::size_t limit) {
+  VS_REQUIRE(limit >= 1, "limit must be at least 1");
+  std::size_t feasible = 0;
+  std::vector<floorplan::GridMap> stack;
+  for (std::size_t layers = 1; layers <= limit; ++layers) {
+    stack.push_back(layer_power);
+    const auto result =
+        solve_stack_temperature(config, die_width, die_height, stack);
+    if (result.max_celsius > max_celsius) break;
+    feasible = layers;
+  }
+  return feasible;
+}
+
+}  // namespace vstack::thermal

@@ -1,0 +1,61 @@
+// Steady-state 3D thermal model (the paper's HotSpot substitute, Sec. 4.1).
+//
+// Each silicon layer is discretised into an nx x ny grid of cells; heat
+// conducts laterally through silicon, vertically through silicon plus the
+// inter-layer bonding/TIM film, leaves the stack through a heat sink above
+// the top layer and (weakly) through the package below the bottom layer.
+// The resulting SPD system is solved with the shared CG solver.
+//
+// The paper uses this only for the feasibility claim that an 8-layer stack
+// of 7.6 W layers stays below 100 C with conventional air cooling; the
+// default configuration is calibrated to make that claim reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/power_map.h"
+
+namespace vstack::thermal {
+
+struct ThermalConfig {
+  double ambient_celsius = 45.0;      // HotSpot's customary ambient
+  double si_thickness = 100e-6;       // [m] thinned stacked die
+  double tim_thickness = 20e-6;       // [m] inter-layer bond / TIM
+  double k_silicon = 120.0;           // [W/(m K)]
+  double k_tim = 4.0;                 // [W/(m K)]
+  double sink_resistance = 0.42;      // [K/W] heat sink + spreader (air)
+  double board_resistance = 20.0;     // [K/W] secondary path through package
+  std::size_t nx = 16;
+  std::size_t ny = 16;
+
+  void validate() const;
+};
+
+struct ThermalResult {
+  /// Per-layer temperature maps [Celsius]; same grid as the power maps.
+  std::vector<floorplan::GridMap> layer_temperature;
+  double max_celsius = 0.0;
+  double mean_celsius = 0.0;
+
+  /// Index (layer, ix, iy) of the hotspot.
+  std::size_t hottest_layer = 0;
+};
+
+/// Solve the stack's steady-state temperature field.
+///   die_width/die_height: lateral dimensions [m].
+///   layer_power: one power map per layer, all on the config's grid, layer 0
+///   nearest the package (C4 side), last layer under the heat sink.
+ThermalResult solve_stack_temperature(
+    const ThermalConfig& config, double die_width, double die_height,
+    const std::vector<floorplan::GridMap>& layer_power);
+
+/// Convenience: maximum layer count (1..limit) for which a uniform stack of
+/// identical layers stays below `max_celsius`; returns 0 if even one layer
+/// exceeds it.
+std::size_t max_feasible_layers(const ThermalConfig& config, double die_width,
+                                double die_height,
+                                const floorplan::GridMap& layer_power,
+                                double max_celsius, std::size_t limit);
+
+}  // namespace vstack::thermal

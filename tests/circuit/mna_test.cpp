@@ -1,0 +1,106 @@
+#include "circuit/mna.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::circuit {
+namespace {
+
+TEST(MnaTest, VoltageDivider) {
+  Netlist net;
+  const NodeId vin = net.create_node("vin");
+  const NodeId mid = net.create_node("mid");
+  net.add_voltage_source(vin, kGround, 10.0);
+  net.add_resistor(vin, mid, 1000.0);
+  net.add_resistor(mid, kGround, 3000.0);
+
+  const DcSolution sol = dc_solve(net, {});
+  EXPECT_NEAR(sol.node_voltages[vin], 10.0, 1e-12);
+  EXPECT_NEAR(sol.node_voltages[mid], 7.5, 1e-12);
+  // Source delivers 10V / 4k = 2.5 mA.
+  EXPECT_NEAR(sol.vsource_currents[0], 2.5e-3, 1e-12);
+}
+
+TEST(MnaTest, CurrentSourceIntoResistor) {
+  Netlist net;
+  const NodeId n = net.create_node("n");
+  net.add_current_source(kGround, n, 1e-3);  // 1 mA into n
+  net.add_resistor(n, kGround, 2000.0);
+  const DcSolution sol = dc_solve(net, {});
+  EXPECT_NEAR(sol.node_voltages[n], 2.0, 1e-12);
+}
+
+TEST(MnaTest, LoadSinkConvention) {
+  // A load drawing current FROM a supplied node pulls its voltage down
+  // through the source resistance.
+  Netlist net;
+  const NodeId vdd = net.create_node("vdd");
+  const NodeId load = net.create_node("load");
+  net.add_voltage_source(vdd, kGround, 1.0);
+  net.add_resistor(vdd, load, 10.0);
+  net.add_current_source(load, kGround, 10e-3);  // 10 mA load sink
+  const DcSolution sol = dc_solve(net, {});
+  EXPECT_NEAR(sol.node_voltages[load], 0.9, 1e-12);
+}
+
+TEST(MnaTest, SwitchStatesChangeTopology) {
+  Netlist net;
+  const NodeId a = net.create_node("a");
+  net.add_voltage_source(a, kGround, 5.0);
+  const NodeId b = net.create_node("b");
+  net.add_switch(a, b, 1.0, 1e12, ClockPhase{0.0, 0.5});
+  net.add_resistor(b, kGround, 1.0);
+
+  const DcSolution on = dc_solve(net, {true});
+  EXPECT_NEAR(on.node_voltages[b], 2.5, 1e-9);
+  const DcSolution off = dc_solve(net, {false});
+  EXPECT_NEAR(off.node_voltages[b], 0.0, 1e-6);
+}
+
+TEST(MnaTest, CapacitorsOpenInDc) {
+  Netlist net;
+  const NodeId a = net.create_node("a");
+  const NodeId b = net.create_node("b");
+  net.add_voltage_source(a, kGround, 3.0);
+  net.add_resistor(a, b, 100.0);
+  net.add_capacitor(b, kGround, 1e-6);
+  net.add_resistor(b, kGround, 100.0);
+  const DcSolution sol = dc_solve(net, {});
+  // Capacitor draws no DC current: plain divider.
+  EXPECT_NEAR(sol.node_voltages[b], 1.5, 1e-12);
+}
+
+TEST(MnaTest, TwoVoltageSources) {
+  Netlist net;
+  const NodeId a = net.create_node("a");
+  const NodeId b = net.create_node("b");
+  net.add_voltage_source(a, kGround, 2.0);
+  net.add_voltage_source(b, kGround, 1.0);
+  net.add_resistor(a, b, 100.0);
+  const DcSolution sol = dc_solve(net, {});
+  // 10 mA flows a -> b.
+  EXPECT_NEAR(sol.vsource_currents[0], 0.01, 1e-12);
+  EXPECT_NEAR(sol.vsource_currents[1], -0.01, 1e-12);
+}
+
+TEST(MnaTest, VoltageIndexRejectsGround) {
+  Netlist net;
+  net.create_node("a");
+  MnaSystem mna(net);
+  EXPECT_THROW(mna.voltage_index(kGround), Error);
+}
+
+TEST(MnaTest, UnknownCountIncludesSources) {
+  Netlist net;
+  const NodeId a = net.create_node("a");
+  const NodeId b = net.create_node("b");
+  net.add_voltage_source(a, kGround, 1.0);
+  net.add_resistor(a, b, 1.0);
+  net.add_resistor(b, kGround, 1.0);
+  MnaSystem mna(net);
+  EXPECT_EQ(mna.unknown_count(), 3u);  // 2 node voltages + 1 branch current
+}
+
+}  // namespace
+}  // namespace vstack::circuit

@@ -1,0 +1,156 @@
+#include "circuit/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::circuit {
+namespace {
+
+TEST(TransientTest, RcChargeMatchesAnalytic) {
+  // 1V step into R=1k, C=1uF: v(t) = 1 - exp(-t/RC), tau = 1 ms.
+  Netlist net;
+  const NodeId vin = net.create_node("vin");
+  const NodeId out = net.create_node("out");
+  net.add_voltage_source(vin, kGround, 1.0);
+  net.add_resistor(vin, out, 1000.0);
+  net.add_capacitor(out, kGround, 1e-6, 0.0);
+
+  TransientSimulator sim(net, /*clock_period=*/1.0);  // no switches
+  TransientOptions opts;
+  opts.stop_time = 5e-3;
+  opts.time_step = 1e-6;
+  const TransientResult r = sim.run(opts);
+
+  for (std::size_t k = 100; k < r.time.size(); k += 500) {
+    const double expected = 1.0 - std::exp(-r.time[k] / 1e-3);
+    EXPECT_NEAR(r.node_voltages[k][out], expected, 2e-4)
+        << "at t=" << r.time[k];
+  }
+}
+
+TEST(TransientTest, CapacitorInitialVoltageRespected) {
+  Netlist net;
+  const NodeId out = net.create_node("out");
+  net.add_resistor(out, kGround, 1000.0);
+  net.add_capacitor(out, kGround, 1e-6, 2.0);  // starts at 2V, discharges
+
+  TransientSimulator sim(net, 1.0);
+  TransientOptions opts;
+  opts.stop_time = 2e-3;
+  opts.time_step = 1e-6;
+  const TransientResult r = sim.run(opts);
+  // After 1 tau (1 ms) the voltage should be ~2/e.
+  const std::size_t k_tau = 1000;
+  EXPECT_NEAR(r.node_voltages[k_tau][out], 2.0 / M_E, 5e-3);
+}
+
+TEST(TransientTest, StartFromDcEliminatesStartupTransient) {
+  Netlist net;
+  const NodeId vin = net.create_node("vin");
+  const NodeId out = net.create_node("out");
+  net.add_voltage_source(vin, kGround, 3.0);
+  net.add_resistor(vin, out, 100.0);
+  net.add_resistor(out, kGround, 200.0);
+  net.add_capacitor(out, kGround, 1e-6, 0.0);
+
+  TransientSimulator sim(net, 1.0);
+  TransientOptions opts;
+  opts.stop_time = 1e-4;
+  opts.time_step = 1e-7;
+  opts.start_from_dc = true;
+  const TransientResult r = sim.run(opts);
+  // DC point: divider at 2V; with start_from_dc the node never moves.
+  EXPECT_NEAR(r.node_voltages.front()[out], 2.0, 1e-9);
+  EXPECT_NEAR(r.node_voltages.back()[out], 2.0, 1e-9);
+}
+
+TEST(TransientTest, SwitchStatesFollowClock) {
+  Netlist net;
+  const NodeId a = net.create_node("a");
+  net.add_resistor(a, kGround, 1.0);
+  net.add_switch(a, kGround, 1.0, 1e9, ClockPhase{0.0, 0.5});   // phase A
+  net.add_switch(a, kGround, 1.0, 1e9, ClockPhase{0.5, 0.5});   // phase B
+  TransientSimulator sim(net, 1e-6);
+
+  const auto early = sim.switch_states(0.1e-6);
+  EXPECT_TRUE(early[0]);
+  EXPECT_FALSE(early[1]);
+  const auto late = sim.switch_states(0.7e-6);
+  EXPECT_FALSE(late[0]);
+  EXPECT_TRUE(late[1]);
+  // Periodicity.
+  const auto wrapped = sim.switch_states(2.1e-6);
+  EXPECT_TRUE(wrapped[0]);
+  EXPECT_FALSE(wrapped[1]);
+}
+
+TEST(TransientTest, SwitchedDividerAlternates) {
+  // Node driven through switch S1 to 1V during phase A and grounded through
+  // S2 during phase B; the recorded waveform must alternate.
+  Netlist net;
+  const NodeId vin = net.create_node("vin");
+  const NodeId out = net.create_node("out");
+  net.add_voltage_source(vin, kGround, 1.0);
+  net.add_switch(vin, out, 10.0, 1e9, ClockPhase{0.0, 0.5});
+  net.add_switch(out, kGround, 10.0, 1e9, ClockPhase{0.5, 0.5});
+  net.add_resistor(out, kGround, 1e6);  // keep the node defined when floating
+
+  TransientSimulator sim(net, 1e-6);
+  TransientOptions opts;
+  opts.stop_time = 4e-6;
+  opts.time_step = 1e-8;
+  const TransientResult r = sim.run(opts);
+
+  // Sample within each half of the third period.
+  const auto at = [&](double t) {
+    const auto k = static_cast<std::size_t>(t / opts.time_step) - 1;
+    return r.node_voltages[k][out];
+  };
+  EXPECT_NEAR(at(2.25e-6), 1.0, 1e-4);  // phase A: pulled to vin
+  EXPECT_NEAR(at(2.75e-6), 0.0, 1e-4);  // phase B: grounded
+}
+
+TEST(TransientTest, EnergyConservationInRcDischarge) {
+  // Energy dissipated in R equals the energy initially stored in C.
+  Netlist net;
+  const NodeId out = net.create_node("out");
+  const double c_val = 1e-6, r_val = 500.0, v0 = 1.0;
+  net.add_resistor(out, kGround, r_val);
+  net.add_capacitor(out, kGround, c_val, v0);
+
+  TransientSimulator sim(net, 1.0);
+  TransientOptions opts;
+  opts.stop_time = 10e-3;  // 20 tau
+  opts.time_step = 1e-6;
+  const TransientResult r = sim.run(opts);
+
+  double dissipated = 0.0;
+  for (std::size_t k = 0; k < r.time.size(); ++k) {
+    const double v = r.node_voltages[k][out];
+    dissipated += v * v / r_val * opts.time_step;
+  }
+  EXPECT_NEAR(dissipated, 0.5 * c_val * v0 * v0, 0.01 * 0.5 * c_val);
+}
+
+TEST(TransientTest, RejectsBadOptions) {
+  Netlist net;
+  net.create_node("a");
+  TransientSimulator sim(net, 1e-6);
+  TransientOptions opts;
+  EXPECT_THROW(sim.run(opts), Error);  // zero stop time
+  opts.stop_time = 1e-3;
+  EXPECT_THROW(sim.run(opts), Error);  // zero step
+  opts.time_step = 2e-3;
+  EXPECT_THROW(sim.run(opts), Error);  // step > stop
+}
+
+TEST(TransientTest, RejectsNonPositiveClockPeriod) {
+  Netlist net;
+  EXPECT_THROW(TransientSimulator(net, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace vstack::circuit

@@ -1,0 +1,38 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace vstack {
+namespace {
+
+TEST(ErrorTest, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(VS_REQUIRE(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(ErrorTest, RequireThrowsOnFalse) {
+  EXPECT_THROW(VS_REQUIRE(false, "must fail"), Error);
+}
+
+TEST(ErrorTest, MessageContainsContext) {
+  try {
+    VS_REQUIRE(2 > 3, "two is not greater than three");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two is not greater than three"), std::string::npos);
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, FailAlwaysThrows) {
+  EXPECT_THROW(VS_FAIL("unconditional"), Error);
+}
+
+TEST(ErrorTest, ErrorIsRuntimeError) {
+  // Callers that only know std::exception still catch library errors.
+  EXPECT_THROW(VS_FAIL("generic"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vstack

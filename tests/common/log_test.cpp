@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace vstack {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }
+};
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(LogTest, BelowThresholdIsDropped) {
+  set_log_level(LogLevel::Error);
+  // Captures stderr via gtest's capture facility.
+  ::testing::internal::CaptureStderr();
+  VS_LOG_WARN("should not appear");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LogTest, AtThresholdIsEmitted) {
+  set_log_level(LogLevel::Info);
+  ::testing::internal::CaptureStderr();
+  VS_LOG_INFO("hello " << 42);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  ::testing::internal::CaptureStderr();
+  VS_LOG_ERROR("even errors");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace vstack

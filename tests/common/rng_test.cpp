@@ -1,0 +1,131 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vstack {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    counts[rng.uniform_index(7)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);  // expected 1000 each; allow wide slack
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(2.0, 0.5);
+  EXPECT_NEAR(mean(xs), 2.0, 0.02);
+  EXPECT_NEAR(stddev(xs), 0.5, 0.02);
+}
+
+TEST(RngTest, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(RngTest, LognormalMedianIsExpMu) {
+  Rng rng(19);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.lognormal(1.0, 0.7);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, BetaStaysInUnitInterval) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.beta(2.0, 5.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(RngTest, BetaMeanMatches) {
+  Rng rng(29);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.beta(2.0, 6.0);
+  EXPECT_NEAR(mean(xs), 2.0 / 8.0, 0.01);
+}
+
+TEST(RngTest, BetaRejectsNonPositiveParams) {
+  Rng rng(1);
+  EXPECT_THROW(rng.beta(0.0, 1.0), Error);
+  EXPECT_THROW(rng.beta(1.0, -2.0), Error);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+}  // namespace
+}  // namespace vstack

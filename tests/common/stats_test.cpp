@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack {
+namespace {
+
+TEST(StatsTest, MeanOfConstants) {
+  EXPECT_DOUBLE_EQ(mean({4.0, 4.0, 4.0}), 4.0);
+}
+
+TEST(StatsTest, MeanSimple) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(StatsTest, MeanThrowsOnEmpty) {
+  EXPECT_THROW(mean({}), Error);
+}
+
+TEST(StatsTest, StddevKnownValue) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, StddevZeroForSingleton) {
+  EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  // Sorted: 10, 20, 30, 40. p50 halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(percentile({40.0, 10.0, 30.0, 20.0}, 50.0), 25.0);
+}
+
+TEST(StatsTest, PercentileRejectsOutOfRangeQ) {
+  EXPECT_THROW(percentile({1.0}, -1.0), Error);
+  EXPECT_THROW(percentile({1.0}, 101.0), Error);
+}
+
+TEST(StatsTest, PercentileThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 50.0), Error);
+}
+
+TEST(StatsTest, BoxPlotOrdering) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(static_cast<double>(i));
+  const auto s = box_plot_stats(xs);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.max);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-12);
+  EXPECT_NEAR(s.mean, 50.5, 1e-12);
+}
+
+TEST(StatsTest, RmsKnownValue) {
+  EXPECT_DOUBLE_EQ(rms({3.0, 4.0}), std::sqrt(12.5));
+}
+
+TEST(StatsTest, RmsThrowsOnEmpty) {
+  EXPECT_THROW(rms({}), Error);
+}
+
+}  // namespace
+}  // namespace vstack

@@ -1,0 +1,46 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vstack {
+namespace {
+
+TEST(TableTest, FormatsNumbers) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TableTest, FormatsPercent) {
+  EXPECT_EQ(TextTable::percent(0.242, 1), "24.2%");
+  EXPECT_EQ(TextTable::percent(0.004, 1), "0.4%");
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TableTest, PrintsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace vstack

@@ -1,0 +1,99 @@
+#include "core/design_space.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vstack::core {
+namespace {
+
+const StudyContext& ctx() {
+  static const StudyContext c = [] {
+    StudyContext c = StudyContext::paper_defaults();
+    c.base.grid_nx = c.base.grid_ny = 8;
+    return c;
+  }();
+  return c;
+}
+
+DesignSpaceOptions small_options() {
+  DesignSpaceOptions o;
+  o.layers = 4;
+  o.regular_c4_fractions = {0.25, 1.0};
+  o.stacked_converter_counts = {2, 8};
+  return o;
+}
+
+TEST(DominanceTest, StrictDominance) {
+  DesignPoint a, b;
+  a.noise = 0.01;
+  a.area_overhead = 0.05;
+  a.tsv_mttf = a.c4_mttf = 2.0;
+  a.efficiency = 0.9;
+  b = a;
+  b.noise = 0.02;  // worse on one axis, equal elsewhere
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, a));  // no strict improvement
+}
+
+TEST(DominanceTest, TradeoffIsNotDominance) {
+  DesignPoint a, b;
+  a.noise = 0.01;
+  b.noise = 0.02;
+  a.efficiency = 0.8;
+  b.efficiency = 0.9;  // b better on efficiency, worse on noise
+  EXPECT_FALSE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(DesignSpaceTest, EnumeratesFullGrid) {
+  const auto points = enumerate_designs(ctx(), small_options());
+  // 3 TSV configs x (2 fractions + 2 converter counts).
+  EXPECT_EQ(points.size(), 3u * 4u);
+  for (const auto& p : points) {
+    EXPECT_FALSE(p.label.empty());
+    EXPECT_GT(p.area_overhead, 0.0);
+    EXPECT_GT(p.tsv_mttf, 0.0);
+  }
+}
+
+TEST(DesignSpaceTest, FrontIsNonEmptyAndNonDominated) {
+  const auto points = enumerate_designs(ctx(), small_options());
+  const auto front = pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  for (const std::size_t i : front) {
+    EXPECT_TRUE(points[i].feasible);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j != i && points[j].feasible) {
+        EXPECT_FALSE(dominates(points[j], points[i]))
+            << points[j].label << " dominates " << points[i].label;
+      }
+    }
+  }
+}
+
+TEST(DesignSpaceTest, StackedDesignsOwnTheLifetimeExtreme) {
+  // The best TSV lifetime among feasible designs belongs to a V-S design.
+  const auto points = enumerate_designs(ctx(), small_options());
+  const auto best = std::max_element(
+      points.begin(), points.end(), [](const auto& a, const auto& b) {
+        return a.tsv_mttf < b.tsv_mttf;
+      });
+  EXPECT_TRUE(best->config.is_voltage_stacked()) << best->label;
+}
+
+TEST(DesignSpaceTest, InfeasiblePointsExcludedFromFront) {
+  auto points = enumerate_designs(ctx(), small_options());
+  // Force one point infeasible but otherwise utopian.
+  points[0].feasible = false;
+  points[0].noise = 0.0;
+  points[0].area_overhead = 0.0;
+  points[0].tsv_mttf = points[0].c4_mttf = 1e9;
+  points[0].efficiency = 1.0;
+  const auto front = pareto_front(points);
+  EXPECT_TRUE(std::find(front.begin(), front.end(), 0u) == front.end());
+}
+
+}  // namespace
+}  // namespace vstack::core

@@ -1,0 +1,90 @@
+#include "core/pad_optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace vstack::core {
+namespace {
+
+const StudyContext& ctx() {
+  static const StudyContext c = [] {
+    StudyContext c = StudyContext::paper_defaults();
+    c.base.grid_nx = c.base.grid_ny = 16;
+    return c;
+  }();
+  return c;
+}
+
+TEST(PadOptimizerTest, TotalSitesMatchPitch) {
+  // 6.64 mm die at 200 um pitch: 33 x 33 sites.
+  EXPECT_EQ(total_pad_sites(ctx()), 33u * 33u);
+}
+
+TEST(PadOptimizerTest, LooseRequirementNeedsFewPads) {
+  PadRequirement loose;
+  loose.min_c4_mttf = 0.0;
+  loose.max_noise_fraction = 0.5;
+  const auto r = minimize_regular_power_pads(ctx(), 2, loose);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.knob, 0.05 + 1e-12);
+  EXPECT_EQ(r.power_pads + r.io_pads, total_pad_sites(ctx()));
+}
+
+TEST(PadOptimizerTest, TighterLifetimeNeedsMorePads) {
+  const auto ref = evaluate_scenario(
+      ctx(), make_regular(ctx(), 2, ctx().base.tsv, 1.0),
+      std::vector<double>(2, 1.0));
+  PadRequirement loose, tight;
+  loose.min_c4_mttf = ref.c4_mttf / 100.0;
+  tight.min_c4_mttf = ref.c4_mttf / 1.5;
+  const auto r_loose = minimize_regular_power_pads(ctx(), 2, loose);
+  const auto r_tight = minimize_regular_power_pads(ctx(), 2, tight);
+  ASSERT_TRUE(r_loose.feasible);
+  ASSERT_TRUE(r_tight.feasible);
+  EXPECT_GE(r_tight.power_pads, r_loose.power_pads);
+}
+
+TEST(PadOptimizerTest, RegularBecomesInfeasibleAtDepth) {
+  // Demand the 2-layer V-S C4 lifetime: the deep regular PDN cannot reach
+  // it with any allocation (the paper's "not feasible" conclusion).
+  const auto reference = evaluate_scenario(
+      ctx(), make_stacked(ctx(), 2, ctx().base.tsv, 8),
+      std::vector<double>(2, 1.0));
+  PadRequirement req;
+  req.min_c4_mttf = reference.c4_mttf;
+  req.max_noise_fraction = 0.10;
+  const auto reg = minimize_regular_power_pads(ctx(), 8, req);
+  EXPECT_FALSE(reg.feasible);
+  const auto vs = minimize_stacked_power_pads(ctx(), 8, req);
+  EXPECT_TRUE(vs.feasible);
+}
+
+TEST(PadOptimizerTest, StackedNeedsFewerPowerPadsThanRegular) {
+  const auto reference = evaluate_scenario(
+      ctx(), make_stacked(ctx(), 2, ctx().base.tsv, 8),
+      std::vector<double>(2, 1.0));
+  PadRequirement req;
+  req.min_c4_mttf = reference.c4_mttf / 4.0;
+  req.max_noise_fraction = 0.04;
+  const auto reg = minimize_regular_power_pads(ctx(), 4, req);
+  const auto vs = minimize_stacked_power_pads(ctx(), 4, req);
+  ASSERT_TRUE(vs.feasible);
+  if (reg.feasible) {
+    EXPECT_LT(vs.power_pads, reg.power_pads);
+  }
+  EXPECT_GT(vs.io_pads, total_pad_sites(ctx()) / 2);
+}
+
+TEST(PadOptimizerTest, ResultAccountingConsistent) {
+  PadRequirement req;
+  req.min_c4_mttf = 0.0;
+  req.max_noise_fraction = 0.5;
+  const auto vs = minimize_stacked_power_pads(ctx(), 2, req);
+  ASSERT_TRUE(vs.feasible);
+  EXPECT_EQ(vs.power_pads,
+            2 * static_cast<std::size_t>(vs.knob) * 16u);
+  EXPECT_EQ(vs.power_pads + vs.io_pads, total_pad_sites(ctx()));
+  EXPECT_GT(vs.achieved_c4_mttf, 0.0);
+}
+
+}  // namespace
+}  // namespace vstack::core

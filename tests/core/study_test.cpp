@@ -1,0 +1,124 @@
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::core {
+namespace {
+
+// Shared context at reduced grid resolution to keep test runtime low; the
+// physics (current recycling, EM scaling) is resolution-insensitive.
+const StudyContext& ctx() {
+  static const StudyContext c = [] {
+    StudyContext c = StudyContext::paper_defaults();
+    c.base.grid_nx = c.base.grid_ny = 16;
+    return c;
+  }();
+  return c;
+}
+
+TEST(StudyContextTest, PaperDefaultsSane) {
+  const auto& c = ctx();
+  EXPECT_EQ(c.layer_floorplan.core_count(), 16u);
+  EXPECT_NEAR(c.black.current_exponent, 1.1, 1e-12);
+  EXPECT_EQ(c.base.tsv.name, "Few TSV");
+  EXPECT_EQ(c.base.vdd_pads_per_core, 32u);
+}
+
+TEST(StudyContextTest, IsoAreaPairing) {
+  // Paper Sec. 5.2: one converter (high-density caps) is ~3% of core area,
+  // so V-S with 8 conv/core + Few TSV is iso-area with regular + Dense TSV.
+  const auto& c = ctx();
+  const double conv_frac = sc::converter_area(c.base.converter,
+                                              c.capacitor_technology) /
+                           c.core_model.area();
+  EXPECT_GT(conv_frac, 0.02);
+  EXPECT_LT(conv_frac, 0.05);
+  const double vs_area = c.vs_area_overhead(8, pdn::TsvConfig::few());
+  const double reg_area = c.regular_area_overhead(pdn::TsvConfig::dense());
+  EXPECT_NEAR(vs_area, reg_area, 0.08);  // same area class
+}
+
+TEST(StudyTest, StackedBeatsRegularTsvMttfAtEightLayers) {
+  // Fig. 5a headline: >3x TSV EM-lifetime gap at 8 layers.
+  const auto reg = evaluate_scenario(
+      ctx(), make_regular(ctx(), 8, pdn::TsvConfig::few(), 0.25),
+      std::vector<double>(8, 1.0));
+  const auto vs = evaluate_scenario(
+      ctx(), make_stacked(ctx(), 8, pdn::TsvConfig::few(), 8),
+      std::vector<double>(8, 1.0));
+  EXPECT_GT(vs.tsv_mttf / reg.tsv_mttf, 3.0);
+}
+
+TEST(StudyTest, TwoLayerTsvGapIsSmall) {
+  // Fig. 5a: at 2 layers the two topologies' TSV lifetimes are close (the
+  // paper reports regular slightly ahead; our finer pad-local crowding
+  // model puts V-S slightly ahead -- see EXPERIMENTS.md).  Either way the
+  // gap is small compared to the >3x separation at 8 layers.
+  const auto reg = evaluate_scenario(
+      ctx(), make_regular(ctx(), 2, pdn::TsvConfig::few(), 0.25),
+      std::vector<double>(2, 1.0));
+  const auto vs = evaluate_scenario(
+      ctx(), make_stacked(ctx(), 2, pdn::TsvConfig::few(), 8),
+      std::vector<double>(2, 1.0));
+  const double ratio = vs.tsv_mttf / reg.tsv_mttf;
+  EXPECT_GT(ratio, 1.0 / 2.5);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(StudyTest, C4MttfIndependentOfLayersForStacked) {
+  const auto vs2 = evaluate_scenario(
+      ctx(), make_stacked(ctx(), 2, pdn::TsvConfig::few(), 8),
+      std::vector<double>(2, 1.0));
+  const auto vs8 = evaluate_scenario(
+      ctx(), make_stacked(ctx(), 8, pdn::TsvConfig::few(), 8),
+      std::vector<double>(8, 1.0));
+  EXPECT_NEAR(vs8.c4_mttf / vs2.c4_mttf, 1.0, 0.05);
+}
+
+TEST(StudyTest, RegularC4MttfDegradesWithLayers) {
+  const auto reg2 = evaluate_scenario(
+      ctx(), make_regular(ctx(), 2, pdn::TsvConfig::few(), 0.25),
+      std::vector<double>(2, 1.0));
+  const auto reg8 = evaluate_scenario(
+      ctx(), make_regular(ctx(), 8, pdn::TsvConfig::few(), 0.25),
+      std::vector<double>(8, 1.0));
+  EXPECT_LT(reg8.c4_mttf, 0.35 * reg2.c4_mttf);
+}
+
+TEST(StudyTest, StackedEfficiencyDecreasesWithImbalance) {
+  const auto low = stacked_efficiency(ctx(), 8, 8, 0.1);
+  const auto high = stacked_efficiency(ctx(), 8, 8, 0.9);
+  EXPECT_GT(low.efficiency, high.efficiency);
+  EXPECT_GT(low.efficiency, 0.80);
+}
+
+TEST(StudyTest, FewerConvertersMoreEfficientOpenLoop) {
+  const auto two = stacked_efficiency(ctx(), 8, 2, 0.2);
+  const auto eight = stacked_efficiency(ctx(), 8, 8, 0.2);
+  EXPECT_GT(two.efficiency, eight.efficiency);
+}
+
+TEST(StudyTest, ConverterLimitDetectedAtHighImbalance) {
+  const auto r = stacked_efficiency(ctx(), 8, 2, 1.0);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_GT(r.max_converter_current, 0.1);
+}
+
+TEST(StudyTest, StackedBeatsRegularScEfficiency) {
+  // Sec. 5.3: V-S converters only carry the differential current, so V-S
+  // efficiency exceeds the regular-with-SC baseline.
+  const auto vs = stacked_efficiency(ctx(), 8, 4, 0.4);
+  const auto reg = regular_sc_efficiency(ctx(), 8, 4, 0.4);
+  EXPECT_GT(vs.efficiency, reg.efficiency);
+}
+
+TEST(StudyTest, RegularScBaselineInMidEighties) {
+  const auto reg = regular_sc_efficiency(ctx(), 8, 8, 0.0);
+  EXPECT_GT(reg.efficiency, 0.75);
+  EXPECT_LT(reg.efficiency, 0.92);
+}
+
+}  // namespace
+}  // namespace vstack::core

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace vstack::core {
+namespace {
+
+const StudyContext& ctx() {
+  static const StudyContext c = [] {
+    StudyContext c = StudyContext::paper_defaults();
+    c.base.grid_nx = c.base.grid_ny = 16;
+    return c;
+  }();
+  return c;
+}
+
+TEST(ThermalEmTest, ProducesTemperatureField) {
+  const auto r = evaluate_scenario_with_thermal(
+      ctx(), make_stacked(ctx(), 4, ctx().base.tsv, 8),
+      std::vector<double>(4, 1.0));
+  ASSERT_EQ(r.layer_mean_celsius.size(), 4u);
+  for (double t : r.layer_mean_celsius) {
+    EXPECT_GT(t, 45.0);   // above ambient
+    EXPECT_LT(t, 120.0);  // physically sane
+  }
+  EXPECT_GT(r.thermal.max_celsius, r.layer_mean_celsius[3] - 1.0);
+}
+
+TEST(ThermalEmTest, BottomLayersRunHotter) {
+  // Heat exits through the sink above the top layer.
+  const auto r = evaluate_scenario_with_thermal(
+      ctx(), make_stacked(ctx(), 8, ctx().base.tsv, 8),
+      std::vector<double>(8, 1.0));
+  EXPECT_GT(r.layer_mean_celsius.front(), r.layer_mean_celsius.back());
+}
+
+TEST(ThermalEmTest, CoolStacksGainLifetime) {
+  // A 2-layer stack runs well below the 105 C isothermal stress reference,
+  // so thermal coupling LENGTHENS its lifetime.
+  const auto r = evaluate_scenario_with_thermal(
+      ctx(), make_stacked(ctx(), 2, ctx().base.tsv, 8),
+      std::vector<double>(2, 1.0));
+  EXPECT_GT(r.tsv_mttf_thermal, r.isothermal.tsv_mttf);
+  EXPECT_GT(r.c4_mttf_thermal, r.isothermal.c4_mttf);
+}
+
+TEST(ThermalEmTest, DeepStacksLoseRelativeToShallow) {
+  // Thermal coupling widens the 2-layer vs 8-layer lifetime gap: the
+  // 8-layer stack runs hotter everywhere.
+  const auto r2 = evaluate_scenario_with_thermal(
+      ctx(), make_regular(ctx(), 2, ctx().base.tsv, 0.25),
+      std::vector<double>(2, 1.0));
+  const auto r8 = evaluate_scenario_with_thermal(
+      ctx(), make_regular(ctx(), 8, ctx().base.tsv, 0.25),
+      std::vector<double>(8, 1.0));
+  const double iso_ratio = r8.isothermal.tsv_mttf / r2.isothermal.tsv_mttf;
+  const double thermal_ratio = r8.tsv_mttf_thermal / r2.tsv_mttf_thermal;
+  EXPECT_LT(thermal_ratio, iso_ratio);
+}
+
+TEST(ThermalEmTest, StackedKeepsAdvantageUnderCoupling) {
+  const auto reg = evaluate_scenario_with_thermal(
+      ctx(), make_regular(ctx(), 8, ctx().base.tsv, 0.25),
+      std::vector<double>(8, 1.0));
+  const auto vs = evaluate_scenario_with_thermal(
+      ctx(), make_stacked(ctx(), 8, ctx().base.tsv, 8),
+      std::vector<double>(8, 1.0));
+  EXPECT_GT(vs.tsv_mttf_thermal / reg.tsv_mttf_thermal, 3.0);
+}
+
+TEST(ThermalEmTest, InterfaceTagsConsistent) {
+  const auto r = evaluate_scenario_with_thermal(
+      ctx(), make_stacked(ctx(), 4, ctx().base.tsv, 8),
+      std::vector<double>(4, 1.0));
+  const auto& sol = r.isothermal.solution;
+  ASSERT_EQ(sol.tsv_interface_of.size(), sol.tsv_currents.size());
+  for (unsigned i : sol.tsv_interface_of) {
+    EXPECT_LT(i, 3u);  // interfaces 0..layers-2
+  }
+}
+
+}  // namespace
+}  // namespace vstack::core

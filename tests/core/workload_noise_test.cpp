@@ -1,0 +1,64 @@
+#include "core/workload_noise.h"
+
+#include "power/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace vstack::core {
+namespace {
+
+const StudyContext& ctx() {
+  static const StudyContext c = [] {
+    StudyContext c = StudyContext::paper_defaults();
+    c.base.grid_nx = c.base.grid_ny = 8;  // many solves per test
+    return c;
+  }();
+  return c;
+}
+
+TEST(WorkloadNoiseTest, DistributionIsOrdered) {
+  const auto cfg = make_stacked(ctx(), 4, ctx().base.tsv, 8);
+  const auto r = sample_noise_distribution(
+      ctx(), cfg, SchedulingPolicy::RandomMix, 30, 7);
+  EXPECT_EQ(r.samples, 30u);
+  EXPECT_LE(r.noise.min, r.noise.median);
+  EXPECT_LE(r.noise.median, r.noise.max);
+  EXPECT_GT(r.mean_noise, 0.0);
+  EXPECT_LT(r.mean_noise, 0.10);
+}
+
+TEST(WorkloadNoiseTest, StackSchedulingBeatsRandomMix) {
+  // The paper's Sec. 5.2 scheduling conclusion, as a distribution-level
+  // statement.
+  const auto cfg = make_stacked(ctx(), 8, ctx().base.tsv, 8);
+  const auto same = sample_noise_distribution(
+      ctx(), cfg, SchedulingPolicy::SameAppPerStack, 25, 11);
+  const auto mixed = sample_noise_distribution(
+      ctx(), cfg, SchedulingPolicy::RandomMix, 25, 11);
+  EXPECT_LT(same.mean_noise, mixed.mean_noise);
+}
+
+TEST(WorkloadNoiseTest, DeterministicForSeed) {
+  const auto cfg = make_stacked(ctx(), 2, ctx().base.tsv, 8);
+  const auto a = sample_noise_distribution(
+      ctx(), cfg, SchedulingPolicy::RandomMix, 10, 42);
+  const auto b = sample_noise_distribution(
+      ctx(), cfg, SchedulingPolicy::RandomMix, 10, 42);
+  EXPECT_DOUBLE_EQ(a.mean_noise, b.mean_noise);
+  EXPECT_DOUBLE_EQ(a.noise.max, b.noise.max);
+}
+
+TEST(WorkloadNoiseTest, AverageCaseBelowInterleavedWorstCase) {
+  // Real workload draws are far gentler than the adversarial interleaved
+  // pattern at the same mean imbalance.
+  const auto cfg = make_stacked(ctx(), 8, ctx().base.tsv, 8);
+  const auto avg = sample_noise_distribution(
+      ctx(), cfg, SchedulingPolicy::RandomMix, 25, 3);
+  pdn::PdnModel model(cfg, ctx().layer_floorplan);
+  const auto worst = model.solve_activities(
+      ctx().core_model, power::interleaved_layer_activities(8, 0.65));
+  EXPECT_LT(avg.noise.max, worst.max_node_deviation_fraction);
+}
+
+}  // namespace
+}  // namespace vstack::core

@@ -1,0 +1,129 @@
+#include "em/array_mttf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vstack::em {
+namespace {
+
+TEST(ArrayMttfTest, SingleConductorAtMedian) {
+  BlackModel black;
+  const double t50 = black.median_ttf(10e-3);
+  const double t = array_mttf({10e-3}, black);
+  EXPECT_NEAR(t, t50, 1e-6 * t50);
+}
+
+TEST(ArrayMttfTest, MoreConductorsFailSooner) {
+  // Identical stress, more elements: first failure arrives earlier.
+  BlackModel black;
+  const double one = array_mttf({10e-3}, black);
+  const std::vector<double> many(100, 10e-3);
+  const double hundred = array_mttf(many, black);
+  EXPECT_LT(hundred, one);
+  // But not absurdly so (lognormal tails): within a factor ~5 at sigma 0.5.
+  EXPECT_GT(hundred, one / 10.0);
+}
+
+TEST(ArrayMttfTest, HalvingCurrentExtendsLifetimeFourfold) {
+  BlackModel black;  // n = 2
+  const std::vector<double> high(64, 20e-3);
+  const std::vector<double> low(64, 10e-3);
+  const double ratio = array_mttf(low, black) / array_mttf(high, black);
+  EXPECT_NEAR(ratio, 4.0, 0.01);
+}
+
+TEST(ArrayMttfTest, DominatedByHottestConductor) {
+  BlackModel black;
+  // One heavily-stressed conductor among many idle ones.
+  std::vector<double> currents(500, 1e-4);
+  currents[250] = 50e-3;
+  const double t = array_mttf(currents, black);
+  const double t_hot = black.median_ttf(50e-3);
+  EXPECT_LT(t, t_hot);
+  EXPECT_GT(t, 0.1 * t_hot);
+}
+
+TEST(ArrayMttfTest, UnstressedArrayLivesForever) {
+  BlackModel black;
+  const double t = array_mttf({0.0, 0.0, 0.0}, black);
+  EXPECT_TRUE(std::isinf(t));
+}
+
+TEST(ArrayMttfTest, ProbabilityIsMonotone) {
+  BlackModel black;
+  Rng rng(4);
+  std::vector<double> currents(64);
+  for (auto& c : currents) c = rng.uniform(1e-3, 30e-3);
+  const double t50 = array_mttf(currents, black);
+  const double p_lo =
+      array_failure_probability(t50 * 0.5, currents, black, 0.5);
+  const double p_mid = array_failure_probability(t50, currents, black, 0.5);
+  const double p_hi =
+      array_failure_probability(t50 * 2.0, currents, black, 0.5);
+  EXPECT_LT(p_lo, p_mid);
+  EXPECT_LT(p_mid, p_hi);
+  EXPECT_NEAR(p_mid, 0.5, 1e-6);
+}
+
+TEST(ArrayMttfTest, CustomProbabilityTarget) {
+  BlackModel black;
+  const std::vector<double> currents(32, 15e-3);
+  ArrayMttfOptions early;
+  early.probability_target = 0.01;
+  ArrayMttfOptions late;
+  late.probability_target = 0.99;
+  EXPECT_LT(array_mttf(currents, black, early),
+            array_mttf(currents, black, late));
+}
+
+TEST(ArrayMttfTest, UniformScalingInvariance) {
+  // MTTF ratio between two designs is invariant to the Black prefactor --
+  // this justifies the paper's normalized reporting.
+  BlackModel a;
+  BlackModel b = a;
+  b.prefactor = 123.0;
+  const std::vector<double> x(16, 5e-3), y(16, 9e-3);
+  const double ratio_a = array_mttf(x, a) / array_mttf(y, a);
+  const double ratio_b = array_mttf(x, b) / array_mttf(y, b);
+  EXPECT_NEAR(ratio_a, ratio_b, 1e-6 * ratio_a);
+}
+
+TEST(ArrayMttfTest, RejectsEmptyArray) {
+  BlackModel black;
+  EXPECT_THROW(array_mttf({}, black), Error);
+}
+
+TEST(ArrayMttfTest, RejectsBadTarget) {
+  BlackModel black;
+  ArrayMttfOptions opts;
+  opts.probability_target = 1.0;
+  EXPECT_THROW(array_mttf({1e-3}, black, opts), Error);
+}
+
+// Property: array MTTF always lies between the hottest conductor's early
+// tail and its median.
+class ArraySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArraySizes, BoundedByHottestConductor) {
+  BlackModel black;
+  Rng rng(GetParam());
+  std::vector<double> currents(GetParam());
+  double hottest = 0.0;
+  for (auto& c : currents) {
+    c = rng.uniform(1e-3, 40e-3);
+    hottest = std::max(hottest, c);
+  }
+  const double t = array_mttf(currents, black);
+  EXPECT_LE(t, black.median_ttf(hottest) * (1.0 + 1e-9));
+  EXPECT_GT(t, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArraySizes,
+                         ::testing::Values(1, 4, 32, 256, 2048));
+
+}  // namespace
+}  // namespace vstack::em

@@ -1,0 +1,86 @@
+#include "em/black.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::em {
+namespace {
+
+TEST(BlackTest, CurrentExponentScaling) {
+  BlackModel m;  // n = 2
+  const double t1 = m.median_ttf(10e-3);
+  const double t2 = m.median_ttf(20e-3);
+  // Doubling current quarters lifetime when n = 2.
+  EXPECT_NEAR(t1 / t2, 4.0, 1e-9);
+}
+
+TEST(BlackTest, CustomExponent) {
+  BlackModel m;
+  m.current_exponent = 1.1;
+  const double ratio = m.median_ttf(1e-3) / m.median_ttf(2e-3);
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.1), 1e-9);
+}
+
+TEST(BlackTest, HotterIsShorter) {
+  BlackModel cool;
+  BlackModel hot = cool;
+  hot.temperature = cool.temperature + 30.0;
+  EXPECT_LT(hot.median_ttf(10e-3), cool.median_ttf(10e-3));
+}
+
+TEST(BlackTest, ZeroCurrentNeverFails) {
+  BlackModel m;
+  EXPECT_TRUE(std::isinf(m.median_ttf(0.0)));
+}
+
+TEST(BlackTest, SignInsensitive) {
+  BlackModel m;
+  EXPECT_DOUBLE_EQ(m.median_ttf(5e-3), m.median_ttf(-5e-3));
+}
+
+TEST(BlackTest, Validation) {
+  BlackModel m;
+  m.temperature = 0.0;
+  EXPECT_THROW(m.median_ttf(1e-3), Error);
+  m = BlackModel{};
+  m.current_exponent = -1.0;
+  EXPECT_THROW(m.median_ttf(1e-3), Error);
+}
+
+TEST(LognormalTest, MedianCrossesAtHalf) {
+  EXPECT_NEAR(lognormal_failure_cdf(100.0, 100.0, 0.5), 0.5, 1e-12);
+}
+
+TEST(LognormalTest, MonotoneInTime) {
+  double prev = 0.0;
+  for (double t = 1.0; t < 1000.0; t *= 2.0) {
+    const double f = lognormal_failure_cdf(t, 100.0, 0.5);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(LognormalTest, ZeroTimeZeroProbability) {
+  EXPECT_DOUBLE_EQ(lognormal_failure_cdf(0.0, 100.0, 0.5), 0.0);
+}
+
+TEST(LognormalTest, UnstressedConductorNeverFails) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(lognormal_failure_cdf(1e12, inf, 0.5), 0.0);
+}
+
+TEST(LognormalTest, KnownQuantile) {
+  // At t = t50 * exp(sigma), z = 1: F = Phi(1) ~ 0.8413.
+  const double f = lognormal_failure_cdf(100.0 * std::exp(0.5), 100.0, 0.5);
+  EXPECT_NEAR(f, 0.841345, 1e-5);
+}
+
+TEST(LognormalTest, RejectsBadSigma) {
+  EXPECT_THROW(lognormal_failure_cdf(1.0, 1.0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace vstack::em

@@ -1,0 +1,98 @@
+#include "floorplan/floorplan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vstack::floorplan {
+namespace {
+
+TEST(GeometryTest, RectBasics) {
+  const Rect r{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.right(), 4.0);
+  EXPECT_DOUBLE_EQ(r.top(), 6.0);
+  EXPECT_TRUE(r.contains(2.0, 3.0));
+  EXPECT_FALSE(r.contains(4.0, 3.0));  // right edge exclusive
+}
+
+TEST(GeometryTest, IntersectionArea) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  const Rect b{1.0, 1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.intersection_area(b), 1.0);
+  const Rect c{5.0, 5.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.intersection_area(c), 0.0);
+}
+
+TEST(FloorplanTest, PaperLayerDimensions) {
+  const Floorplan fp = paper_layer_floorplan();
+  EXPECT_EQ(fp.core_count(), 16u);
+  EXPECT_NEAR(fp.width * fp.height / units::mm2, 44.12, 1e-6);
+  // Square 4x4 grid of square-ish tiles.
+  EXPECT_NEAR(fp.width, fp.height, 1e-12);
+}
+
+TEST(FloorplanTest, EveryBlockInsideItsCoreTile) {
+  const Floorplan fp = paper_layer_floorplan();
+  for (const auto& b : fp.blocks) {
+    const Rect tile = fp.core_rect(b.core_index);
+    EXPECT_GE(b.rect.x, tile.x - 1e-12);
+    EXPECT_GE(b.rect.y, tile.y - 1e-12);
+    EXPECT_LE(b.rect.right(), tile.right() + 1e-12);
+    EXPECT_LE(b.rect.top(), tile.top() + 1e-12);
+  }
+}
+
+TEST(FloorplanTest, PlacedAreaFillsDie) {
+  const Floorplan fp = paper_layer_floorplan();
+  EXPECT_NEAR(fp.placed_area(), fp.width * fp.height,
+              1e-9 * fp.width * fp.height);
+}
+
+TEST(FloorplanTest, BlocksDoNotOverlap) {
+  const Floorplan fp = paper_layer_floorplan();
+  // Check within one tile (all tiles are identical translations).
+  std::vector<const PlacedBlock*> first_core;
+  for (const auto& b : fp.blocks) {
+    if (b.core_index == 0) first_core.push_back(&b);
+  }
+  for (std::size_t i = 0; i < first_core.size(); ++i) {
+    for (std::size_t j = i + 1; j < first_core.size(); ++j) {
+      EXPECT_NEAR(first_core[i]->rect.intersection_area(first_core[j]->rect),
+                  0.0, 1e-15);
+    }
+  }
+}
+
+TEST(FloorplanTest, BlockAreasProportionalToModel) {
+  const auto model = power::CorePowerModel::cortex_a9_like();
+  const Floorplan fp = make_layer_floorplan(model, 1, 1);
+  ASSERT_EQ(fp.blocks.size(), model.blocks().size());
+  for (std::size_t b = 0; b < fp.blocks.size(); ++b) {
+    EXPECT_NEAR(fp.blocks[b].rect.area(), model.blocks()[b].area,
+                1e-9 * model.area())
+        << model.blocks()[b].name;
+  }
+}
+
+TEST(FloorplanTest, BlockNamesEncodeCoreAndBlock) {
+  const Floorplan fp = paper_layer_floorplan();
+  EXPECT_EQ(fp.blocks.front().name, "core0.fetch_l1i");
+}
+
+TEST(FloorplanTest, NonSquareGrids) {
+  const auto model = power::CorePowerModel::cortex_a9_like();
+  const Floorplan fp = make_layer_floorplan(model, 8, 2);
+  EXPECT_EQ(fp.core_count(), 16u);
+  EXPECT_NEAR(fp.width / fp.height, 4.0, 1e-9);
+  EXPECT_NEAR(fp.width * fp.height, 16.0 * model.area(), 1e-12);
+}
+
+TEST(FloorplanTest, CoreRectRejectsOutOfRange) {
+  const Floorplan fp = paper_layer_floorplan();
+  EXPECT_THROW(fp.core_rect(16), Error);
+}
+
+}  // namespace
+}  // namespace vstack::floorplan

@@ -1,0 +1,73 @@
+#include "floorplan/heatmap.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vstack::floorplan {
+namespace {
+
+GridMap ramp_map() {
+  GridMap m;
+  m.nx = 4;
+  m.ny = 2;
+  m.values = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  return m;
+}
+
+TEST(HeatmapTest, ShadeEndpoints) {
+  const std::string ramp = " .:#";
+  EXPECT_EQ(shade_of(0.0, 0.0, 1.0, ramp), ' ');
+  EXPECT_EQ(shade_of(1.0, 0.0, 1.0, ramp), '#');
+  EXPECT_EQ(shade_of(0.5, 0.0, 1.0, ramp), ':');
+}
+
+TEST(HeatmapTest, ShadeClampsOutOfRange) {
+  const std::string ramp = " @";
+  EXPECT_EQ(shade_of(-5.0, 0.0, 1.0, ramp), ' ');
+  EXPECT_EQ(shade_of(99.0, 0.0, 1.0, ramp), '@');
+}
+
+TEST(HeatmapTest, DegenerateRangeUsesFirstShade) {
+  EXPECT_EQ(shade_of(3.0, 2.0, 2.0, "ab"), 'a');
+}
+
+TEST(HeatmapTest, RendersRowMajorBottomUp) {
+  std::ostringstream oss;
+  HeatmapOptions opts;
+  opts.ramp = "01";
+  opts.legend = false;
+  GridMap m;
+  m.nx = 2;
+  m.ny = 2;
+  m.values = {0.0, 0.0, 1.0, 1.0};  // bottom row low, top row high
+  render_heatmap(m, oss, opts);
+  // Top row printed first -> "11" then "00".
+  EXPECT_EQ(oss.str(), "  11\n  00\n");
+}
+
+TEST(HeatmapTest, LegendShowsScaledRange) {
+  std::ostringstream oss;
+  HeatmapOptions opts;
+  opts.legend_scale = 1e3;
+  opts.legend_unit = "mV";
+  render_heatmap(ramp_map(), oss, opts);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("mV"), std::string::npos);
+  EXPECT_NE(out.find("7e+03"), std::string::npos);
+}
+
+TEST(HeatmapTest, RejectsEmptyMap) {
+  GridMap empty;
+  std::ostringstream oss;
+  EXPECT_THROW(render_heatmap(empty, oss), Error);
+}
+
+TEST(HeatmapTest, RejectsEmptyRamp) {
+  EXPECT_THROW(shade_of(0.5, 0.0, 1.0, ""), Error);
+}
+
+}  // namespace
+}  // namespace vstack::floorplan

@@ -1,0 +1,109 @@
+#include "floorplan/power_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::floorplan {
+namespace {
+
+Floorplan single_block_plan() {
+  Floorplan fp;
+  fp.width = 4.0;
+  fp.height = 4.0;
+  fp.cores_x = 1;
+  fp.cores_y = 1;
+  fp.blocks.push_back(PlacedBlock{"b", 0, 0, Rect{0.0, 0.0, 4.0, 4.0}});
+  return fp;
+}
+
+TEST(PowerMapTest, TotalPowerConserved) {
+  const Floorplan fp = single_block_plan();
+  const GridMap map = rasterize_power(fp, {10.0}, 8, 8);
+  EXPECT_NEAR(map.total(), 10.0, 1e-12);
+}
+
+TEST(PowerMapTest, UniformBlockSpreadsEvenly) {
+  const Floorplan fp = single_block_plan();
+  const GridMap map = rasterize_power(fp, {16.0}, 4, 4);
+  for (std::size_t iy = 0; iy < 4; ++iy) {
+    for (std::size_t ix = 0; ix < 4; ++ix) {
+      EXPECT_NEAR(map.at(ix, iy), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(PowerMapTest, PartialOverlapWeighted) {
+  Floorplan fp;
+  fp.width = 2.0;
+  fp.height = 1.0;
+  fp.cores_x = fp.cores_y = 1;
+  // Block covers the left half plus a quarter of the right half.
+  fp.blocks.push_back(PlacedBlock{"b", 0, 0, Rect{0.0, 0.0, 1.25, 1.0}});
+  const GridMap map = rasterize_power(fp, {5.0}, 2, 1);
+  EXPECT_NEAR(map.at(0, 0), 5.0 * (1.0 / 1.25), 1e-12);
+  EXPECT_NEAR(map.at(1, 0), 5.0 * (0.25 / 1.25), 1e-12);
+}
+
+TEST(PowerMapTest, LayerMapConservesCorePower) {
+  const auto model = power::CorePowerModel::cortex_a9_like();
+  const Floorplan fp = paper_layer_floorplan();
+  const std::vector<double> acts(16, 0.8);
+  const GridMap map = layer_power_map(fp, model, acts, 32, 32);
+  EXPECT_NEAR(map.total(), 16.0 * model.total_power(0.8), 1e-9);
+}
+
+TEST(PowerMapTest, HeterogeneousActivitiesLocalize) {
+  const auto model = power::CorePowerModel::cortex_a9_like();
+  const Floorplan fp = paper_layer_floorplan();
+  std::vector<double> acts(16, 0.0);
+  acts[0] = 1.0;  // only core 0 active (lower-left tile)
+  const GridMap map = layer_power_map(fp, model, acts, 8, 8);
+  // Core 0 occupies the lower-left 2x2 cells of an 8x8 grid.
+  double corner = 0.0;
+  for (std::size_t iy = 0; iy < 2; ++iy) {
+    for (std::size_t ix = 0; ix < 2; ++ix) corner += map.at(ix, iy);
+  }
+  const double active_total = model.total_power(1.0);
+  const double idle_total = 15.0 * model.total_power(0.0);
+  EXPECT_NEAR(map.total(), active_total + idle_total, 1e-9);
+  // Core tiles align with the 8x8 grid (2x2 cells per tile), so the corner
+  // contains exactly core 0's power and nothing else.
+  EXPECT_NEAR(corner, active_total, 1e-9);
+}
+
+TEST(PowerMapTest, ZeroPowerBlocksSkipped) {
+  const Floorplan fp = single_block_plan();
+  const GridMap map = rasterize_power(fp, {0.0}, 4, 4);
+  EXPECT_DOUBLE_EQ(map.total(), 0.0);
+}
+
+TEST(PowerMapTest, CellOfLocatesPoints) {
+  const Floorplan fp = single_block_plan();  // 4x4 die
+  EXPECT_EQ(cell_of(fp, 4, 4, 0.5, 0.5), 0u);
+  EXPECT_EQ(cell_of(fp, 4, 4, 3.5, 0.5), 3u);
+  EXPECT_EQ(cell_of(fp, 4, 4, 0.5, 3.5), 12u);
+  // Boundary points clamp into the last cell.
+  EXPECT_EQ(cell_of(fp, 4, 4, 4.0, 4.0), 15u);
+}
+
+TEST(PowerMapTest, CellOfRejectsOutsidePoints) {
+  const Floorplan fp = single_block_plan();
+  EXPECT_THROW(cell_of(fp, 4, 4, -0.1, 0.0), Error);
+  EXPECT_THROW(cell_of(fp, 4, 4, 0.0, 4.1), Error);
+}
+
+TEST(PowerMapTest, RejectsMismatchedPowerVector) {
+  const Floorplan fp = single_block_plan();
+  EXPECT_THROW(rasterize_power(fp, {1.0, 2.0}, 4, 4), Error);
+}
+
+TEST(PowerMapTest, GridIndexBoundsChecked) {
+  GridMap map;
+  map.nx = map.ny = 2;
+  map.values.assign(4, 0.0);
+  EXPECT_THROW(map.at(2, 0), Error);
+}
+
+}  // namespace
+}  // namespace vstack::floorplan

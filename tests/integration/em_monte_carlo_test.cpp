@@ -1,0 +1,100 @@
+// Integration: the analytical array-MTTF solver against direct Monte-Carlo
+// sampling of lognormal conductor lifetimes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "em/array_mttf.h"
+
+namespace vstack::em {
+namespace {
+
+/// Empirical median of the first-failure time over `trials` arrays.
+double monte_carlo_first_failure_median(const std::vector<double>& currents,
+                                        const BlackModel& black, double sigma,
+                                        std::size_t trials, Rng& rng) {
+  std::vector<double> first_failures;
+  first_failures.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    double first = std::numeric_limits<double>::infinity();
+    for (const double i : currents) {
+      const double t50 = black.median_ttf(i);
+      if (std::isinf(t50)) continue;
+      // Lognormal draw with median t50 and shape sigma.
+      const double sample = rng.lognormal(std::log(t50), sigma);
+      first = std::min(first, sample);
+    }
+    first_failures.push_back(first);
+  }
+  std::sort(first_failures.begin(), first_failures.end());
+  return first_failures[first_failures.size() / 2];
+}
+
+TEST(EmMonteCarloTest, AnalyticMatchesSampledMedianUniform) {
+  BlackModel black;
+  const std::vector<double> currents(64, 12e-3);
+  const double analytic = array_mttf(currents, black);
+  Rng rng(2718);
+  const double sampled =
+      monte_carlo_first_failure_median(currents, black, 0.5, 4000, rng);
+  EXPECT_NEAR(sampled / analytic, 1.0, 0.05);
+}
+
+TEST(EmMonteCarloTest, AnalyticMatchesSampledMedianHeterogeneous) {
+  BlackModel black;
+  Rng gen(99);
+  std::vector<double> currents(200);
+  for (auto& c : currents) c = gen.uniform(2e-3, 40e-3);
+  const double analytic = array_mttf(currents, black);
+  Rng rng(314);
+  const double sampled =
+      monte_carlo_first_failure_median(currents, black, 0.5, 4000, rng);
+  EXPECT_NEAR(sampled / analytic, 1.0, 0.06);
+}
+
+TEST(EmMonteCarloTest, TemperatureVariantMatches) {
+  BlackModel black;
+  black.current_exponent = 1.1;
+  const std::vector<double> currents(50, 15e-3);
+  std::vector<double> temps(50);
+  for (std::size_t k = 0; k < 50; ++k) {
+    temps[k] = 350.0 + static_cast<double>(k);  // 350..399 K gradient
+  }
+  const double analytic = array_mttf_at_temperatures(currents, temps, black);
+
+  // Monte Carlo with the same per-conductor medians.
+  Rng rng(555);
+  std::vector<double> firsts;
+  firsts.reserve(3000);
+  for (std::size_t t = 0; t < 3000; ++t) {
+    double first = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < 50; ++k) {
+      const double t50 = black.median_ttf(currents[k], temps[k]);
+      first = std::min(first, rng.lognormal(std::log(t50), 0.5));
+    }
+    firsts.push_back(first);
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_NEAR(firsts[firsts.size() / 2] / analytic, 1.0, 0.06);
+}
+
+TEST(EmMonteCarloTest, HotterConductorsFailFirstInSampling) {
+  BlackModel black;
+  const std::vector<double> currents{30e-3, 5e-3};
+  Rng rng(777);
+  std::size_t hot_first = 0;
+  const std::size_t trials = 2000;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const double hot =
+        rng.lognormal(std::log(black.median_ttf(currents[0])), 0.5);
+    const double cold =
+        rng.lognormal(std::log(black.median_ttf(currents[1])), 0.5);
+    if (hot < cold) ++hot_first;
+  }
+  EXPECT_GT(hot_first, trials * 9 / 10);
+}
+
+}  // namespace
+}  // namespace vstack::em

@@ -1,0 +1,106 @@
+// Integration: heterogeneous (memory-on-logic) stacks, and consistency
+// between the lumped ladder analysis and the full grid solve.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "core/study.h"
+#include "power/workload.h"
+#include "sc/ladder.h"
+
+namespace vstack {
+namespace {
+
+const core::StudyContext& ctx() {
+  static const core::StudyContext c = [] {
+    auto c = core::StudyContext::paper_defaults();
+    c.base.grid_nx = c.base.grid_ny = 8;
+    return c;
+  }();
+  return c;
+}
+
+TEST(DramModelTest, CalibratedTotals) {
+  const auto dram = power::CorePowerModel::dram_like();
+  EXPECT_NEAR(16.0 * dram.peak_total_power(), 1.5, 1e-9);
+  // Same footprint as the logic tile, so floorplans are interchangeable.
+  EXPECT_NEAR(dram.area(), power::CorePowerModel::cortex_a9_like().area(),
+              1e-12);
+  // Leakage-heavy, as DRAM background power is.
+  EXPECT_GT(dram.leakage_power() / dram.peak_total_power(), 0.3);
+}
+
+TEST(HeterogeneousStackTest, LayeredLoadsMatchExpectedTotals) {
+  const auto logic = power::CorePowerModel::cortex_a9_like();
+  const auto dram = power::CorePowerModel::dram_like();
+  const auto logic_fp = floorplan::make_layer_floorplan(logic, 4, 4);
+  const auto dram_fp = floorplan::make_layer_floorplan(dram, 4, 4);
+
+  auto cfg = core::make_regular(ctx(), 3, ctx().base.tsv, 0.25);
+  pdn::PdnModel model(cfg, ctx().layer_floorplan);
+  const auto loads = model.network().build_loads_layered(
+      {&logic, &dram, &dram}, {&logic_fp, &dram_fp, &dram_fp},
+      {1.0, 1.0, 1.0});
+  double total = 0.0;
+  for (const auto& l : loads) total += l.current;
+  EXPECT_NEAR(total, 7.6 + 1.5 + 1.5, 1e-6);
+}
+
+TEST(HeterogeneousStackTest, PermanentImbalanceLoadsConverters) {
+  const auto logic = power::CorePowerModel::cortex_a9_like();
+  const auto dram = power::CorePowerModel::dram_like();
+  const auto logic_fp = floorplan::make_layer_floorplan(logic, 4, 4);
+  const auto dram_fp = floorplan::make_layer_floorplan(dram, 4, 4);
+
+  auto cfg = core::make_stacked(ctx(), 4, ctx().base.tsv, 8);
+  pdn::PdnModel model(cfg, ctx().layer_floorplan);
+  const auto sol = model.solve(model.network().build_loads_layered(
+      {&logic, &dram, &dram, &dram},
+      {&logic_fp, &dram_fp, &dram_fp, &dram_fp}, {1.0, 1.0, 1.0, 1.0}));
+  // The 6.1 W logic/DRAM gap keeps converters loaded even at "balanced"
+  // full activity.
+  EXPECT_GT(sol.max_converter_current, 20e-3);
+}
+
+TEST(HeterogeneousStackTest, RejectsMismatchedVectors) {
+  const auto logic = power::CorePowerModel::cortex_a9_like();
+  const auto logic_fp = floorplan::make_layer_floorplan(logic, 4, 4);
+  auto cfg = core::make_regular(ctx(), 2, ctx().base.tsv, 0.25);
+  pdn::PdnModel model(cfg, ctx().layer_floorplan);
+  EXPECT_THROW((model.network().build_loads_layered({&logic}, {&logic_fp},
+                                                    {1.0, 1.0})),
+               Error);
+}
+
+TEST(LadderGridConsistencyTest, LevelCurrentsMatchAnalyticLadder) {
+  // In AdjacentRails (physically coupled) mode, the sum of converter
+  // currents at each level of the grid solve must match the lumped
+  // tridiagonal ladder analysis.
+  auto cfg = core::make_stacked(ctx(), 4, ctx().base.tsv, 8);
+  cfg.converter_reference = pdn::ConverterReference::AdjacentRails;
+  pdn::PdnModel model(cfg, ctx().layer_floorplan);
+  const auto acts = power::interleaved_layer_activities(4, 0.6);
+  const auto sol = model.solve_activities(ctx().core_model, acts);
+
+  std::vector<double> layer_currents(4);
+  for (std::size_t l = 0; l < 4; ++l) {
+    layer_currents[l] = 16.0 * ctx().core_model.total_power(acts[l]);
+  }
+  const auto ladder = sc::solve_ladder_currents(layer_currents);
+
+  for (std::size_t level = 1; level <= 3; ++level) {
+    double grid_net = 0.0;
+    for (std::size_t c = 0; c < model.network().converters().size(); ++c) {
+      if (model.network().converters()[c].level == level) {
+        grid_net += sol.converter_currents[c];
+      }
+    }
+    EXPECT_NEAR(grid_net, ladder.level_net_currents[level - 1],
+                0.05 * std::abs(ladder.level_net_currents[level - 1]) + 0.05)
+        << "level " << level;
+  }
+}
+
+}  // namespace
+}  // namespace vstack

@@ -1,0 +1,83 @@
+#include "la/dense_lu.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vstack::la {
+namespace {
+
+TEST(DenseLuTest, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  DenseLu lu(a);
+  const Vector x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLuTest, RequiresPivoting) {
+  // Zero leading entry forces a row swap.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  DenseLu lu(a);
+  const Vector x = lu.solve({3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLuTest, ThrowsOnSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(DenseLu{a}, Error);
+}
+
+TEST(DenseLuTest, RandomRoundTrip) {
+  Rng rng(3);
+  const std::size_t n = 25;
+  DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += 5.0;  // diagonally dominant => nonsingular
+  }
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+  const Vector b = a.multiply(x_true);
+  const Vector x = DenseLu(a).solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(DenseLuTest, FromCsrPreservesEntries) {
+  CooBuilder b(2);
+  b.add(0, 0, 1.5);
+  b.add(1, 0, -2.0);
+  b.add(1, 1, 4.0);
+  const DenseMatrix d = DenseMatrix::from_csr(b.build());
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 4.0);
+}
+
+TEST(DenseLuTest, SolveRejectsWrongRhsSize) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  DenseLu lu(a);
+  EXPECT_THROW(lu.solve({1.0, 2.0, 3.0}), Error);
+}
+
+}  // namespace
+}  // namespace vstack::la

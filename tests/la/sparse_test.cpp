@@ -1,0 +1,111 @@
+#include "la/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::la {
+namespace {
+
+TEST(CooBuilderTest, AccumulatesDuplicates) {
+  CooBuilder b(3);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 2, -1.0);
+  const CsrMatrix a = b.build();
+  EXPECT_EQ(a.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 0.0);
+}
+
+TEST(CooBuilderTest, RejectsOutOfRangeStamp) {
+  CooBuilder b(2);
+  EXPECT_THROW(b.add(2, 0, 1.0), Error);
+  EXPECT_THROW(b.add(0, 5, 1.0), Error);
+}
+
+TEST(CooBuilderTest, RejectsZeroDimension) {
+  EXPECT_THROW(CooBuilder(0), Error);
+}
+
+TEST(CsrMatrixTest, MultiplyIdentity) {
+  CooBuilder b(4);
+  for (std::size_t i = 0; i < 4; ++i) b.add(i, i, 1.0);
+  const CsrMatrix a = b.build();
+  const Vector x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(a.multiply(x), x);
+}
+
+TEST(CsrMatrixTest, MultiplyGeneral) {
+  // [1 2; 3 4] * [5; 6] = [17; 39]
+  CooBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 3.0);
+  b.add(1, 1, 4.0);
+  const CsrMatrix a = b.build();
+  const Vector y = a.multiply({5.0, 6.0});
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(CsrMatrixTest, ColumnsSortedWithinRows) {
+  CooBuilder b(3);
+  b.add(0, 2, 1.0);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 1.0);
+  const CsrMatrix a = b.build();
+  ASSERT_EQ(a.nnz(), 3u);
+  EXPECT_EQ(a.col_idx()[0], 0u);
+  EXPECT_EQ(a.col_idx()[1], 1u);
+  EXPECT_EQ(a.col_idx()[2], 2u);
+}
+
+TEST(CsrMatrixTest, DiagonalExtraction) {
+  CooBuilder b(3);
+  b.add(0, 0, 2.0);
+  b.add(1, 2, 5.0);  // off-diagonal only in row 1
+  b.add(2, 2, -7.0);
+  const Vector d = b.build().diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -7.0);
+}
+
+TEST(CsrMatrixTest, SymmetryDetection) {
+  CooBuilder sym(3);
+  sym.add(0, 0, 2.0);
+  sym.add(0, 1, -1.0);
+  sym.add(1, 0, -1.0);
+  sym.add(1, 1, 2.0);
+  sym.add(2, 2, 1.0);
+  EXPECT_TRUE(sym.build().is_symmetric());
+
+  CooBuilder asym(2);
+  asym.add(0, 0, 1.0);
+  asym.add(0, 1, 0.5);
+  asym.add(1, 0, -0.5);
+  asym.add(1, 1, 1.0);
+  EXPECT_FALSE(asym.build().is_symmetric());
+}
+
+TEST(CsrMatrixTest, StructuralAsymmetryDetected) {
+  CooBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 1.0);  // (1,0) missing entirely
+  b.add(1, 1, 1.0);
+  EXPECT_FALSE(b.build().is_symmetric());
+}
+
+TEST(CsrMatrixTest, MultiplyRejectsWrongSize) {
+  CooBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  const CsrMatrix a = b.build();
+  Vector y;
+  EXPECT_THROW(a.multiply({1.0, 2.0, 3.0}, y), Error);
+}
+
+}  // namespace
+}  // namespace vstack::la

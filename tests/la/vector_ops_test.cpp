@@ -1,0 +1,52 @@
+#include "la/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::la {
+namespace {
+
+TEST(VectorOpsTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, -5.0, 6.0}), 12.0);
+  EXPECT_DOUBLE_EQ(dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, DotRejectsMismatch) {
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), Error);
+}
+
+TEST(VectorOpsTest, Norms) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0, 5.0}), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf({}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  Vector y{1.0, 1.0};
+  axpy(2.0, {3.0, -1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_THROW(axpy(1.0, {1.0}, y), Error);
+}
+
+TEST(VectorOpsTest, Xpby) {
+  Vector y{10.0, 20.0};
+  xpby({1.0, 2.0}, 0.5, y);  // y = x + 0.5 y
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(VectorOpsTest, SubtractAndFill) {
+  const Vector d = subtract({5.0, 3.0}, {2.0, 4.0});
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -1.0);
+  Vector v{1.0, 2.0, 3.0};
+  fill(v, 9.0);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 9.0);
+}
+
+}  // namespace
+}  // namespace vstack::la

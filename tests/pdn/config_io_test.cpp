@@ -1,0 +1,79 @@
+#include "pdn/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::pdn {
+namespace {
+
+TEST(ConfigIoTest, ParsesFullConfig) {
+  const auto cfg = parse_stackup_config(R"(
+# an 8-layer stack
+topology = stacked
+layers = 8
+vdd = 1.0
+tsv = few           ; aggressive allocation
+power_c4_fraction = 0.25
+vdd_pads_per_core = 32
+converters_per_core = 8
+converter_reference = ideal
+control = closed
+grid = 16
+)");
+  EXPECT_TRUE(cfg.is_voltage_stacked());
+  EXPECT_EQ(cfg.layer_count, 8u);
+  EXPECT_EQ(cfg.tsv.name, "Few TSV");
+  EXPECT_EQ(cfg.converters_per_core, 8u);
+  EXPECT_EQ(cfg.converter.control, sc::ControlPolicy::ClosedLoop);
+  EXPECT_EQ(cfg.grid_nx, 16u);
+}
+
+TEST(ConfigIoTest, DefaultsPreservedForOmittedKeys) {
+  StackupConfig base;
+  base.vdd_pads_per_core = 24;
+  const auto cfg = parse_stackup_config("layers = 4\n", base);
+  EXPECT_EQ(cfg.layer_count, 4u);
+  EXPECT_EQ(cfg.vdd_pads_per_core, 24u);
+}
+
+TEST(ConfigIoTest, RoundTrip) {
+  StackupConfig original;
+  original.topology = PdnTopology::VoltageStacked;
+  original.layer_count = 6;
+  original.tsv = TsvConfig::sparse();
+  original.converters_per_core = 4;
+  original.converter_reference = ConverterReference::AdjacentRails;
+  const auto text = write_stackup_config(original);
+  const auto reparsed = parse_stackup_config(text);
+  EXPECT_EQ(reparsed.layer_count, 6u);
+  EXPECT_EQ(reparsed.tsv.name, "Sparse TSV");
+  EXPECT_EQ(reparsed.converters_per_core, 4u);
+  EXPECT_EQ(reparsed.converter_reference, ConverterReference::AdjacentRails);
+}
+
+TEST(ConfigIoTest, RejectsUnknownKey) {
+  EXPECT_THROW(parse_stackup_config("frobnicate = 3\n"), Error);
+}
+
+TEST(ConfigIoTest, RejectsBadValues) {
+  EXPECT_THROW(parse_stackup_config("topology = sideways\n"), Error);
+  EXPECT_THROW(parse_stackup_config("tsv = plenty\n"), Error);
+  EXPECT_THROW(parse_stackup_config("layers = few\n"), Error);
+  EXPECT_THROW(parse_stackup_config("layers\n"), Error);
+}
+
+TEST(ConfigIoTest, ValidatesResult) {
+  // Voltage stacking with a single layer must be rejected by validate().
+  EXPECT_THROW(parse_stackup_config("topology = stacked\nlayers = 1\n"),
+               Error);
+}
+
+TEST(ConfigIoTest, CommentsAndWhitespaceTolerated) {
+  const auto cfg = parse_stackup_config(
+      "   layers   =   4   # trailing\n\n; whole-line comment\n");
+  EXPECT_EQ(cfg.layer_count, 4u);
+}
+
+}  // namespace
+}  // namespace vstack::pdn

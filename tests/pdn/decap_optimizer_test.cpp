@@ -1,0 +1,94 @@
+#include "pdn/decap_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "floorplan/floorplan.h"
+#include "power/core_power_model.h"
+
+namespace vstack::pdn {
+namespace {
+
+const floorplan::Floorplan& fp() {
+  static const floorplan::Floorplan f = floorplan::paper_layer_floorplan();
+  return f;
+}
+
+const power::CorePowerModel& cpm() {
+  static const power::CorePowerModel m =
+      power::CorePowerModel::cortex_a9_like();
+  return m;
+}
+
+PdnModel make_model(std::size_t layers) {
+  StackupConfig cfg;
+  cfg.layer_count = layers;
+  cfg.grid_nx = cfg.grid_ny = 8;
+  return PdnModel(cfg, fp());
+}
+
+DecapOptimizerOptions fast_options() {
+  DecapOptimizerOptions o;
+  o.transient.time_step = 2e-9;
+  o.transient.duration = 60e-9;
+  o.transient.step_time = 10e-9;
+  o.rounds = 1;
+  return o;
+}
+
+TEST(DecapOptimizerTest, ConservesTotalBudget) {
+  const auto model = make_model(4);
+  const auto opts = fast_options();
+  const auto r = optimize_layer_decap(model, cpm(),
+                                      std::vector<double>(4, 0.2),
+                                      std::vector<double>(4, 1.0), opts);
+  ASSERT_EQ(r.layer_density.size(), 4u);
+  const double total =
+      std::accumulate(r.layer_density.begin(), r.layer_density.end(), 0.0);
+  EXPECT_NEAR(total, 4.0 * opts.transient.decap_density, 1e-12);
+  for (double d : r.layer_density) EXPECT_GT(d, 0.0);
+}
+
+TEST(DecapOptimizerTest, NeverWorseThanUniform) {
+  const auto model = make_model(4);
+  const auto r = optimize_layer_decap(model, cpm(),
+                                      std::vector<double>(4, 0.2),
+                                      std::vector<double>(4, 1.0),
+                                      fast_options());
+  EXPECT_LE(r.peak_noise, r.uniform_noise + 1e-12);
+}
+
+TEST(DecapOptimizerTest, PerLayerOverrideMatchesScalar) {
+  // A uniform per-layer vector must reproduce the scalar-density result.
+  const auto model = make_model(2);
+  const auto opts = fast_options();
+  const std::vector<double> before{0.3, 0.3}, after{1.0, 1.0};
+  const double scalar = peak_noise_for_allocation(
+      model, cpm(), before, after,
+      std::vector<double>(2, opts.transient.decap_density), opts.transient);
+  PdnTransientOptions plain = opts.transient;
+  const double direct =
+      simulate_load_step(model, cpm(), before, after, plain).peak_noise;
+  EXPECT_NEAR(scalar, direct, 1e-6);
+}
+
+TEST(DecapOptimizerTest, RejectsBadShiftFraction) {
+  const auto model = make_model(2);
+  DecapOptimizerOptions o = fast_options();
+  o.shift_fraction = 1.0;
+  EXPECT_THROW(optimize_layer_decap(model, cpm(), {0.3, 0.3}, {1.0, 1.0}, o),
+               Error);
+}
+
+TEST(DecapOptimizerTest, TransientRejectsMismatchedVector) {
+  const auto model = make_model(2);
+  PdnTransientOptions o = fast_options().transient;
+  o.layer_decap_density = {0.005};  // wrong size for 2 layers
+  EXPECT_THROW(
+      simulate_load_step(model, cpm(), {0.3, 0.3}, {1.0, 1.0}, o), Error);
+}
+
+}  // namespace
+}  // namespace vstack::pdn

@@ -1,0 +1,191 @@
+#include "pdn/network.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "floorplan/floorplan.h"
+
+namespace vstack::pdn {
+namespace {
+
+const floorplan::Floorplan& paper_fp() {
+  static const floorplan::Floorplan fp = floorplan::paper_layer_floorplan();
+  return fp;
+}
+
+std::size_t count_kind(const PdnNetwork& net, ConductorKind kind) {
+  std::size_t n = 0;
+  for (const auto& g : net.conductors()) {
+    if (g.kind == kind) n += g.count;
+  }
+  return n;
+}
+
+TEST(DistributeTest, ExactAndBalanced) {
+  const auto d = PdnNetwork::distribute(10, 4);
+  EXPECT_EQ(std::accumulate(d.begin(), d.end(), 0u), 10u);
+  for (auto c : d) {
+    EXPECT_GE(c, 2u);
+    EXPECT_LE(c, 3u);
+  }
+}
+
+TEST(DistributeTest, SparseSpreadsEvenly) {
+  // 3 items over 9 slots: every third slot.
+  const auto d = PdnNetwork::distribute(3, 9);
+  EXPECT_EQ(std::accumulate(d.begin(), d.end(), 0u), 3u);
+  EXPECT_EQ(d[2], 1u);
+  EXPECT_EQ(d[5], 1u);
+  EXPECT_EQ(d[8], 1u);
+}
+
+TEST(DistributeTest, ZeroItems) {
+  const auto d = PdnNetwork::distribute(0, 5);
+  EXPECT_EQ(std::accumulate(d.begin(), d.end(), 0u), 0u);
+}
+
+TEST(NetworkTest, NodeCount) {
+  StackupConfig cfg;
+  cfg.layer_count = 2;
+  PdnNetwork net(cfg, paper_fp());
+  EXPECT_EQ(net.node_count(), 2u + 2u * 2u * 32u * 32u);
+}
+
+TEST(NetworkTest, NodeIndicesDisjoint) {
+  StackupConfig cfg;
+  cfg.layer_count = 2;
+  PdnNetwork net(cfg, paper_fp());
+  EXPECT_NE(net.vdd_node(0, 0), net.gnd_node(0, 0));
+  EXPECT_NE(net.vdd_node(0, 5), net.vdd_node(1, 5));
+  EXPECT_THROW(net.vdd_node(2, 0), Error);
+  EXPECT_THROW(net.gnd_node(0, 32 * 32), Error);
+}
+
+TEST(NetworkTest, RegularPadCountsMatchFraction) {
+  StackupConfig cfg;
+  cfg.layer_count = 2;
+  cfg.power_c4_fraction = 0.25;
+  PdnNetwork net(cfg, paper_fp());
+  // 33 x 33 = 1089 sites; 25% ~ 272 power pads, alternating Vdd/Gnd.
+  const std::size_t vdd = count_kind(net, ConductorKind::C4Vdd);
+  const std::size_t gnd = count_kind(net, ConductorKind::C4Gnd);
+  EXPECT_NEAR(static_cast<double>(vdd + gnd), 0.25 * 1089.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(vdd), static_cast<double>(gnd), 1.0);
+}
+
+TEST(NetworkTest, RegularTsvCounts) {
+  StackupConfig cfg;
+  cfg.layer_count = 4;
+  cfg.tsv = TsvConfig::few();
+  PdnNetwork net(cfg, paper_fp());
+  // Per interface: 16 cores * 55 per net; 3 interfaces.
+  EXPECT_EQ(count_kind(net, ConductorKind::TsvVdd), 3u * 16u * 55u);
+  EXPECT_EQ(count_kind(net, ConductorKind::TsvGnd), 3u * 16u * 55u);
+  EXPECT_EQ(count_kind(net, ConductorKind::RecyclingTsv), 0u);
+  EXPECT_TRUE(net.converters().empty());
+}
+
+TEST(NetworkTest, StackedStructure) {
+  StackupConfig cfg;
+  cfg.topology = PdnTopology::VoltageStacked;
+  cfg.layer_count = 4;
+  cfg.vdd_pads_per_core = 32;
+  cfg.converters_per_core = 8;
+  PdnNetwork net(cfg, paper_fp());
+
+  EXPECT_EQ(count_kind(net, ConductorKind::ThroughVia), 16u * 32u);
+  EXPECT_EQ(count_kind(net, ConductorKind::C4Gnd), 16u * 32u);
+  EXPECT_EQ(count_kind(net, ConductorKind::C4Vdd), 0u);
+  EXPECT_EQ(count_kind(net, ConductorKind::RecyclingTsv), 3u * 16u * 55u);
+  // Converters: per core, per intermediate rail.
+  EXPECT_EQ(net.converters().size(), 16u * 8u * 3u);
+}
+
+TEST(NetworkTest, ThroughViaChainResistanceAndSegments) {
+  StackupConfig cfg;
+  cfg.topology = PdnTopology::VoltageStacked;
+  cfg.layer_count = 4;
+  PdnNetwork net(cfg, paper_fp());
+  for (const auto& g : net.conductors()) {
+    if (g.kind == ConductorKind::ThroughVia) {
+      EXPECT_NEAR(g.unit_resistance,
+                  cfg.params.c4_resistance + 3.0 * cfg.params.tsv_resistance,
+                  1e-12);
+      EXPECT_EQ(g.em_segments, 3u);
+    }
+  }
+}
+
+TEST(NetworkTest, ConverterLevelsAndNodes) {
+  StackupConfig cfg;
+  cfg.topology = PdnTopology::VoltageStacked;
+  cfg.layer_count = 3;
+  cfg.converters_per_core = 2;
+  PdnNetwork net(cfg, paper_fp());
+  for (const auto& conv : net.converters()) {
+    EXPECT_GE(conv.level, 1u);
+    EXPECT_LE(conv.level, 2u);
+    EXPECT_GT(conv.r_series, 0.0);
+    EXPECT_NE(conv.out, conv.top);
+    EXPECT_NE(conv.out, conv.bottom);
+  }
+}
+
+TEST(NetworkTest, LoadsScaleWithActivity) {
+  StackupConfig cfg;
+  cfg.layer_count = 2;
+  PdnNetwork net(cfg, paper_fp());
+  const auto model = power::CorePowerModel::cortex_a9_like();
+  const auto full = net.build_loads(model, {1.0, 1.0});
+  const auto idle = net.build_loads(model, {0.0, 0.0});
+  double i_full = 0.0, i_idle = 0.0;
+  for (const auto& l : full) i_full += l.current;
+  for (const auto& l : idle) i_idle += l.current;
+  // Full: 2 layers * 7.6 W / 1 V; idle: leakage only (0.76 W per layer).
+  EXPECT_NEAR(i_full, 15.2, 1e-6);
+  EXPECT_NEAR(i_idle, 1.52, 1e-6);
+}
+
+TEST(NetworkTest, PerCoreLoadsLocalize) {
+  StackupConfig cfg;
+  cfg.layer_count = 1;
+  cfg.topology = PdnTopology::Regular3d;
+  PdnNetwork net(cfg, paper_fp());
+  const auto model = power::CorePowerModel::cortex_a9_like();
+  std::vector<std::vector<double>> acts{std::vector<double>(16, 0.0)};
+  acts[0][3] = 1.0;
+  const auto loads = net.build_loads_per_core(model, acts);
+  double total = 0.0;
+  for (const auto& l : loads) total += l.current;
+  EXPECT_NEAR(total, model.total_power(1.0) + 15.0 * model.total_power(0.0),
+              1e-6);
+}
+
+TEST(NetworkTest, RejectsOverfullPadAllocation) {
+  StackupConfig cfg;
+  cfg.topology = PdnTopology::VoltageStacked;
+  cfg.layer_count = 2;
+  cfg.vdd_pads_per_core = 200;  // way more than ~68 sites per tile
+  EXPECT_THROW(PdnNetwork(cfg, paper_fp()), Error);
+}
+
+TEST(NetworkTest, ValidationRejectsStackedSingleLayer) {
+  StackupConfig cfg;
+  cfg.topology = PdnTopology::VoltageStacked;
+  cfg.layer_count = 1;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(NetworkTest, SupplyVoltageScalesWithLayers) {
+  StackupConfig cfg;
+  cfg.topology = PdnTopology::VoltageStacked;
+  cfg.layer_count = 8;
+  EXPECT_DOUBLE_EQ(cfg.supply_voltage(), 8.0);
+  cfg.topology = PdnTopology::Regular3d;
+  EXPECT_DOUBLE_EQ(cfg.supply_voltage(), 1.0);
+}
+
+}  // namespace
+}  // namespace vstack::pdn

@@ -1,0 +1,74 @@
+#include "pdn/params.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vstack::pdn {
+namespace {
+
+TEST(PdnParametersTest, Table1Defaults) {
+  const PdnParameters p;
+  EXPECT_DOUBLE_EQ(p.c4_pitch, 200e-6);
+  EXPECT_DOUBLE_EQ(p.c4_resistance, 10e-3);
+  EXPECT_DOUBLE_EQ(p.tsv_min_pitch, 10e-6);
+  EXPECT_DOUBLE_EQ(p.tsv_diameter, 5e-6);
+  EXPECT_NEAR(p.tsv_resistance, 44.539e-3, 1e-12);
+  EXPECT_NEAR(p.tsv_koz_side, 9.88e-6, 1e-12);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PdnParametersTest, SheetResistanceFormula) {
+  const PdnParameters p;
+  // rho * pitch / (w * t) = 2.2e-8 * 810e-6 / (400e-6 * 0.72e-6).
+  EXPECT_NEAR(p.sheet_resistance(),
+              2.2e-8 * 810e-6 / (400e-6 * 0.72e-6), 1e-9);
+}
+
+TEST(PdnParametersTest, KozAreaIsSquareOfSide) {
+  const PdnParameters p;
+  EXPECT_NEAR(p.tsv_koz_area(), 9.88e-6 * 9.88e-6, 1e-18);
+}
+
+TEST(PdnParametersTest, ValidationCatchesBadGeometry) {
+  PdnParameters p;
+  p.tsv_diameter = 20e-6;  // larger than the keep-out zone
+  EXPECT_THROW(p.validate(), Error);
+  p = PdnParameters{};
+  p.grid_width = p.grid_pitch;  // strap as wide as the pitch
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(TsvConfigTest, Table2Counts) {
+  EXPECT_EQ(TsvConfig::dense().tsvs_per_core, 6650u);
+  EXPECT_EQ(TsvConfig::sparse().tsvs_per_core, 1675u);
+  EXPECT_EQ(TsvConfig::few().tsvs_per_core, 110u);
+  EXPECT_EQ(TsvConfig::few().vdd_tsvs_per_core(), 55u);  // "55 per core"
+}
+
+TEST(TsvConfigTest, AreaOverheadsMatchTable2) {
+  // Core tile: 44.12 mm^2 / 16.  Paper's Table 2 reports 24.2%, 6.1%, 0.4%;
+  // pure KoZ-count accounting gives 23.5%, 5.9%, 0.39%.
+  const PdnParameters p;
+  const double core_area = 44.12e-6 / 16.0;
+  EXPECT_NEAR(TsvConfig::dense().area_overhead(p, core_area), 0.235, 0.01);
+  EXPECT_NEAR(TsvConfig::sparse().area_overhead(p, core_area), 0.059, 0.005);
+  EXPECT_NEAR(TsvConfig::few().area_overhead(p, core_area), 0.0039, 0.0005);
+}
+
+TEST(TsvConfigTest, PaperConfigsOrdering) {
+  const auto configs = TsvConfig::paper_configs();
+  ASSERT_EQ(configs.size(), 3u);
+  EXPECT_GT(configs[0].tsvs_per_core, configs[1].tsvs_per_core);
+  EXPECT_GT(configs[1].tsvs_per_core, configs[2].tsvs_per_core);
+}
+
+TEST(TsvConfigTest, Validation) {
+  TsvConfig c = TsvConfig::few();
+  c.tsvs_per_core = 1;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+}  // namespace
+}  // namespace vstack::pdn

@@ -1,0 +1,131 @@
+// Physics-property tests on the PDN solver: linearity, superposition and
+// monotonicity hold for any resistive network, so violations indicate
+// assembly or extraction bugs rather than modeling choices.
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.h"
+#include "pdn/solver.h"
+#include "power/core_power_model.h"
+
+namespace vstack::pdn {
+namespace {
+
+const floorplan::Floorplan& fp() {
+  static const floorplan::Floorplan f = floorplan::paper_layer_floorplan();
+  return f;
+}
+
+StackupConfig small(PdnTopology topology) {
+  StackupConfig cfg;
+  cfg.topology = topology;
+  cfg.layer_count = 2;
+  cfg.grid_nx = cfg.grid_ny = 8;
+  return cfg;
+}
+
+std::vector<LoadInjection> scaled(std::vector<LoadInjection> loads,
+                                  double factor) {
+  for (auto& l : loads) l.current *= factor;
+  return loads;
+}
+
+TEST(PdnPropertiesTest, DroopIsLinearInLoad) {
+  // Deviations from nominal scale exactly with the load currents (the
+  // network is linear; the supply offset cancels in the deviation).
+  PdnModel model(small(PdnTopology::Regular3d), fp());
+  const auto cpm = power::CorePowerModel::cortex_a9_like();
+  const auto loads = model.network().build_loads(cpm, {0.5, 0.5});
+  const auto s1 = model.solve(loads);
+  const auto s2 = model.solve(scaled(loads, 2.0));
+  EXPECT_NEAR(s2.max_node_deviation_fraction,
+              2.0 * s1.max_node_deviation_fraction,
+              0.02 * s2.max_node_deviation_fraction);
+  EXPECT_NEAR(s2.supply_current, 2.0 * s1.supply_current,
+              0.01 * s2.supply_current);
+}
+
+TEST(PdnPropertiesTest, SuperpositionOfLoadSets) {
+  // Voltages for (A + B) equal voltages(A) + voltages(B) - voltages(0)
+  // (the zero-load solve carries the supply offset once).
+  PdnModel model(small(PdnTopology::Regular3d), fp());
+  const auto cpm = power::CorePowerModel::cortex_a9_like();
+  const auto all = model.network().build_loads(cpm, {0.8, 0.3});
+  std::vector<LoadInjection> a(all.begin(), all.begin() + all.size() / 2);
+  std::vector<LoadInjection> b(all.begin() + all.size() / 2, all.end());
+
+  PdnSolveOptions tight;
+  tight.iterative.relative_tolerance = 1e-12;
+  const auto s_all = model.solve(all, tight);
+  const auto s_a = model.solve(a, tight);
+  const auto s_b = model.solve(b, tight);
+  const auto s_zero = model.solve({}, tight);
+
+  for (std::size_t i = 0; i < s_all.node_voltages.size(); i += 37) {
+    EXPECT_NEAR(s_all.node_voltages[i],
+                s_a.node_voltages[i] + s_b.node_voltages[i] -
+                    s_zero.node_voltages[i],
+                1e-6);
+  }
+}
+
+TEST(PdnPropertiesTest, ZeroLoadHasNoDroop) {
+  PdnModel model(small(PdnTopology::Regular3d), fp());
+  const auto s = model.solve({});
+  EXPECT_NEAR(s.max_node_deviation_fraction, 0.0, 1e-6);
+  EXPECT_NEAR(s.supply_current, 0.0, 1e-6);
+}
+
+TEST(PdnPropertiesTest, StackedZeroLoadHoldsNominalRails) {
+  PdnModel model(small(PdnTopology::VoltageStacked), fp());
+  const auto s = model.solve({});
+  EXPECT_NEAR(s.max_node_deviation_fraction, 0.0, 1e-6);
+}
+
+TEST(PdnPropertiesTest, AddingLoadNeverHelps) {
+  // Monotonicity: extra load current can only increase the worst droop.
+  PdnModel model(small(PdnTopology::Regular3d), fp());
+  const auto cpm = power::CorePowerModel::cortex_a9_like();
+  const auto half = model.network().build_loads(cpm, {0.5, 0.0});
+  const auto full = model.network().build_loads(cpm, {0.5, 0.9});
+  EXPECT_LE(model.solve(half).max_ir_drop_fraction,
+            model.solve(full).max_ir_drop_fraction + 1e-12);
+}
+
+TEST(PdnPropertiesTest, CachedResolveMatchesColdSolve) {
+  // The matrix/preconditioner cache and warm start must not change answers.
+  const auto cpm = power::CorePowerModel::cortex_a9_like();
+  PdnModel warm(small(PdnTopology::VoltageStacked), fp());
+  const auto loads_a = warm.network().build_loads(cpm, {1.0, 0.4});
+  const auto loads_b = warm.network().build_loads(cpm, {0.2, 0.9});
+  (void)warm.solve(loads_a);           // populate cache + warm start
+  const auto warm_b = warm.solve(loads_b);
+
+  PdnModel cold(small(PdnTopology::VoltageStacked), fp());
+  const auto cold_b = cold.solve(loads_b);
+  EXPECT_NEAR(warm_b.max_node_deviation_fraction,
+              cold_b.max_node_deviation_fraction, 5e-6);
+  EXPECT_NEAR(warm_b.supply_current, cold_b.supply_current, 1e-5);
+}
+
+// Parameterized: conservation of current at every activity level -- the
+// sum of pad currents equals twice the total load current (Vdd + return).
+class ConservationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConservationSweep, PadCurrentsBalanceLoads) {
+  PdnModel model(small(PdnTopology::Regular3d), fp());
+  const auto cpm = power::CorePowerModel::cortex_a9_like();
+  const double act = GetParam();
+  const auto loads = model.network().build_loads(cpm, {act, act});
+  double total_load = 0.0;
+  for (const auto& l : loads) total_load += l.current;
+  const auto s = model.solve(loads);
+  double pad_total = 0.0;
+  for (double i : s.c4_pad_currents) pad_total += i;
+  EXPECT_NEAR(pad_total, 2.0 * total_load, 0.01 * (1.0 + pad_total));
+}
+
+INSTANTIATE_TEST_SUITE_P(Activities, ConservationSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace vstack::pdn

@@ -1,0 +1,73 @@
+#include "power/core_power_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vstack::power {
+namespace {
+
+TEST(CorePowerModelTest, CalibratedToPaperTotals) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  // 16 cores: 7.6 W peak, 44.12 mm^2 (paper Sec. 4.1).
+  EXPECT_NEAR(16.0 * model.peak_total_power(), 7.6, 1e-9);
+  EXPECT_NEAR(16.0 * model.area() / units::mm2, 44.12, 1e-6);
+  EXPECT_DOUBLE_EQ(model.nominal_vdd(), 1.0);
+  EXPECT_DOUBLE_EQ(model.nominal_frequency(), 1e9);
+}
+
+TEST(CorePowerModelTest, LeakageIsTenPercentOfPeak) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  EXPECT_NEAR(model.leakage_power() / model.peak_total_power(), 0.10, 1e-9);
+}
+
+TEST(CorePowerModelTest, DynamicScalesLinearlyWithActivity) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  EXPECT_NEAR(model.dynamic_power(0.5), 0.5 * model.peak_dynamic_power(),
+              1e-12);
+  EXPECT_DOUBLE_EQ(model.dynamic_power(0.0), 0.0);
+}
+
+TEST(CorePowerModelTest, DynamicScalesWithVSquaredF) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  const double base = model.dynamic_power(1.0, 1.0, 1e9);
+  EXPECT_NEAR(model.dynamic_power(1.0, 0.9, 1e9), base * 0.81, 1e-12);
+  EXPECT_NEAR(model.dynamic_power(1.0, 1.0, 2e9), base * 2.0, 1e-12);
+}
+
+TEST(CorePowerModelTest, LeakageScalesWithV) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  EXPECT_NEAR(model.leakage_power(0.9), 0.9 * model.leakage_power(), 1e-12);
+}
+
+TEST(CorePowerModelTest, TotalPowerAtIdleIsLeakage) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  EXPECT_NEAR(model.total_power(0.0), model.leakage_power(), 1e-12);
+}
+
+TEST(CorePowerModelTest, BlockPowersSumToTotal) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  const auto blocks = model.block_powers(0.7);
+  double sum = 0.0;
+  for (double p : blocks) sum += p;
+  EXPECT_NEAR(sum, model.total_power(0.7), 1e-12);
+}
+
+TEST(CorePowerModelTest, RejectsOutOfRangeActivity) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  EXPECT_THROW(model.dynamic_power(-0.1), Error);
+  EXPECT_THROW(model.dynamic_power(1.1), Error);
+}
+
+TEST(CorePowerModelTest, RejectsEmptyBlockList) {
+  EXPECT_THROW(CorePowerModel({}, 1.0, 1e9), Error);
+}
+
+TEST(CorePowerModelTest, RejectsNonPositiveArea) {
+  EXPECT_THROW(
+      CorePowerModel({BlockPower{"b", 0.1, 0.01, 0.0}}, 1.0, 1e9), Error);
+}
+
+}  // namespace
+}  // namespace vstack::power

@@ -1,0 +1,69 @@
+#include "power/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::power {
+namespace {
+
+const ApplicationProfile& app() {
+  static const auto profiles = parsec_profiles();
+  return profiles[1];  // bodytrack: wide support
+}
+
+TEST(TraceTest, StaysWithinSupport) {
+  Rng rng(3);
+  const auto trace = generate_trace(app(), 500, 0.8, rng);
+  EXPECT_GE(trace.min(), app().activity_lo);
+  EXPECT_LE(trace.max(), app().activity_hi);
+  EXPECT_EQ(trace.activities.size(), 500u);
+  EXPECT_EQ(trace.application, app().name);
+}
+
+TEST(TraceTest, ZeroCorrelationMatchesIndependentSampling) {
+  Rng rng(5);
+  const auto trace = generate_trace(app(), 4000, 0.0, rng);
+  // Lag-1 autocorrelation near zero for independent draws.
+  EXPECT_NEAR(lag1_autocorrelation(trace), 0.0, 0.05);
+}
+
+TEST(TraceTest, HighCorrelationProducesSmoothTrace) {
+  Rng rng(7);
+  const auto smooth = generate_trace(app(), 4000, 0.9, rng);
+  const auto rough = generate_trace(app(), 4000, 0.1, rng);
+  EXPECT_GT(lag1_autocorrelation(smooth), 0.7);
+  EXPECT_LT(lag1_autocorrelation(rough), 0.4);
+}
+
+TEST(TraceTest, MeanTracksProfileCenter) {
+  Rng rng(11);
+  const auto trace = generate_trace(app(), 8000, 0.5, rng);
+  const double center = 0.5 * (app().activity_lo + app().activity_hi);
+  EXPECT_NEAR(trace.mean(), center, 0.05);
+}
+
+TEST(TraceTest, CorrelationNarrowsShortWindowSpread) {
+  // Over a SHORT window, a correlated trace wanders less than an
+  // independent one -- the reason phase behaviour matters for scheduling.
+  Rng rng_a(13), rng_b(13);
+  const auto corr = generate_trace(app(), 20, 0.95, rng_a);
+  const auto indep = generate_trace(app(), 20, 0.0, rng_b);
+  EXPECT_LT(corr.max() - corr.min(), indep.max() - indep.min());
+}
+
+TEST(TraceTest, Validation) {
+  Rng rng(1);
+  EXPECT_THROW(generate_trace(app(), 0, 0.5, rng), Error);
+  EXPECT_THROW(generate_trace(app(), 10, 1.0, rng), Error);
+  EXPECT_THROW(generate_trace(app(), 10, -0.1, rng), Error);
+}
+
+TEST(TraceTest, AutocorrelationRequiresSamples) {
+  ActivityTrace t;
+  t.activities = {0.5, 0.6};
+  EXPECT_THROW(lag1_autocorrelation(t), Error);
+}
+
+}  // namespace
+}  // namespace vstack::power

@@ -1,0 +1,134 @@
+#include "power/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vstack::power {
+namespace {
+
+TEST(WorkloadTest, ThirteenParsecApplications) {
+  const auto profiles = parsec_profiles();
+  EXPECT_EQ(profiles.size(), 13u);
+  for (const auto& p : profiles) EXPECT_NO_THROW(p.validate());
+}
+
+TEST(WorkloadTest, BlackscholesIsTightest) {
+  // Paper: best-case application shows ~10% maximum imbalance.
+  const auto profiles = parsec_profiles();
+  const auto black = std::find_if(
+      profiles.begin(), profiles.end(),
+      [](const auto& p) { return p.name == "blackscholes"; });
+  ASSERT_NE(black, profiles.end());
+  EXPECT_NEAR(black->support_imbalance(), 0.10, 0.02);
+  for (const auto& p : profiles) {
+    EXPECT_GE(p.support_imbalance(), black->support_imbalance() - 1e-12);
+  }
+}
+
+TEST(WorkloadTest, WorstApplicationExceedsNinetyPercent) {
+  double worst = 0.0;
+  for (const auto& p : parsec_profiles()) {
+    worst = std::max(worst, p.support_imbalance());
+  }
+  EXPECT_GT(worst, 0.90);
+}
+
+TEST(WorkloadTest, MeanMaxImbalanceNearPaperValue) {
+  // Paper: "the applications have a maximum-imbalance ratio of 65%" on
+  // average.
+  const auto model = CorePowerModel::cortex_a9_like();
+  Rng rng(2015);
+  const auto campaign = run_sampling_campaign(model, kPaperSampleCount, rng);
+  EXPECT_EQ(campaign.size(), 13u);
+  const double mean_imb = mean_max_imbalance(campaign);
+  EXPECT_GT(mean_imb, 0.55);
+  EXPECT_LT(mean_imb, 0.72);
+}
+
+TEST(WorkloadTest, SamplesStayWithinSupport) {
+  Rng rng(7);
+  const auto profiles = parsec_profiles();
+  for (const auto& p : profiles) {
+    for (int i = 0; i < 200; ++i) {
+      const double a = sample_activity(p, rng);
+      EXPECT_GE(a, p.activity_lo);
+      EXPECT_LE(a, p.activity_hi);
+    }
+  }
+}
+
+TEST(WorkloadTest, PowerSamplesAboveLeakageFloor) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  Rng rng(11);
+  const auto powers =
+      sample_core_powers(model, parsec_profiles()[0], 100, rng);
+  for (double p : powers) {
+    EXPECT_GT(p, model.leakage_power());
+    EXPECT_LE(p, model.peak_total_power() + 1e-12);
+  }
+}
+
+TEST(WorkloadTest, MaxImbalanceRatioComputation) {
+  // Dynamic powers 0.4 and 0.1 on a 0.05 leakage floor:
+  // imbalance = 1 - 0.1/0.4 = 75%.
+  const double imb = max_imbalance_ratio({0.45, 0.15, 0.30}, 0.05);
+  EXPECT_NEAR(imb, 0.75, 1e-12);
+}
+
+TEST(WorkloadTest, MaxImbalanceRejectsSingleton) {
+  EXPECT_THROW(max_imbalance_ratio({1.0}, 0.0), Error);
+}
+
+TEST(WorkloadTest, CampaignIsDeterministicForSeed) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  Rng rng_a(99), rng_b(99);
+  const auto a = run_sampling_campaign(model, 100, rng_a);
+  const auto b = run_sampling_campaign(model, 100, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].power.median, b[i].power.median);
+    EXPECT_DOUBLE_EQ(a[i].max_imbalance, b[i].max_imbalance);
+  }
+}
+
+TEST(WorkloadTest, InterleavedPattern) {
+  const auto acts = interleaved_layer_activities(4, 0.6);
+  ASSERT_EQ(acts.size(), 4u);
+  EXPECT_DOUBLE_EQ(acts[0], 1.0);
+  EXPECT_DOUBLE_EQ(acts[1], 0.4);
+  EXPECT_DOUBLE_EQ(acts[2], 1.0);
+  EXPECT_DOUBLE_EQ(acts[3], 0.4);
+}
+
+TEST(WorkloadTest, InterleavedFullImbalanceIdlesEvenLayers) {
+  const auto acts = interleaved_layer_activities(3, 1.0);
+  EXPECT_DOUBLE_EQ(acts[1], 0.0);
+}
+
+TEST(WorkloadTest, InterleavedRejectsBadInputs) {
+  EXPECT_THROW(interleaved_layer_activities(0, 0.5), Error);
+  EXPECT_THROW(interleaved_layer_activities(2, 1.5), Error);
+}
+
+// Property sweep: per-application max imbalance measured from samples must
+// approach (and never exceed) the support-bound imbalance.
+class PerAppImbalance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PerAppImbalance, SampledImbalanceTracksSupport) {
+  const auto model = CorePowerModel::cortex_a9_like();
+  const auto profiles = parsec_profiles();
+  const auto& p = profiles[GetParam()];
+  Rng rng(1234 + GetParam());
+  const auto powers = sample_core_powers(model, p, 1000, rng);
+  const double measured = max_imbalance_ratio(powers, model.leakage_power());
+  EXPECT_LE(measured, p.support_imbalance() + 1e-9) << p.name;
+  EXPECT_GT(measured, 0.75 * p.support_imbalance()) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PerAppImbalance,
+                         ::testing::Range<std::size_t>(0, 13));
+
+}  // namespace
+}  // namespace vstack::power

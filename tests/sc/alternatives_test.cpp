@@ -1,0 +1,134 @@
+// Tests for the alternative regulator models (linear, buck) and their
+// relationships to the SC converter the paper argues for.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sc/buck_converter.h"
+#include "sc/compact_model.h"
+#include "sc/linear_regulator.h"
+
+namespace vstack::sc {
+namespace {
+
+TEST(LinearRegulatorTest, OutputTracksMidpointMinusDrop) {
+  LinearRegulatorModel model(LinearRegulatorDesign{});
+  const auto op = model.evaluate(2.0, 0.0, 50e-3);
+  EXPECT_NEAR(op.output_voltage, 1.0 - 50e-3 * 0.05, 1e-12);
+  EXPECT_GT(op.pass_device_loss, 0.0);
+}
+
+TEST(LinearRegulatorTest, EfficiencyNearHalfFor2To1) {
+  // A linear regulator dropping half the span cannot exceed ~50%.
+  LinearRegulatorModel model(LinearRegulatorDesign{});
+  const auto op = model.evaluate(2.0, 0.0, 80e-3);
+  EXPECT_LT(op.efficiency, 0.55);
+  EXPECT_GT(op.efficiency, 0.40);
+}
+
+TEST(LinearRegulatorTest, SinkBurnsLowerHeadroom) {
+  LinearRegulatorModel model(LinearRegulatorDesign{});
+  const auto op = model.evaluate(2.0, 0.0, -40e-3);
+  EXPECT_GT(op.output_voltage, 1.0);
+  // Sinking burns (v_out - v_bottom) ~ 1 V of headroom.
+  EXPECT_NEAR(op.pass_device_loss, 40e-3 * op.output_voltage, 1e-9);
+}
+
+TEST(LinearRegulatorTest, QuiescentLossAtZeroLoad) {
+  LinearRegulatorDesign d;
+  d.quiescent_current = 1e-3;
+  LinearRegulatorModel model(d);
+  const auto op = model.evaluate(2.0, 0.0, 0.0);
+  EXPECT_NEAR(op.quiescent_loss, 2e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(op.efficiency, 0.0);
+}
+
+TEST(LinearRegulatorTest, CurrentLimit) {
+  LinearRegulatorModel model(LinearRegulatorDesign{});
+  EXPECT_TRUE(model.evaluate(2.0, 0.0, 0.1).within_current_limit);
+  EXPECT_FALSE(model.evaluate(2.0, 0.0, 0.11).within_current_limit);
+}
+
+TEST(LinearRegulatorTest, Validation) {
+  LinearRegulatorDesign d;
+  d.output_resistance = 0.0;
+  EXPECT_THROW(LinearRegulatorModel{d}, Error);
+}
+
+TEST(LinearRegulatorTest, ScBeatsLinearAtModerateCurrent) {
+  // The paper's core argument for SC regulation: energy-storage converters
+  // recycle the mismatch charge instead of burning headroom.
+  const ScCompactModel sc_model{ScConverterDesign{}};
+  const LinearRegulatorModel lin_model{LinearRegulatorDesign{}};
+  for (double i = 20e-3; i <= 100e-3; i += 20e-3) {
+    EXPECT_GT(sc_model.evaluate(2.0, 0.0, i).efficiency,
+              lin_model.evaluate(2.0, 0.0, i).efficiency)
+        << "at " << i;
+  }
+}
+
+TEST(BuckTest, OutputIsHalfInputMinusDrop) {
+  BuckConverterModel model(BuckConverterDesign{});
+  const auto op = model.evaluate(2.0, 0.0, 50e-3);
+  EXPECT_NEAR(op.output_voltage,
+              1.0 - 50e-3 * (0.1 + 0.15), 1e-12);
+}
+
+TEST(BuckTest, RippleScalesInverselyWithLf) {
+  BuckConverterDesign d;
+  BuckConverterModel base(d);
+  d.inductance *= 2.0;
+  BuckConverterModel big_l(d);
+  const auto r1 = base.evaluate(2.0, 0.0, 50e-3).ripple_current;
+  const auto r2 = big_l.evaluate(2.0, 0.0, 50e-3).ripple_current;
+  EXPECT_NEAR(r1 / r2, 2.0, 1e-9);
+}
+
+TEST(BuckTest, EnergyBalance) {
+  BuckConverterModel model(BuckConverterDesign{});
+  const auto op = model.evaluate(2.0, 0.0, 60e-3);
+  EXPECT_NEAR(op.input_power,
+              op.output_power + op.conduction_loss + op.switching_loss,
+              1e-15);
+  EXPECT_LT(op.efficiency, 1.0);
+}
+
+TEST(BuckTest, AreaDominatedByInductor) {
+  const BuckConverterDesign d;
+  // 50 nH at 20 nH/mm^2 -> 2.5 mm^2 of inductor.
+  EXPECT_NEAR(d.area(), 2.5e-6 + d.control_area, 1e-12);
+}
+
+TEST(BuckTest, ScSmallerThanBuckOnChip) {
+  // Integrated inductors are the buck's Achilles heel: the SC converter
+  // with high-density caps is >20x smaller.
+  const BuckConverterDesign buck;
+  EXPECT_GT(buck.area(), 20.0 * 0.102e-6);
+}
+
+TEST(BuckTest, Validation) {
+  BuckConverterDesign d;
+  d.inductance = 0.0;
+  EXPECT_THROW(BuckConverterModel{d}, Error);
+}
+
+TEST(BuckTest, CurrentLimitFlagged) {
+  BuckConverterModel model(BuckConverterDesign{});
+  EXPECT_FALSE(model.evaluate(2.0, 0.0, 0.2).within_current_limit);
+}
+
+// Cross-model property: all three regulators agree on the ideal midpoint
+// at zero load.
+TEST(RegulatorFamilyTest, AllRegulateTowardMidpoint) {
+  const ScCompactModel sc_model{ScConverterDesign{}};
+  const LinearRegulatorModel lin{LinearRegulatorDesign{}};
+  const BuckConverterModel buck{BuckConverterDesign{}};
+  for (double v_top : {1.0, 2.0, 3.0}) {
+    const double mid = 0.5 * v_top;
+    EXPECT_NEAR(sc_model.evaluate(v_top, 0.0, 0.0).output_voltage, mid, 1e-12);
+    EXPECT_NEAR(lin.evaluate(v_top, 0.0, 0.0).output_voltage, mid, 1e-12);
+    EXPECT_NEAR(buck.evaluate(v_top, 0.0, 0.0).output_voltage, mid, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vstack::sc

@@ -1,0 +1,54 @@
+#include "sc/area.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vstack::sc {
+namespace {
+
+TEST(AreaTest, MimReproducesPaperArea) {
+  const ScConverterDesign d;  // 8 nF
+  EXPECT_NEAR(converter_area(d, mim_capacitor()) / units::mm2, 0.472, 1e-9);
+}
+
+TEST(AreaTest, FerroelectricReproducesPaperArea) {
+  const ScConverterDesign d;
+  EXPECT_NEAR(converter_area(d, ferroelectric_capacitor()) / units::mm2,
+              0.102, 1e-9);
+}
+
+TEST(AreaTest, DeepTrenchReproducesPaperArea) {
+  const ScConverterDesign d;
+  EXPECT_NEAR(converter_area(d, deep_trench_capacitor()) / units::mm2, 0.082,
+              1e-9);
+}
+
+TEST(AreaTest, DensityOrdering) {
+  // Higher-density technologies yield smaller converters.
+  EXPECT_LT(mim_capacitor().density, ferroelectric_capacitor().density);
+  EXPECT_LT(ferroelectric_capacitor().density,
+            deep_trench_capacitor().density);
+}
+
+TEST(AreaTest, AreaScalesWithCapacitance) {
+  ScConverterDesign d;
+  const double base = converter_area(d, mim_capacitor());
+  d.total_fly_capacitance *= 2.0;
+  const double doubled = converter_area(d, mim_capacitor());
+  // Cap area doubles; fixed overhead does not.
+  EXPECT_NEAR(doubled - base, base - kSwitchAndControlArea, 1e-15);
+}
+
+TEST(AreaTest, StandardListHasThreeEntries) {
+  EXPECT_EQ(standard_capacitor_technologies().size(), 3u);
+}
+
+TEST(AreaTest, RejectsNonPositiveDensity) {
+  const ScConverterDesign d;
+  EXPECT_THROW(converter_area(d, CapacitorTechnology{"bad", 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace vstack::sc

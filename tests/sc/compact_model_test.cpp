@@ -1,0 +1,151 @@
+#include "sc/compact_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+namespace {
+
+ScConverterDesign paper_design() {
+  return ScConverterDesign{};  // defaults are the paper's converter
+}
+
+TEST(CompactModelTest, RsslMatchesClassic2To1Value) {
+  const ScCompactModel model(paper_design());
+  // R_SSL = 1/(4 C f) for a 2:1 converter: 1/(4 * 8nF * 50MHz) = 0.625 Ohm.
+  EXPECT_NEAR(model.r_ssl(50e6), 0.625, 1e-12);
+}
+
+TEST(CompactModelTest, RsslScalesInverselyWithFrequency) {
+  const ScCompactModel model(paper_design());
+  EXPECT_NEAR(model.r_ssl(25e6), 2.0 * model.r_ssl(50e6), 1e-12);
+}
+
+TEST(CompactModelTest, RfslMatchesHandComputation) {
+  const ScCompactModel model(paper_design());
+  // (sum |a_r|)^2 / (G_tot * D) = 4 / (71.1 * 0.5).
+  EXPECT_NEAR(model.r_fsl(), 4.0 / (71.1 * 0.5), 1e-9);
+}
+
+TEST(CompactModelTest, RseriesNearPaperValue) {
+  // Paper reports R_SERIES = 0.6 Ohm for the implemented converter.
+  const ScCompactModel model(paper_design());
+  const double rs = model.r_series(50e6);
+  EXPECT_GT(rs, 0.55);
+  EXPECT_LT(rs, 0.70);
+}
+
+TEST(CompactModelTest, OutputVoltageIsMidpointMinusDrop) {
+  const ScCompactModel model(paper_design());
+  const auto op = model.evaluate(2.0, 0.0, 50e-3);
+  EXPECT_DOUBLE_EQ(op.ideal_output_voltage, 1.0);
+  EXPECT_NEAR(op.output_voltage, 1.0 - 50e-3 * op.r_series, 1e-12);
+  EXPECT_GT(op.voltage_drop, 0.0);
+}
+
+TEST(CompactModelTest, SinkingRaisesOutputAboveMidpoint) {
+  const ScCompactModel model(paper_design());
+  const auto op = model.evaluate(2.0, 0.0, -50e-3);
+  EXPECT_GT(op.output_voltage, 1.0);
+  EXPECT_DOUBLE_EQ(op.voltage_drop, 50e-3 * op.r_series);
+}
+
+TEST(CompactModelTest, NonZeroBottomRail) {
+  const ScCompactModel model(paper_design());
+  // Converter between rails 3V and 1V regulates toward 2V.
+  const auto op = model.evaluate(3.0, 1.0, 10e-3);
+  EXPECT_DOUBLE_EQ(op.ideal_output_voltage, 2.0);
+  EXPECT_LT(op.output_voltage, 2.0);
+}
+
+TEST(CompactModelTest, EfficiencyRisesWithLoadOpenLoop) {
+  const ScCompactModel model(paper_design());
+  const auto light = model.evaluate(2.0, 0.0, 10e-3);
+  const auto heavy = model.evaluate(2.0, 0.0, 90e-3);
+  EXPECT_GT(heavy.efficiency, light.efficiency);
+}
+
+TEST(CompactModelTest, ClosedLoopBeatsOpenLoopAtLightLoad) {
+  ScConverterDesign open = paper_design();
+  ScConverterDesign closed = paper_design();
+  closed.control = ControlPolicy::ClosedLoop;
+  const auto op_open = ScCompactModel(open).evaluate(2.0, 0.0, 5e-3);
+  const auto op_closed = ScCompactModel(closed).evaluate(2.0, 0.0, 5e-3);
+  EXPECT_GT(op_closed.efficiency, op_open.efficiency);
+}
+
+TEST(CompactModelTest, ClosedLoopFrequencyScalesWithLoad) {
+  ScConverterDesign d = paper_design();
+  d.control = ControlPolicy::ClosedLoop;
+  const ScCompactModel model(d);
+  EXPECT_NEAR(model.switching_frequency(50e-3), 25e6, 1e-6);
+  EXPECT_NEAR(model.switching_frequency(100e-3), 50e6, 1e-6);
+  // Floor engages at very light load.
+  EXPECT_NEAR(model.switching_frequency(1e-6), d.min_switching_frequency,
+              1e-6);
+}
+
+TEST(CompactModelTest, CurrentLimitFlagged) {
+  const ScCompactModel model(paper_design());
+  EXPECT_TRUE(model.evaluate(2.0, 0.0, 100e-3).within_current_limit);
+  EXPECT_FALSE(model.evaluate(2.0, 0.0, 101e-3).within_current_limit);
+}
+
+TEST(CompactModelTest, EnergyBalance) {
+  const ScCompactModel model(paper_design());
+  const auto op = model.evaluate(2.0, 0.0, 60e-3);
+  EXPECT_NEAR(op.input_power,
+              op.output_power + op.conduction_loss + op.parasitic_loss,
+              1e-15);
+  EXPECT_LT(op.efficiency, 1.0);
+  EXPECT_GT(op.efficiency, 0.0);
+}
+
+TEST(CompactModelTest, ZeroLoadHasOnlyParasiticDraw) {
+  const ScCompactModel model(paper_design());
+  const auto op = model.evaluate(2.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(op.output_power, 0.0);
+  EXPECT_DOUBLE_EQ(op.conduction_loss, 0.0);
+  EXPECT_GT(op.parasitic_loss, 0.0);
+  EXPECT_DOUBLE_EQ(op.efficiency, 0.0);
+}
+
+TEST(CompactModelTest, RejectsInvertedRails) {
+  const ScCompactModel model(paper_design());
+  EXPECT_THROW(model.evaluate(0.0, 2.0, 1e-3), Error);
+}
+
+TEST(CompactModelTest, DesignValidation) {
+  ScConverterDesign d = paper_design();
+  d.total_fly_capacitance = 0.0;
+  EXPECT_THROW(ScCompactModel{d}, Error);
+  d = paper_design();
+  d.duty_cycle = 1.0;
+  EXPECT_THROW(ScCompactModel{d}, Error);
+  d = paper_design();
+  d.min_switching_frequency = 100e6;  // above nominal
+  EXPECT_THROW(ScCompactModel{d}, Error);
+}
+
+// Parameterized sweep: the voltage drop must be linear in load current with
+// slope R_series for any operating frequency.
+class DropLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(DropLinearity, DropIsLinearInLoad) {
+  const double freq_scale = GetParam();
+  ScConverterDesign d = paper_design();
+  d.nominal_switching_frequency *= freq_scale;
+  const ScCompactModel model(d);
+  const double rs = model.r_series(d.nominal_switching_frequency);
+  for (double i = 0.01; i <= 0.1; i += 0.01) {
+    const auto op = model.evaluate(2.0, 0.0, i);
+    EXPECT_NEAR(op.voltage_drop, i * rs, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FrequencyScales, DropLinearity,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace vstack::sc

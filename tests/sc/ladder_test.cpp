@@ -1,0 +1,138 @@
+#include "sc/ladder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+namespace {
+
+TEST(LadderTest, TwoLayerMismatchHandledByOneCell) {
+  // I1 = 1.0, I2 = 0.4: the single converter must source the 0.6 A gap.
+  const auto sol = solve_ladder_currents({1.0, 0.4});
+  ASSERT_EQ(sol.level_net_currents.size(), 1u);
+  EXPECT_NEAR(sol.level_net_currents[0], 0.6, 1e-12);
+  // Supply current is the average of the two layer currents (charge
+  // recycling at work).
+  EXPECT_NEAR(sol.supply_current, 0.7, 1e-12);
+}
+
+TEST(LadderTest, BalancedLoadsNeedNoConverterCurrent) {
+  const auto sol = solve_ladder_currents({0.5, 0.5, 0.5, 0.5});
+  for (double c : sol.level_net_currents) EXPECT_NEAR(c, 0.0, 1e-12);
+  EXPECT_NEAR(sol.supply_current, 0.5, 1e-12);
+}
+
+TEST(LadderTest, SupplyCurrentConservedTopAndBottom) {
+  const std::vector<double> loads{0.9, 0.2, 0.7, 0.4, 0.8, 0.1};
+  const auto sol = solve_ladder_currents(loads);
+  // Ground return at rail 0: sourcing c_1 at rail 1 draws c_1/2 out of rail
+  // 0, so I_1 - c_1/2 must equal the top supply draw.
+  const double ground_return = loads[0] - 0.5 * sol.level_net_currents[0];
+  EXPECT_NEAR(sol.supply_current, ground_return, 1e-12);
+}
+
+TEST(LadderTest, KclHoldsAtEveryRail) {
+  const std::vector<double> loads{0.6, 0.3, 0.9, 0.2, 0.5};
+  const auto sol = solve_ladder_currents(loads);
+  const auto& c = sol.level_net_currents;
+  const std::size_t levels = c.size();
+  for (std::size_t k = 1; k <= levels; ++k) {
+    const double c_km1 = (k >= 2) ? c[k - 2] : 0.0;
+    const double c_kp1 = (k < levels) ? c[k] : 0.0;
+    const double residual =
+        c[k - 1] - 0.5 * (c_km1 + c_kp1) - (loads[k - 1] - loads[k]);
+    EXPECT_NEAR(residual, 0.0, 1e-12) << "rail " << k;
+  }
+}
+
+TEST(LadderTest, InterleavedPatternLoadsOuterCells) {
+  // High-low-high-low: the outer cells source the mismatch while the middle
+  // cell idles -- its neighbours' half-currents already balance its rail
+  // (c = [0.5, 0, 0.5] solves the tridiagonal KCL exactly).
+  const auto sol = solve_ladder_currents({1.0, 0.5, 1.0, 0.5});
+  ASSERT_EQ(sol.level_net_currents.size(), 3u);
+  EXPECT_NEAR(sol.level_net_currents[0], 0.5, 1e-12);
+  EXPECT_NEAR(sol.level_net_currents[1], 0.0, 1e-12);
+  EXPECT_NEAR(sol.level_net_currents[2], 0.5, 1e-12);
+}
+
+TEST(LadderTest, RejectsTooFewLayers) {
+  EXPECT_THROW(solve_ladder_currents({1.0}), Error);
+}
+
+TEST(LadderTest, RejectsNegativeCurrents) {
+  EXPECT_THROW(solve_ladder_currents({1.0, -0.1}), Error);
+}
+
+TEST(LadderPowerTest, IdealRecyclingIsLossFreeOfConduction) {
+  LadderStackDesign d;
+  d.layer_count = 4;
+  d.converters_per_level = 8;
+  const auto out = evaluate_ladder_power(d, {0.4, 0.4, 0.4, 0.4}, 1.0);
+  EXPECT_NEAR(out.conduction_loss, 0.0, 1e-12);
+  EXPECT_GT(out.parasitic_loss, 0.0);  // open-loop converters always switch
+  EXPECT_LT(out.efficiency, 1.0);
+  EXPECT_NEAR(out.load_power, 1.6, 1e-12);
+}
+
+TEST(LadderPowerTest, MoreConvertersLowerEfficiencyOpenLoop) {
+  // Paper Sec. 5.3: open-loop converters do not modulate frequency, so each
+  // extra converter adds parasitic loss.
+  LadderStackDesign d;
+  d.layer_count = 8;
+  const std::vector<double> loads{0.4, 0.3, 0.4, 0.3, 0.4, 0.3, 0.4, 0.3};
+  d.converters_per_level = 2;
+  const auto two = evaluate_ladder_power(d, loads, 1.0);
+  d.converters_per_level = 8;
+  const auto eight = evaluate_ladder_power(d, loads, 1.0);
+  EXPECT_GT(two.efficiency, eight.efficiency);
+}
+
+TEST(LadderPowerTest, LargerImbalanceLowersEfficiency) {
+  LadderStackDesign d;
+  d.layer_count = 8;
+  d.converters_per_level = 8 * 16;  // 8 per core, 16 cores
+  auto loads_for = [](double imbalance) {
+    std::vector<double> loads(8);
+    for (std::size_t l = 0; l < 8; ++l) {
+      loads[l] = (l % 2 == 0) ? 7.6 : 7.6 * (1.0 - imbalance);
+    }
+    return loads;
+  };
+  const auto low = evaluate_ladder_power(d, loads_for(0.1), 1.0);
+  const auto high = evaluate_ladder_power(d, loads_for(0.8), 1.0);
+  EXPECT_GT(low.efficiency, high.efficiency);
+}
+
+TEST(LadderPowerTest, CurrentLimitDetected) {
+  LadderStackDesign d;
+  d.layer_count = 2;
+  d.converters_per_level = 1;
+  const auto out = evaluate_ladder_power(d, {0.5, 0.2}, 1.0);
+  EXPECT_FALSE(out.within_current_limits);  // 0.3 A > 100 mA limit
+  EXPECT_NEAR(out.max_converter_current, 0.3, 1e-12);
+}
+
+TEST(LadderPowerTest, ClosedLoopImprovesLightLoadEfficiency) {
+  LadderStackDesign open;
+  open.layer_count = 4;
+  open.converters_per_level = 64;
+  LadderStackDesign closed = open;
+  closed.converter.control = ControlPolicy::ClosedLoop;
+  const std::vector<double> loads{6.0, 5.5, 6.0, 5.5};  // small imbalance
+  const auto e_open = evaluate_ladder_power(open, loads, 1.0);
+  const auto e_closed = evaluate_ladder_power(closed, loads, 1.0);
+  EXPECT_GT(e_closed.efficiency, e_open.efficiency);
+}
+
+TEST(LadderPowerTest, RejectsMismatchedVector) {
+  LadderStackDesign d;
+  d.layer_count = 4;
+  EXPECT_THROW(evaluate_ladder_power(d, {1.0, 1.0}, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace vstack::sc

@@ -1,0 +1,79 @@
+#include "sc/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+namespace {
+
+TEST(TopologyTest, PushPullStructure) {
+  const ScTopology t = push_pull_2to1();
+  EXPECT_EQ(t.capacitor_count(), 2u);
+  EXPECT_EQ(t.switch_count(), 8u);
+  EXPECT_DOUBLE_EQ(t.ideal_ratio, 0.5);
+  // Both phases deliver charge: sum |a_c| = 1/2, the classic 2:1 value.
+  EXPECT_DOUBLE_EQ(t.cap_multiplier_sum(), 0.5);
+  EXPECT_DOUBLE_EQ(t.switch_multiplier_sum(), 2.0);
+}
+
+TEST(TopologyTest, SeriesParallelStructure) {
+  const ScTopology t = series_parallel_2to1();
+  EXPECT_EQ(t.capacitor_count(), 1u);
+  EXPECT_EQ(t.switch_count(), 4u);
+  EXPECT_DOUBLE_EQ(t.cap_multiplier_sum(), 0.5);
+  EXPECT_DOUBLE_EQ(t.switch_multiplier_sum(), 2.0);
+}
+
+TEST(TopologyTest, SeriesParallelFamilyMatchesDerivation) {
+  for (std::size_t n = 2; n <= 6; ++n) {
+    const ScTopology t = series_parallel_step_down(n);
+    const double nd = static_cast<double>(n);
+    EXPECT_EQ(t.capacitor_count(), n - 1);
+    EXPECT_EQ(t.switch_count(), 3 * n - 2);
+    EXPECT_NEAR(t.ideal_ratio, 1.0 / nd, 1e-12);
+    EXPECT_NEAR(t.cap_multiplier_sum(), (nd - 1.0) / nd, 1e-12);
+    EXPECT_NEAR(t.switch_multiplier_sum(), (3.0 * nd - 2.0) / nd, 1e-12);
+  }
+}
+
+TEST(TopologyTest, SeriesParallelTwoEqualsClassic) {
+  const ScTopology family = series_parallel_step_down(2);
+  const ScTopology classic = series_parallel_2to1();
+  EXPECT_DOUBLE_EQ(family.cap_multiplier_sum(),
+                   classic.cap_multiplier_sum());
+  EXPECT_DOUBLE_EQ(family.switch_multiplier_sum(),
+                   classic.switch_multiplier_sum());
+}
+
+TEST(TopologyTest, HigherRatiosHaveHigherImpedancePerFarad) {
+  // sum|a_c| grows toward 1 with n: more charge handling per output coulomb
+  // means higher R_SSL at equal C_tot * f.
+  EXPECT_LT(series_parallel_step_down(2).cap_multiplier_sum(),
+            series_parallel_step_down(4).cap_multiplier_sum());
+}
+
+TEST(TopologyTest, SeriesParallelRejectsUnityRatio) {
+  EXPECT_THROW(series_parallel_step_down(1), Error);
+}
+
+TEST(TopologyTest, ValidateRejectsEmpty) {
+  ScTopology t;
+  t.ideal_ratio = 0.5;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(TopologyTest, ValidateRejectsNonPositiveMultipliers) {
+  ScTopology t = push_pull_2to1();
+  t.cap_charge_multipliers[0] = 0.0;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(TopologyTest, ValidateRejectsBadRatio) {
+  ScTopology t = push_pull_2to1();
+  t.ideal_ratio = 1.0;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+}  // namespace
+}  // namespace vstack::sc

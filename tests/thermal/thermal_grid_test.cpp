@@ -1,0 +1,133 @@
+#include "thermal/thermal_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "floorplan/floorplan.h"
+#include "power/core_power_model.h"
+
+namespace vstack::thermal {
+namespace {
+
+floorplan::GridMap uniform_map(std::size_t nx, std::size_t ny, double total) {
+  floorplan::GridMap m;
+  m.nx = nx;
+  m.ny = ny;
+  m.values.assign(nx * ny, total / static_cast<double>(nx * ny));
+  return m;
+}
+
+constexpr double kDie = 6.642e-3;  // ~sqrt(44.12 mm^2)
+
+TEST(ThermalTest, ZeroPowerSitsAtAmbient) {
+  ThermalConfig cfg;
+  const auto r = solve_stack_temperature(cfg, kDie, kDie,
+                                         {uniform_map(cfg.nx, cfg.ny, 0.0)});
+  EXPECT_NEAR(r.max_celsius, cfg.ambient_celsius, 1e-9);
+  EXPECT_NEAR(r.mean_celsius, cfg.ambient_celsius, 1e-9);
+}
+
+TEST(ThermalTest, SingleLayerRiseMatchesSinkResistance) {
+  // With a uniform 10 W layer, nearly all heat leaves through the sink
+  // (board path is 20 K/W vs 0.45 K/W): rise ~ P * R_parallel.
+  ThermalConfig cfg;
+  const double p = 10.0;
+  const auto r = solve_stack_temperature(cfg, kDie, kDie,
+                                         {uniform_map(cfg.nx, cfg.ny, p)});
+  const double r_parallel = 1.0 / (1.0 / cfg.sink_resistance +
+                                   1.0 / cfg.board_resistance);
+  EXPECT_NEAR(r.mean_celsius - cfg.ambient_celsius, p * r_parallel,
+              0.05 * p * r_parallel);
+}
+
+TEST(ThermalTest, MoreLayersRunHotter) {
+  ThermalConfig cfg;
+  const auto one = solve_stack_temperature(
+      cfg, kDie, kDie, {uniform_map(cfg.nx, cfg.ny, 7.6)});
+  std::vector<floorplan::GridMap> four(4, uniform_map(cfg.nx, cfg.ny, 7.6));
+  const auto stacked = solve_stack_temperature(cfg, kDie, kDie, four);
+  EXPECT_GT(stacked.max_celsius, one.max_celsius);
+}
+
+TEST(ThermalTest, EightLayerPaperStackStaysBelow100C) {
+  // Paper Sec. 4.1: up to 8 layers of the 7.6 W processor remain below
+  // 100 C with conventional air cooling.
+  ThermalConfig cfg;
+  std::vector<floorplan::GridMap> stack(8, uniform_map(cfg.nx, cfg.ny, 7.6));
+  const auto r = solve_stack_temperature(cfg, kDie, kDie, stack);
+  EXPECT_LT(r.max_celsius, 100.0);
+  EXPECT_GT(r.max_celsius, 60.0);  // but clearly stressed
+}
+
+TEST(ThermalTest, TwelveLayersExceed100C) {
+  ThermalConfig cfg;
+  std::vector<floorplan::GridMap> stack(12, uniform_map(cfg.nx, cfg.ny, 7.6));
+  const auto r = solve_stack_temperature(cfg, kDie, kDie, stack);
+  EXPECT_GT(r.max_celsius, 100.0);
+}
+
+TEST(ThermalTest, MaxFeasibleLayersIsEightForPaperStack) {
+  ThermalConfig cfg;
+  const std::size_t n = max_feasible_layers(
+      cfg, kDie, kDie, uniform_map(cfg.nx, cfg.ny, 7.6), 100.0, 16);
+  EXPECT_GE(n, 7u);
+  EXPECT_LE(n, 9u);
+}
+
+TEST(ThermalTest, HotspotFollowsPower) {
+  ThermalConfig cfg;
+  auto map = uniform_map(cfg.nx, cfg.ny, 2.0);
+  map.at(2, 3) += 5.0;  // concentrated heater
+  const auto r = solve_stack_temperature(cfg, kDie, kDie, {map});
+  const auto& t = r.layer_temperature[0];
+  double max_t = 0.0;
+  std::size_t max_ix = 0, max_iy = 0;
+  for (std::size_t iy = 0; iy < cfg.ny; ++iy) {
+    for (std::size_t ix = 0; ix < cfg.nx; ++ix) {
+      if (t.at(ix, iy) > max_t) {
+        max_t = t.at(ix, iy);
+        max_ix = ix;
+        max_iy = iy;
+      }
+    }
+  }
+  EXPECT_EQ(max_ix, 2u);
+  EXPECT_EQ(max_iy, 3u);
+}
+
+TEST(ThermalTest, BottomLayerIsHottestUnderTopSink) {
+  // Heat flows up to the sink, so the package-side layer runs hottest.
+  ThermalConfig cfg;
+  std::vector<floorplan::GridMap> stack(4, uniform_map(cfg.nx, cfg.ny, 7.6));
+  const auto r = solve_stack_temperature(cfg, kDie, kDie, stack);
+  EXPECT_EQ(r.hottest_layer, 0u);
+}
+
+TEST(ThermalTest, BetterSinkCoolsStack) {
+  ThermalConfig air;
+  ThermalConfig liquid = air;
+  liquid.sink_resistance = 0.05;
+  std::vector<floorplan::GridMap> stack(8, uniform_map(air.nx, air.ny, 7.6));
+  const auto r_air = solve_stack_temperature(air, kDie, kDie, stack);
+  const auto r_liq = solve_stack_temperature(liquid, kDie, kDie, stack);
+  EXPECT_LT(r_liq.max_celsius, r_air.max_celsius);
+}
+
+TEST(ThermalTest, RejectsMismatchedGrids) {
+  ThermalConfig cfg;
+  EXPECT_THROW(
+      solve_stack_temperature(cfg, kDie, kDie, {uniform_map(4, 4, 1.0)}),
+      Error);
+}
+
+TEST(ThermalTest, ConfigValidation) {
+  ThermalConfig cfg;
+  cfg.sink_resistance = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = ThermalConfig{};
+  cfg.nx = 1;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+}  // namespace
+}  // namespace vstack::thermal

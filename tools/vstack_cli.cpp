@@ -1,0 +1,350 @@
+// vstack command-line tool: run individual analyses or whole paper sweeps
+// from the shell.
+//
+//   vstack_cli noise      [--config=FILE] [--layers=8] [--topology=stacked]
+//                         [--imbalance=0.5] [--converters=8] [--map]
+//   vstack_cli em         [--config=FILE] [--layers=8] [--topology=...]
+//   vstack_cli efficiency [--layers=8] [--converters=8] [--imbalance=0.5]
+//   vstack_cli thermal    [--layers=8] [--sink=0.42]
+//   vstack_cli sweep --figure=5a|5b|6|7|8
+//   vstack_cli spice FILE
+//   vstack_cli config     [--config=FILE]   ; echo the resolved config
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "circuit/spice_parser.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "core/sweeps.h"
+#include "floorplan/heatmap.h"
+#include "pdn/config_io.h"
+#include "power/workload.h"
+#include "thermal/thermal_grid.h"
+
+namespace {
+
+using namespace vstack;
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  VS_REQUIRE(static_cast<bool>(file), "cannot open '" + path + "'");
+  std::ostringstream oss;
+  oss << file.rdbuf();
+  return oss.str();
+}
+
+/// Resolve a StackupConfig from --config plus individual flag overrides.
+pdn::StackupConfig resolve_config(const core::StudyContext& ctx,
+                                  const CliArgs& args) {
+  pdn::StackupConfig cfg = ctx.base;
+  if (args.has("config")) {
+    cfg = pdn::parse_stackup_config(read_file(args.get_string("config", "")),
+                                    cfg);
+  }
+  if (args.has("topology")) {
+    const std::string t = args.get_string("topology", "");
+    VS_REQUIRE(t == "regular" || t == "stacked",
+               "--topology expects regular|stacked");
+    cfg.topology = (t == "stacked") ? pdn::PdnTopology::VoltageStacked
+                                    : pdn::PdnTopology::Regular3d;
+  } else if (!args.has("config")) {
+    cfg.topology = pdn::PdnTopology::VoltageStacked;  // tool default
+  }
+  cfg.layer_count = args.get_size("layers", cfg.layer_count);
+  if (cfg.topology == pdn::PdnTopology::VoltageStacked &&
+      cfg.layer_count < 2) {
+    cfg.layer_count = 8;
+  }
+  cfg.converters_per_core =
+      args.get_size("converters", cfg.converters_per_core);
+  const std::size_t grid = args.get_size("grid", cfg.grid_nx);
+  cfg.grid_nx = cfg.grid_ny = grid;
+  cfg.validate();
+  return cfg;
+}
+
+int cmd_noise(const core::StudyContext& ctx, const CliArgs& args) {
+  const auto cfg = resolve_config(ctx, args);
+  pdn::PdnModel model(cfg, ctx.layer_floorplan);
+  const double imbalance = args.get_double("imbalance", 0.5);
+  const auto acts =
+      power::interleaved_layer_activities(cfg.layer_count, imbalance);
+  const auto sol = model.solve_activities(ctx.core_model, acts);
+
+  TextTable t({"Metric", "Value"});
+  t.add_row({"max node deviation",
+             TextTable::percent(sol.max_node_deviation_fraction, 3)});
+  t.add_row({"max load-span droop",
+             TextTable::percent(sol.max_ir_drop_fraction, 3)});
+  t.add_row({"supply", TextTable::num(sol.supply_voltage, 1) + " V / " +
+                           TextTable::num(sol.supply_current, 2) + " A"});
+  if (cfg.is_voltage_stacked()) {
+    t.add_row({"max converter current",
+               TextTable::num(sol.max_converter_current * 1e3, 1) + " mA" +
+                   (sol.converter_limit_ok ? "" : "  (LIMIT EXCEEDED)")});
+  }
+  t.print(std::cout);
+
+  if (args.get_bool("map")) {
+    std::cout << "\nWorst-layer droop map:\n";
+    std::size_t worst = 0;
+    double best = -1.0;
+    for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+      const double m = *std::max_element(sol.layer_droop[l].values.begin(),
+                                         sol.layer_droop[l].values.end());
+      if (m > best) {
+        best = m;
+        worst = l;
+      }
+    }
+    floorplan::HeatmapOptions opts;
+    opts.legend_scale = 1e3;
+    opts.legend_unit = "mV";
+    floorplan::render_heatmap(sol.layer_droop[worst], std::cout, opts);
+  }
+  return 0;
+}
+
+int cmd_em(const core::StudyContext& ctx, const CliArgs& args) {
+  const auto cfg = resolve_config(ctx, args);
+  const auto r = core::evaluate_scenario(
+      ctx, cfg, std::vector<double>(cfg.layer_count, 1.0));
+  // Normalize to the paper's 2-layer V-S reference.
+  const auto baseline = core::evaluate_scenario(
+      ctx, core::make_stacked(ctx, 2, ctx.base.tsv, 8),
+      std::vector<double>(2, 1.0));
+  TextTable t({"Array", "MTTF (normalized to 2-layer V-S)"});
+  t.add_row({"TSV", TextTable::num(r.tsv_mttf / baseline.tsv_mttf, 3)});
+  t.add_row({"C4", TextTable::num(r.c4_mttf / baseline.c4_mttf, 3)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_efficiency(const core::StudyContext& ctx, const CliArgs& args) {
+  const std::size_t layers = args.get_size("layers", 8);
+  const std::size_t conv = args.get_size("converters", 8);
+  const double imbalance = args.get_double("imbalance", 0.5);
+  const auto r = core::stacked_efficiency(ctx, layers, conv, imbalance);
+  TextTable t({"Metric", "Value"});
+  t.add_row({"system efficiency", TextTable::percent(r.efficiency, 2)});
+  t.add_row({"max converter current",
+             TextTable::num(r.max_converter_current * 1e3, 1) + " mA"});
+  t.add_row({"within limits", r.feasible ? "yes" : "NO"});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_thermal(const core::StudyContext& ctx, const CliArgs& args) {
+  const std::size_t layers = args.get_size("layers", 8);
+  thermal::ThermalConfig tcfg;
+  tcfg.sink_resistance = args.get_double("sink", tcfg.sink_resistance);
+  const auto map = floorplan::layer_power_map(
+      ctx.layer_floorplan, ctx.core_model, std::vector<double>(16, 1.0),
+      tcfg.nx, tcfg.ny);
+  std::vector<floorplan::GridMap> stack(layers, map);
+  const auto r = thermal::solve_stack_temperature(
+      tcfg, ctx.layer_floorplan.width, ctx.layer_floorplan.height, stack);
+  TextTable t({"Metric", "Value"});
+  t.add_row({"hotspot", TextTable::num(r.max_celsius, 1) + " C (layer " +
+                            std::to_string(r.hottest_layer) + ")"});
+  t.add_row({"mean", TextTable::num(r.mean_celsius, 1) + " C"});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const core::StudyContext& ctx, const CliArgs& args) {
+  const std::string figure = args.get_string("figure", "");
+  VS_REQUIRE(!figure.empty(), "sweep requires --figure=5a|5b|6|7|8");
+  if (figure == "5a") {
+    TextTable t({"Layers", "Reg Dense", "Reg Sparse", "Reg Few", "V-S Few"});
+    for (const auto& r : core::run_fig5a(ctx, {2, 4, 6, 8})) {
+      t.add_row({std::to_string(r.layers), TextTable::num(r.reg_dense, 3),
+                 TextTable::num(r.reg_sparse, 3),
+                 TextTable::num(r.reg_few, 3), TextTable::num(r.vs_few, 3)});
+    }
+    t.print(std::cout);
+  } else if (figure == "5b") {
+    TextTable t({"Layers", "25%", "50%", "75%", "100%", "V-S"});
+    for (const auto& r : core::run_fig5b(ctx, {2, 4, 6, 8})) {
+      t.add_row({std::to_string(r.layers), TextTable::num(r.reg_25, 3),
+                 TextTable::num(r.reg_50, 3), TextTable::num(r.reg_75, 3),
+                 TextTable::num(r.reg_100, 3), TextTable::num(r.vs, 3)});
+    }
+    t.print(std::cout);
+  } else if (figure == "6") {
+    const auto result =
+        core::run_fig6(ctx, 8, {2, 4, 6, 8}, {0.0, 0.25, 0.5, 0.75, 1.0});
+    TextTable t({"Imbalance", "2/core", "4/core", "6/core", "8/core"});
+    for (const auto& row : result.rows) {
+      std::vector<std::string> cells{TextTable::percent(row.imbalance, 0)};
+      for (const auto& v : row.vs_noise) {
+        cells.push_back(v ? TextTable::percent(*v, 2) : "-");
+      }
+      t.add_row(std::move(cells));
+    }
+    t.print(std::cout);
+  } else if (figure == "7") {
+    TextTable t({"Application", "Median (W)", "Max Imbalance"});
+    for (const auto& app : core::run_fig7(ctx, 1000, 2015)) {
+      t.add_row({app.name, TextTable::num(app.power.median, 3),
+                 TextTable::percent(app.max_imbalance, 1)});
+    }
+    t.print(std::cout);
+  } else if (figure == "8") {
+    const auto result =
+        core::run_fig8(ctx, 8, {2, 4, 6, 8}, {0.1, 0.3, 0.5, 0.7, 0.9});
+    TextTable t({"Imbalance", "2/core", "4/core", "6/core", "8/core",
+                 "Reg+SC"});
+    for (const auto& row : result.rows) {
+      std::vector<std::string> cells{TextTable::percent(row.imbalance, 0)};
+      for (const auto& v : row.vs_efficiency) {
+        cells.push_back(v ? TextTable::percent(*v, 1) : "-");
+      }
+      cells.push_back(TextTable::percent(row.regular_sc, 1));
+      t.add_row(std::move(cells));
+    }
+    t.print(std::cout);
+  } else {
+    VS_FAIL("unknown figure '" + figure + "' (5a|5b|6|7|8)");
+  }
+  return 0;
+}
+
+int cmd_report(const core::StudyContext& ctx) {
+  // One-command reproduction: all figure sweeps back to back.
+  std::cout << "# vstack reproduction report\n";
+  std::cout << "\n## Fig 5a -- TSV EM lifetime (normalized to 2-layer V-S)\n";
+  {
+    TextTable t({"Layers", "Reg Dense", "Reg Sparse", "Reg Few", "V-S Few"});
+    for (const auto& r : core::run_fig5a(ctx, {2, 4, 6, 8})) {
+      t.add_row({std::to_string(r.layers), TextTable::num(r.reg_dense, 3),
+                 TextTable::num(r.reg_sparse, 3),
+                 TextTable::num(r.reg_few, 3), TextTable::num(r.vs_few, 3)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\n## Fig 5b -- C4 EM lifetime\n";
+  {
+    TextTable t({"Layers", "25%", "50%", "75%", "100%", "V-S"});
+    for (const auto& r : core::run_fig5b(ctx, {2, 4, 6, 8})) {
+      t.add_row({std::to_string(r.layers), TextTable::num(r.reg_25, 3),
+                 TextTable::num(r.reg_50, 3), TextTable::num(r.reg_75, 3),
+                 TextTable::num(r.reg_100, 3), TextTable::num(r.vs, 3)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\n## Fig 6 -- voltage noise vs imbalance (8 layers)\n";
+  {
+    std::vector<double> imbalances;
+    for (int x = 0; x <= 100; x += 10) imbalances.push_back(x / 100.0);
+    const auto result = core::run_fig6(ctx, 8, {2, 4, 6, 8}, imbalances);
+    TextTable t({"Imbalance", "2/core", "4/core", "6/core", "8/core"});
+    for (const auto& row : result.rows) {
+      std::vector<std::string> cells{TextTable::percent(row.imbalance, 0)};
+      for (const auto& v : row.vs_noise) {
+        cells.push_back(v ? TextTable::percent(*v, 2) : "-");
+      }
+      t.add_row(std::move(cells));
+    }
+    t.print(std::cout);
+    std::cout << "regular refs: Dense " << TextTable::percent(result.reg_dense, 2)
+              << ", Sparse " << TextTable::percent(result.reg_sparse, 2)
+              << ", Few " << TextTable::percent(result.reg_few, 2) << "\n";
+  }
+  std::cout << "\n## Fig 7 -- PARSEC workload imbalance\n";
+  {
+    const auto campaign = core::run_fig7(ctx, 1000, 2015);
+    TextTable t({"Application", "Median (W)", "Max Imbalance"});
+    for (const auto& app : campaign) {
+      t.add_row({app.name, TextTable::num(app.power.median, 3),
+                 TextTable::percent(app.max_imbalance, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "mean max-imbalance: "
+              << TextTable::percent(power::mean_max_imbalance(campaign), 1)
+              << " (paper: 65%)\n";
+  }
+  std::cout << "\n## Fig 8 -- system power efficiency (8 layers)\n";
+  {
+    std::vector<double> imbalances;
+    for (int x = 10; x <= 100; x += 10) imbalances.push_back(x / 100.0);
+    const auto result = core::run_fig8(ctx, 8, {2, 4, 6, 8}, imbalances);
+    TextTable t({"Imbalance", "2/core", "4/core", "6/core", "8/core",
+                 "Reg+SC"});
+    for (const auto& row : result.rows) {
+      std::vector<std::string> cells{TextTable::percent(row.imbalance, 0)};
+      for (const auto& v : row.vs_efficiency) {
+        cells.push_back(v ? TextTable::percent(*v, 1) : "-");
+      }
+      cells.push_back(TextTable::percent(row.regular_sc, 1));
+      t.add_row(std::move(cells));
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nSee EXPERIMENTS.md for paper-vs-measured commentary.\n";
+  return 0;
+}
+
+int cmd_spice(const CliArgs& args) {
+  VS_REQUIRE(args.positionals().size() >= 2,
+             "usage: vstack_cli spice FILE");
+  const auto circuit =
+      circuit::parse_spice(read_file(args.positionals()[1]));
+  VS_REQUIRE(circuit.has_tran, "netlist needs a .tran card");
+  circuit::TransientSimulator sim(circuit.netlist, circuit.clock_period);
+  const auto result = sim.run(circuit.tran);
+  const double settle = 0.75 * circuit.tran.stop_time;
+  TextTable t({"Node", "Avg (V)"});
+  for (const auto& [name, node] : circuit.node_by_name) {
+    t.add_row({name,
+               TextTable::num(result.average_node_voltage(node, settle), 4)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: vstack_cli <command> [options]\n"
+      "  noise       voltage-noise analysis   (--layers --topology "
+      "--imbalance --converters --config --map --grid)\n"
+      "  em          EM lifetime analysis     (--layers --topology --config)\n"
+      "  efficiency  system power efficiency  (--layers --converters "
+      "--imbalance)\n"
+      "  thermal     stack temperature        (--layers --sink)\n"
+      "  sweep       paper figure sweeps      (--figure=5a|5b|6|7|8)\n"
+      "  report      one-command reproduction of every figure\n"
+      "  spice FILE  run a SPICE-subset netlist\n"
+      "  config      echo the resolved configuration (--config ...)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"config", "layers", "topology", "imbalance",
+                        "converters", "map", "grid", "figure", "sink"});
+    const auto ctx = core::StudyContext::paper_defaults();
+    const std::string cmd = args.subcommand();
+    if (cmd == "noise") return cmd_noise(ctx, args);
+    if (cmd == "em") return cmd_em(ctx, args);
+    if (cmd == "efficiency") return cmd_efficiency(ctx, args);
+    if (cmd == "thermal") return cmd_thermal(ctx, args);
+    if (cmd == "sweep") return cmd_sweep(ctx, args);
+    if (cmd == "report") return cmd_report(ctx);
+    if (cmd == "spice") return cmd_spice(args);
+    if (cmd == "config") {
+      std::cout << pdn::write_stackup_config(resolve_config(ctx, args));
+      return 0;
+    }
+    usage();
+    return cmd.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
