@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_capacitor_technology"
+  "../bench/bench_ablation_capacitor_technology.pdb"
+  "CMakeFiles/bench_ablation_capacitor_technology.dir/ablation_capacitor_technology.cpp.o"
+  "CMakeFiles/bench_ablation_capacitor_technology.dir/ablation_capacitor_technology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_capacitor_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

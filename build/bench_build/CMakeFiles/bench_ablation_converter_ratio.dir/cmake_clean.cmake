@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_converter_ratio"
+  "../bench/bench_ablation_converter_ratio.pdb"
+  "CMakeFiles/bench_ablation_converter_ratio.dir/ablation_converter_ratio.cpp.o"
+  "CMakeFiles/bench_ablation_converter_ratio.dir/ablation_converter_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_converter_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_converter_reference"
+  "../bench/bench_ablation_converter_reference.pdb"
+  "CMakeFiles/bench_ablation_converter_reference.dir/ablation_converter_reference.cpp.o"
+  "CMakeFiles/bench_ablation_converter_reference.dir/ablation_converter_reference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_converter_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_decap_allocation"
+  "../bench/bench_ablation_decap_allocation.pdb"
+  "CMakeFiles/bench_ablation_decap_allocation.dir/ablation_decap_allocation.cpp.o"
+  "CMakeFiles/bench_ablation_decap_allocation.dir/ablation_decap_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decap_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_grid_resolution"
+  "../bench/bench_ablation_grid_resolution.pdb"
+  "CMakeFiles/bench_ablation_grid_resolution.dir/ablation_grid_resolution.cpp.o"
+  "CMakeFiles/bench_ablation_grid_resolution.dir/ablation_grid_resolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grid_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pad_budget"
+  "../bench/bench_ablation_pad_budget.pdb"
+  "CMakeFiles/bench_ablation_pad_budget.dir/ablation_pad_budget.cpp.o"
+  "CMakeFiles/bench_ablation_pad_budget.dir/ablation_pad_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pad_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_regulator_type"
+  "../bench/bench_ablation_regulator_type.pdb"
+  "CMakeFiles/bench_ablation_regulator_type.dir/ablation_regulator_type.cpp.o"
+  "CMakeFiles/bench_ablation_regulator_type.dir/ablation_regulator_type.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regulator_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_thermal_cycling"
+  "../bench/bench_ablation_thermal_cycling.pdb"
+  "CMakeFiles/bench_ablation_thermal_cycling.dir/ablation_thermal_cycling.cpp.o"
+  "CMakeFiles/bench_ablation_thermal_cycling.dir/ablation_thermal_cycling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thermal_cycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

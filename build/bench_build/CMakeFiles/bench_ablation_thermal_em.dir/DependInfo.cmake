@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_thermal_em.cpp" "bench_build/CMakeFiles/bench_ablation_thermal_em.dir/ablation_thermal_em.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablation_thermal_em.dir/ablation_thermal_em.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/vstack_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vstack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vstack_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/vstack_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vstack_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/vstack_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/vstack_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vstack_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/vstack_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

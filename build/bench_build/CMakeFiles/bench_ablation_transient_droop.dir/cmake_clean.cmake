@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_transient_droop"
+  "../bench/bench_ablation_transient_droop.pdb"
+  "CMakeFiles/bench_ablation_transient_droop.dir/ablation_transient_droop.cpp.o"
+  "CMakeFiles/bench_ablation_transient_droop.dir/ablation_transient_droop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transient_droop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_average_case_noise"
+  "../bench/bench_average_case_noise.pdb"
+  "CMakeFiles/bench_average_case_noise.dir/average_case_noise.cpp.o"
+  "CMakeFiles/bench_average_case_noise.dir/average_case_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_average_case_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

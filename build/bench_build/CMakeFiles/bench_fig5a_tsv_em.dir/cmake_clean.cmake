@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5a_tsv_em"
+  "../bench/bench_fig5a_tsv_em.pdb"
+  "CMakeFiles/bench_fig5a_tsv_em.dir/fig5a_tsv_em.cpp.o"
+  "CMakeFiles/bench_fig5a_tsv_em.dir/fig5a_tsv_em.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_tsv_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

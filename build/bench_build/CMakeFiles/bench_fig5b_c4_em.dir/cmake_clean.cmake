@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5b_c4_em"
+  "../bench/bench_fig5b_c4_em.pdb"
+  "CMakeFiles/bench_fig5b_c4_em.dir/fig5b_c4_em.cpp.o"
+  "CMakeFiles/bench_fig5b_c4_em.dir/fig5b_c4_em.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_c4_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

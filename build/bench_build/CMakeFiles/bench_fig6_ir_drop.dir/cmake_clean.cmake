@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_ir_drop"
+  "../bench/bench_fig6_ir_drop.pdb"
+  "CMakeFiles/bench_fig6_ir_drop.dir/fig6_ir_drop.cpp.o"
+  "CMakeFiles/bench_fig6_ir_drop.dir/fig6_ir_drop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ir_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_power_efficiency"
+  "../bench/bench_fig8_power_efficiency.pdb"
+  "CMakeFiles/bench_fig8_power_efficiency.dir/fig8_power_efficiency.cpp.o"
+  "CMakeFiles/bench_fig8_power_efficiency.dir/fig8_power_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_power_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hmc_stack"
+  "../bench/bench_hmc_stack.pdb"
+  "CMakeFiles/bench_hmc_stack.dir/hmc_stack.cpp.o"
+  "CMakeFiles/bench_hmc_stack.dir/hmc_stack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hmc_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_tsv_configs"
+  "../bench/bench_table2_tsv_configs.pdb"
+  "CMakeFiles/bench_table2_tsv_configs.dir/table2_tsv_configs.cpp.o"
+  "CMakeFiles/bench_table2_tsv_configs.dir/table2_tsv_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tsv_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_sc_area"
+  "../bench/bench_table_sc_area.pdb"
+  "CMakeFiles/bench_table_sc_area.dir/table_sc_area.cpp.o"
+  "CMakeFiles/bench_table_sc_area.dir/table_sc_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_sc_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

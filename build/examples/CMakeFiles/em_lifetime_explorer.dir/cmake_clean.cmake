@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_lifetime_explorer.dir/em_lifetime_explorer.cpp.o"
+  "CMakeFiles/em_lifetime_explorer.dir/em_lifetime_explorer.cpp.o.d"
+  "em_lifetime_explorer"
+  "em_lifetime_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_lifetime_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_designer.dir/sc_designer.cpp.o"
+  "CMakeFiles/sc_designer.dir/sc_designer.cpp.o.d"
+  "sc_designer"
+  "sc_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_runner.dir/spice_runner.cpp.o"
+  "CMakeFiles/spice_runner.dir/spice_runner.cpp.o.d"
+  "spice_runner"
+  "spice_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

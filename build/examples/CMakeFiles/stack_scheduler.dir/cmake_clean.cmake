@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_scheduler.dir/stack_scheduler.cpp.o"
+  "CMakeFiles/stack_scheduler.dir/stack_scheduler.cpp.o.d"
+  "stack_scheduler"
+  "stack_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

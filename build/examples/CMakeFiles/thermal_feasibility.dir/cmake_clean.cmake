@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_feasibility.dir/thermal_feasibility.cpp.o"
+  "CMakeFiles/thermal_feasibility.dir/thermal_feasibility.cpp.o.d"
+  "thermal_feasibility"
+  "thermal_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_circuit.dir/mna.cpp.o"
+  "CMakeFiles/vstack_circuit.dir/mna.cpp.o.d"
+  "CMakeFiles/vstack_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/vstack_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/vstack_circuit.dir/sc_testbench.cpp.o"
+  "CMakeFiles/vstack_circuit.dir/sc_testbench.cpp.o.d"
+  "CMakeFiles/vstack_circuit.dir/spice_parser.cpp.o"
+  "CMakeFiles/vstack_circuit.dir/spice_parser.cpp.o.d"
+  "CMakeFiles/vstack_circuit.dir/transient.cpp.o"
+  "CMakeFiles/vstack_circuit.dir/transient.cpp.o.d"
+  "libvstack_circuit.a"
+  "libvstack_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

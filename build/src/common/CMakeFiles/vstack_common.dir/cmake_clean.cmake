@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_common.dir/cli.cpp.o"
+  "CMakeFiles/vstack_common.dir/cli.cpp.o.d"
+  "CMakeFiles/vstack_common.dir/error.cpp.o"
+  "CMakeFiles/vstack_common.dir/error.cpp.o.d"
+  "CMakeFiles/vstack_common.dir/log.cpp.o"
+  "CMakeFiles/vstack_common.dir/log.cpp.o.d"
+  "CMakeFiles/vstack_common.dir/rng.cpp.o"
+  "CMakeFiles/vstack_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vstack_common.dir/stats.cpp.o"
+  "CMakeFiles/vstack_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vstack_common.dir/table.cpp.o"
+  "CMakeFiles/vstack_common.dir/table.cpp.o.d"
+  "libvstack_common.a"
+  "libvstack_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/design_space.cpp" "src/core/CMakeFiles/vstack_core.dir/design_space.cpp.o" "gcc" "src/core/CMakeFiles/vstack_core.dir/design_space.cpp.o.d"
+  "/root/repo/src/core/pad_optimizer.cpp" "src/core/CMakeFiles/vstack_core.dir/pad_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/vstack_core.dir/pad_optimizer.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/vstack_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/vstack_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/sweeps.cpp" "src/core/CMakeFiles/vstack_core.dir/sweeps.cpp.o" "gcc" "src/core/CMakeFiles/vstack_core.dir/sweeps.cpp.o.d"
+  "/root/repo/src/core/workload_noise.cpp" "src/core/CMakeFiles/vstack_core.dir/workload_noise.cpp.o" "gcc" "src/core/CMakeFiles/vstack_core.dir/workload_noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdn/CMakeFiles/vstack_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/vstack_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/vstack_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vstack_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/vstack_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vstack_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vstack_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

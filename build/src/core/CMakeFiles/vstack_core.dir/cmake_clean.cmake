@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_core.dir/design_space.cpp.o"
+  "CMakeFiles/vstack_core.dir/design_space.cpp.o.d"
+  "CMakeFiles/vstack_core.dir/pad_optimizer.cpp.o"
+  "CMakeFiles/vstack_core.dir/pad_optimizer.cpp.o.d"
+  "CMakeFiles/vstack_core.dir/study.cpp.o"
+  "CMakeFiles/vstack_core.dir/study.cpp.o.d"
+  "CMakeFiles/vstack_core.dir/sweeps.cpp.o"
+  "CMakeFiles/vstack_core.dir/sweeps.cpp.o.d"
+  "CMakeFiles/vstack_core.dir/workload_noise.cpp.o"
+  "CMakeFiles/vstack_core.dir/workload_noise.cpp.o.d"
+  "libvstack_core.a"
+  "libvstack_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

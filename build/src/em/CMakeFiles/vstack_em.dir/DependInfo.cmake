@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/array_mttf.cpp" "src/em/CMakeFiles/vstack_em.dir/array_mttf.cpp.o" "gcc" "src/em/CMakeFiles/vstack_em.dir/array_mttf.cpp.o.d"
+  "/root/repo/src/em/black.cpp" "src/em/CMakeFiles/vstack_em.dir/black.cpp.o" "gcc" "src/em/CMakeFiles/vstack_em.dir/black.cpp.o.d"
+  "/root/repo/src/em/thermal_cycling.cpp" "src/em/CMakeFiles/vstack_em.dir/thermal_cycling.cpp.o" "gcc" "src/em/CMakeFiles/vstack_em.dir/thermal_cycling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_em.dir/array_mttf.cpp.o"
+  "CMakeFiles/vstack_em.dir/array_mttf.cpp.o.d"
+  "CMakeFiles/vstack_em.dir/black.cpp.o"
+  "CMakeFiles/vstack_em.dir/black.cpp.o.d"
+  "CMakeFiles/vstack_em.dir/thermal_cycling.cpp.o"
+  "CMakeFiles/vstack_em.dir/thermal_cycling.cpp.o.d"
+  "libvstack_em.a"
+  "libvstack_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/floorplan.cpp" "src/floorplan/CMakeFiles/vstack_floorplan.dir/floorplan.cpp.o" "gcc" "src/floorplan/CMakeFiles/vstack_floorplan.dir/floorplan.cpp.o.d"
+  "/root/repo/src/floorplan/geometry.cpp" "src/floorplan/CMakeFiles/vstack_floorplan.dir/geometry.cpp.o" "gcc" "src/floorplan/CMakeFiles/vstack_floorplan.dir/geometry.cpp.o.d"
+  "/root/repo/src/floorplan/heatmap.cpp" "src/floorplan/CMakeFiles/vstack_floorplan.dir/heatmap.cpp.o" "gcc" "src/floorplan/CMakeFiles/vstack_floorplan.dir/heatmap.cpp.o.d"
+  "/root/repo/src/floorplan/power_map.cpp" "src/floorplan/CMakeFiles/vstack_floorplan.dir/power_map.cpp.o" "gcc" "src/floorplan/CMakeFiles/vstack_floorplan.dir/power_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/vstack_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

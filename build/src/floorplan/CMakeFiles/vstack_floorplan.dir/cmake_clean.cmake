@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/vstack_floorplan.dir/floorplan.cpp.o.d"
+  "CMakeFiles/vstack_floorplan.dir/geometry.cpp.o"
+  "CMakeFiles/vstack_floorplan.dir/geometry.cpp.o.d"
+  "CMakeFiles/vstack_floorplan.dir/heatmap.cpp.o"
+  "CMakeFiles/vstack_floorplan.dir/heatmap.cpp.o.d"
+  "CMakeFiles/vstack_floorplan.dir/power_map.cpp.o"
+  "CMakeFiles/vstack_floorplan.dir/power_map.cpp.o.d"
+  "libvstack_floorplan.a"
+  "libvstack_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

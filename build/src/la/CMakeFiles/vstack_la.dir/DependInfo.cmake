@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/bicgstab.cpp" "src/la/CMakeFiles/vstack_la.dir/bicgstab.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/bicgstab.cpp.o.d"
+  "/root/repo/src/la/cg.cpp" "src/la/CMakeFiles/vstack_la.dir/cg.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/cg.cpp.o.d"
+  "/root/repo/src/la/dense_lu.cpp" "src/la/CMakeFiles/vstack_la.dir/dense_lu.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/dense_lu.cpp.o.d"
+  "/root/repo/src/la/preconditioner.cpp" "src/la/CMakeFiles/vstack_la.dir/preconditioner.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/preconditioner.cpp.o.d"
+  "/root/repo/src/la/reorder.cpp" "src/la/CMakeFiles/vstack_la.dir/reorder.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/reorder.cpp.o.d"
+  "/root/repo/src/la/skyline_cholesky.cpp" "src/la/CMakeFiles/vstack_la.dir/skyline_cholesky.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/skyline_cholesky.cpp.o.d"
+  "/root/repo/src/la/solve.cpp" "src/la/CMakeFiles/vstack_la.dir/solve.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/solve.cpp.o.d"
+  "/root/repo/src/la/sparse.cpp" "src/la/CMakeFiles/vstack_la.dir/sparse.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/sparse.cpp.o.d"
+  "/root/repo/src/la/vector_ops.cpp" "src/la/CMakeFiles/vstack_la.dir/vector_ops.cpp.o" "gcc" "src/la/CMakeFiles/vstack_la.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

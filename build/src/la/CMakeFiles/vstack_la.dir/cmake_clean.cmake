@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_la.dir/bicgstab.cpp.o"
+  "CMakeFiles/vstack_la.dir/bicgstab.cpp.o.d"
+  "CMakeFiles/vstack_la.dir/cg.cpp.o"
+  "CMakeFiles/vstack_la.dir/cg.cpp.o.d"
+  "CMakeFiles/vstack_la.dir/dense_lu.cpp.o"
+  "CMakeFiles/vstack_la.dir/dense_lu.cpp.o.d"
+  "CMakeFiles/vstack_la.dir/preconditioner.cpp.o"
+  "CMakeFiles/vstack_la.dir/preconditioner.cpp.o.d"
+  "CMakeFiles/vstack_la.dir/reorder.cpp.o"
+  "CMakeFiles/vstack_la.dir/reorder.cpp.o.d"
+  "CMakeFiles/vstack_la.dir/skyline_cholesky.cpp.o"
+  "CMakeFiles/vstack_la.dir/skyline_cholesky.cpp.o.d"
+  "CMakeFiles/vstack_la.dir/solve.cpp.o"
+  "CMakeFiles/vstack_la.dir/solve.cpp.o.d"
+  "CMakeFiles/vstack_la.dir/sparse.cpp.o"
+  "CMakeFiles/vstack_la.dir/sparse.cpp.o.d"
+  "CMakeFiles/vstack_la.dir/vector_ops.cpp.o"
+  "CMakeFiles/vstack_la.dir/vector_ops.cpp.o.d"
+  "libvstack_la.a"
+  "libvstack_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

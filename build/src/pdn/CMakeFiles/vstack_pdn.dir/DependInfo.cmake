@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdn/config_io.cpp" "src/pdn/CMakeFiles/vstack_pdn.dir/config_io.cpp.o" "gcc" "src/pdn/CMakeFiles/vstack_pdn.dir/config_io.cpp.o.d"
+  "/root/repo/src/pdn/decap_optimizer.cpp" "src/pdn/CMakeFiles/vstack_pdn.dir/decap_optimizer.cpp.o" "gcc" "src/pdn/CMakeFiles/vstack_pdn.dir/decap_optimizer.cpp.o.d"
+  "/root/repo/src/pdn/network.cpp" "src/pdn/CMakeFiles/vstack_pdn.dir/network.cpp.o" "gcc" "src/pdn/CMakeFiles/vstack_pdn.dir/network.cpp.o.d"
+  "/root/repo/src/pdn/params.cpp" "src/pdn/CMakeFiles/vstack_pdn.dir/params.cpp.o" "gcc" "src/pdn/CMakeFiles/vstack_pdn.dir/params.cpp.o.d"
+  "/root/repo/src/pdn/solver.cpp" "src/pdn/CMakeFiles/vstack_pdn.dir/solver.cpp.o" "gcc" "src/pdn/CMakeFiles/vstack_pdn.dir/solver.cpp.o.d"
+  "/root/repo/src/pdn/stackup.cpp" "src/pdn/CMakeFiles/vstack_pdn.dir/stackup.cpp.o" "gcc" "src/pdn/CMakeFiles/vstack_pdn.dir/stackup.cpp.o.d"
+  "/root/repo/src/pdn/transient.cpp" "src/pdn/CMakeFiles/vstack_pdn.dir/transient.cpp.o" "gcc" "src/pdn/CMakeFiles/vstack_pdn.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sc/CMakeFiles/vstack_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/vstack_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vstack_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vstack_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

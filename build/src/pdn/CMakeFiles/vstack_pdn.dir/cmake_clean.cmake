@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_pdn.dir/config_io.cpp.o"
+  "CMakeFiles/vstack_pdn.dir/config_io.cpp.o.d"
+  "CMakeFiles/vstack_pdn.dir/decap_optimizer.cpp.o"
+  "CMakeFiles/vstack_pdn.dir/decap_optimizer.cpp.o.d"
+  "CMakeFiles/vstack_pdn.dir/network.cpp.o"
+  "CMakeFiles/vstack_pdn.dir/network.cpp.o.d"
+  "CMakeFiles/vstack_pdn.dir/params.cpp.o"
+  "CMakeFiles/vstack_pdn.dir/params.cpp.o.d"
+  "CMakeFiles/vstack_pdn.dir/solver.cpp.o"
+  "CMakeFiles/vstack_pdn.dir/solver.cpp.o.d"
+  "CMakeFiles/vstack_pdn.dir/stackup.cpp.o"
+  "CMakeFiles/vstack_pdn.dir/stackup.cpp.o.d"
+  "CMakeFiles/vstack_pdn.dir/transient.cpp.o"
+  "CMakeFiles/vstack_pdn.dir/transient.cpp.o.d"
+  "libvstack_pdn.a"
+  "libvstack_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/core_power_model.cpp" "src/power/CMakeFiles/vstack_power.dir/core_power_model.cpp.o" "gcc" "src/power/CMakeFiles/vstack_power.dir/core_power_model.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/power/CMakeFiles/vstack_power.dir/trace.cpp.o" "gcc" "src/power/CMakeFiles/vstack_power.dir/trace.cpp.o.d"
+  "/root/repo/src/power/workload.cpp" "src/power/CMakeFiles/vstack_power.dir/workload.cpp.o" "gcc" "src/power/CMakeFiles/vstack_power.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

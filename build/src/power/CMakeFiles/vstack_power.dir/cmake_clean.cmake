@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_power.dir/core_power_model.cpp.o"
+  "CMakeFiles/vstack_power.dir/core_power_model.cpp.o.d"
+  "CMakeFiles/vstack_power.dir/trace.cpp.o"
+  "CMakeFiles/vstack_power.dir/trace.cpp.o.d"
+  "CMakeFiles/vstack_power.dir/workload.cpp.o"
+  "CMakeFiles/vstack_power.dir/workload.cpp.o.d"
+  "libvstack_power.a"
+  "libvstack_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

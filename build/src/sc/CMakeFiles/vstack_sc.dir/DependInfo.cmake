@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sc/area.cpp" "src/sc/CMakeFiles/vstack_sc.dir/area.cpp.o" "gcc" "src/sc/CMakeFiles/vstack_sc.dir/area.cpp.o.d"
+  "/root/repo/src/sc/buck_converter.cpp" "src/sc/CMakeFiles/vstack_sc.dir/buck_converter.cpp.o" "gcc" "src/sc/CMakeFiles/vstack_sc.dir/buck_converter.cpp.o.d"
+  "/root/repo/src/sc/compact_model.cpp" "src/sc/CMakeFiles/vstack_sc.dir/compact_model.cpp.o" "gcc" "src/sc/CMakeFiles/vstack_sc.dir/compact_model.cpp.o.d"
+  "/root/repo/src/sc/ladder.cpp" "src/sc/CMakeFiles/vstack_sc.dir/ladder.cpp.o" "gcc" "src/sc/CMakeFiles/vstack_sc.dir/ladder.cpp.o.d"
+  "/root/repo/src/sc/linear_regulator.cpp" "src/sc/CMakeFiles/vstack_sc.dir/linear_regulator.cpp.o" "gcc" "src/sc/CMakeFiles/vstack_sc.dir/linear_regulator.cpp.o.d"
+  "/root/repo/src/sc/topology.cpp" "src/sc/CMakeFiles/vstack_sc.dir/topology.cpp.o" "gcc" "src/sc/CMakeFiles/vstack_sc.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

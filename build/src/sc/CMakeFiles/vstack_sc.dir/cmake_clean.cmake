@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_sc.dir/area.cpp.o"
+  "CMakeFiles/vstack_sc.dir/area.cpp.o.d"
+  "CMakeFiles/vstack_sc.dir/buck_converter.cpp.o"
+  "CMakeFiles/vstack_sc.dir/buck_converter.cpp.o.d"
+  "CMakeFiles/vstack_sc.dir/compact_model.cpp.o"
+  "CMakeFiles/vstack_sc.dir/compact_model.cpp.o.d"
+  "CMakeFiles/vstack_sc.dir/ladder.cpp.o"
+  "CMakeFiles/vstack_sc.dir/ladder.cpp.o.d"
+  "CMakeFiles/vstack_sc.dir/linear_regulator.cpp.o"
+  "CMakeFiles/vstack_sc.dir/linear_regulator.cpp.o.d"
+  "CMakeFiles/vstack_sc.dir/topology.cpp.o"
+  "CMakeFiles/vstack_sc.dir/topology.cpp.o.d"
+  "libvstack_sc.a"
+  "libvstack_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_thermal.dir/thermal_grid.cpp.o"
+  "CMakeFiles/vstack_thermal.dir/thermal_grid.cpp.o.d"
+  "libvstack_thermal.a"
+  "libvstack_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

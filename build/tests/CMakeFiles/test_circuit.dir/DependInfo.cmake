@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/mna_test.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/mna_test.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/mna_test.cpp.o.d"
+  "/root/repo/tests/circuit/netlist_test.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/netlist_test.cpp.o.d"
+  "/root/repo/tests/circuit/sc_testbench_test.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/sc_testbench_test.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/sc_testbench_test.cpp.o.d"
+  "/root/repo/tests/circuit/spice_parser_test.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/spice_parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/spice_parser_test.cpp.o.d"
+  "/root/repo/tests/circuit/transient_test.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/transient_test.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/transient_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/vstack_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vstack_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/design_space_test.cpp" "tests/CMakeFiles/test_core.dir/core/design_space_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/design_space_test.cpp.o.d"
+  "/root/repo/tests/core/pad_optimizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/pad_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pad_optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/study_test.cpp" "tests/CMakeFiles/test_core.dir/core/study_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/study_test.cpp.o.d"
+  "/root/repo/tests/core/sweeps_test.cpp" "tests/CMakeFiles/test_core.dir/core/sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sweeps_test.cpp.o.d"
+  "/root/repo/tests/core/thermal_em_test.cpp" "tests/CMakeFiles/test_core.dir/core/thermal_em_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/thermal_em_test.cpp.o.d"
+  "/root/repo/tests/core/workload_noise_test.cpp" "tests/CMakeFiles/test_core.dir/core/workload_noise_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/workload_noise_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vstack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/vstack_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/vstack_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/vstack_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vstack_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/vstack_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vstack_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vstack_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

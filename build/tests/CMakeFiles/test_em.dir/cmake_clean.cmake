@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_em.dir/em/array_mttf_test.cpp.o"
+  "CMakeFiles/test_em.dir/em/array_mttf_test.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/black_test.cpp.o"
+  "CMakeFiles/test_em.dir/em/black_test.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/thermal_cycling_test.cpp.o"
+  "CMakeFiles/test_em.dir/em/thermal_cycling_test.cpp.o.d"
+  "test_em"
+  "test_em.pdb"
+  "test_em[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floorplan.dir/floorplan/floorplan_test.cpp.o"
+  "CMakeFiles/test_floorplan.dir/floorplan/floorplan_test.cpp.o.d"
+  "CMakeFiles/test_floorplan.dir/floorplan/heatmap_test.cpp.o"
+  "CMakeFiles/test_floorplan.dir/floorplan/heatmap_test.cpp.o.d"
+  "CMakeFiles/test_floorplan.dir/floorplan/power_map_test.cpp.o"
+  "CMakeFiles/test_floorplan.dir/floorplan/power_map_test.cpp.o.d"
+  "test_floorplan"
+  "test_floorplan.pdb"
+  "test_floorplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/la/dense_lu_test.cpp" "tests/CMakeFiles/test_la.dir/la/dense_lu_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/dense_lu_test.cpp.o.d"
+  "/root/repo/tests/la/preconditioner_test.cpp" "tests/CMakeFiles/test_la.dir/la/preconditioner_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/preconditioner_test.cpp.o.d"
+  "/root/repo/tests/la/skyline_cholesky_test.cpp" "tests/CMakeFiles/test_la.dir/la/skyline_cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/skyline_cholesky_test.cpp.o.d"
+  "/root/repo/tests/la/solver_test.cpp" "tests/CMakeFiles/test_la.dir/la/solver_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/solver_test.cpp.o.d"
+  "/root/repo/tests/la/sparse_test.cpp" "tests/CMakeFiles/test_la.dir/la/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/sparse_test.cpp.o.d"
+  "/root/repo/tests/la/vector_ops_test.cpp" "tests/CMakeFiles/test_la.dir/la/vector_ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/vector_ops_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/vstack_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la.dir/la/dense_lu_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/dense_lu_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/preconditioner_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/preconditioner_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/skyline_cholesky_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/skyline_cholesky_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/solver_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/solver_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/sparse_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/sparse_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/vector_ops_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/vector_ops_test.cpp.o.d"
+  "test_la"
+  "test_la.pdb"
+  "test_la[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

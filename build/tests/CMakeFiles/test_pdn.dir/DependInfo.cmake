@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pdn/config_io_test.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/config_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/config_io_test.cpp.o.d"
+  "/root/repo/tests/pdn/decap_optimizer_test.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/decap_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/decap_optimizer_test.cpp.o.d"
+  "/root/repo/tests/pdn/network_test.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/network_test.cpp.o.d"
+  "/root/repo/tests/pdn/params_test.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/params_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/params_test.cpp.o.d"
+  "/root/repo/tests/pdn/properties_test.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/properties_test.cpp.o.d"
+  "/root/repo/tests/pdn/solver_test.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/solver_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/solver_test.cpp.o.d"
+  "/root/repo/tests/pdn/transient_test.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/transient_test.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/transient_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdn/CMakeFiles/vstack_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/vstack_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/vstack_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vstack_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vstack_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdn.dir/pdn/config_io_test.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/config_io_test.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/decap_optimizer_test.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/decap_optimizer_test.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/network_test.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/network_test.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/params_test.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/params_test.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/properties_test.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/properties_test.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/solver_test.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/solver_test.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/transient_test.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/transient_test.cpp.o.d"
+  "test_pdn"
+  "test_pdn.pdb"
+  "test_pdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/core_power_model_test.cpp" "tests/CMakeFiles/test_power.dir/power/core_power_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/core_power_model_test.cpp.o.d"
+  "/root/repo/tests/power/trace_test.cpp" "tests/CMakeFiles/test_power.dir/power/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/trace_test.cpp.o.d"
+  "/root/repo/tests/power/workload_test.cpp" "tests/CMakeFiles/test_power.dir/power/workload_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/vstack_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sc/alternatives_test.cpp" "tests/CMakeFiles/test_sc.dir/sc/alternatives_test.cpp.o" "gcc" "tests/CMakeFiles/test_sc.dir/sc/alternatives_test.cpp.o.d"
+  "/root/repo/tests/sc/area_test.cpp" "tests/CMakeFiles/test_sc.dir/sc/area_test.cpp.o" "gcc" "tests/CMakeFiles/test_sc.dir/sc/area_test.cpp.o.d"
+  "/root/repo/tests/sc/compact_model_test.cpp" "tests/CMakeFiles/test_sc.dir/sc/compact_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_sc.dir/sc/compact_model_test.cpp.o.d"
+  "/root/repo/tests/sc/ladder_test.cpp" "tests/CMakeFiles/test_sc.dir/sc/ladder_test.cpp.o" "gcc" "tests/CMakeFiles/test_sc.dir/sc/ladder_test.cpp.o.d"
+  "/root/repo/tests/sc/topology_test.cpp" "tests/CMakeFiles/test_sc.dir/sc/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_sc.dir/sc/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sc/CMakeFiles/vstack_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

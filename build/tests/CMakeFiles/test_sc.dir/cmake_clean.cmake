@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sc.dir/sc/alternatives_test.cpp.o"
+  "CMakeFiles/test_sc.dir/sc/alternatives_test.cpp.o.d"
+  "CMakeFiles/test_sc.dir/sc/area_test.cpp.o"
+  "CMakeFiles/test_sc.dir/sc/area_test.cpp.o.d"
+  "CMakeFiles/test_sc.dir/sc/compact_model_test.cpp.o"
+  "CMakeFiles/test_sc.dir/sc/compact_model_test.cpp.o.d"
+  "CMakeFiles/test_sc.dir/sc/ladder_test.cpp.o"
+  "CMakeFiles/test_sc.dir/sc/ladder_test.cpp.o.d"
+  "CMakeFiles/test_sc.dir/sc/topology_test.cpp.o"
+  "CMakeFiles/test_sc.dir/sc/topology_test.cpp.o.d"
+  "test_sc"
+  "test_sc.pdb"
+  "test_sc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstack_cli.dir/vstack_cli.cpp.o"
+  "CMakeFiles/vstack_cli.dir/vstack_cli.cpp.o.d"
+  "vstack_cli"
+  "vstack_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstack_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
