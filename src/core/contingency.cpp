@@ -1,0 +1,282 @@
+#include "core/contingency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vstack::core {
+
+namespace {
+
+bool is_em_candidate(pdn::ConductorKind kind) {
+  switch (kind) {
+    case pdn::ConductorKind::C4Vdd:
+    case pdn::ConductorKind::C4Gnd:
+    case pdn::ConductorKind::TsvVdd:
+    case pdn::ConductorKind::TsvGnd:
+    case pdn::ConductorKind::RecyclingTsv:
+    case pdn::ConductorKind::ThroughVia:
+      return true;
+    case pdn::ConductorKind::GridStrap:
+    case pdn::ConductorKind::PackageVdd:
+    case pdn::ConductorKind::PackageGnd:
+    case pdn::ConductorKind::Leakage:
+      return false;
+  }
+  return false;
+}
+
+bool is_tsv_kind(pdn::ConductorKind kind) {
+  return kind == pdn::ConductorKind::TsvVdd ||
+         kind == pdn::ConductorKind::TsvGnd ||
+         kind == pdn::ConductorKind::RecyclingTsv;
+}
+
+double node_voltage(const pdn::PdnSolution& sol, std::size_t node,
+                    double supply_voltage) {
+  if (node == pdn::kFixedSupply) return supply_voltage;
+  if (node == pdn::kFixedGround) return 0.0;
+  return sol.node_voltages[node];
+}
+
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+ContingencyEngine::ContingencyEngine(const StudyContext& ctx,
+                                     pdn::StackupConfig config)
+    : ctx_(ctx), config_(std::move(config)) {
+  config_.validate();
+}
+
+std::vector<EmRiskEntry> ContingencyEngine::rank_by_em_risk(
+    const std::vector<double>& layer_activities,
+    const ContingencyOptions& options) const {
+  const pdn::PdnModel model(config_, ctx_.layer_floorplan);
+  const auto solution =
+      model.solve_activities(ctx_.core_model, layer_activities, options.solve);
+  VS_REQUIRE(solution.solve_ok,
+             "baseline solve failed: " + solution.diagnostic);
+
+  // Ranking horizon: the baseline TSV array's expected damage-free lifetime
+  // unless the caller pinned a mission time.
+  double horizon = options.mission_time;
+  if (horizon <= 0.0) {
+    horizon = em::array_mttf(solution.tsv_currents, ctx_.black,
+                             ctx_.mttf_options);
+    if (!std::isfinite(horizon)) horizon = 0.0;  // unstressed: rank by current
+  }
+
+  const auto& net = model.network();
+  std::vector<EmRiskEntry> ranking;
+  for (std::size_t i = 0; i < net.conductors().size(); ++i) {
+    const auto& group = net.conductors()[i];
+    if (group.count == 0 || !is_em_candidate(group.kind)) continue;
+    const double per_unit =
+        std::abs(node_voltage(solution, group.node_a, solution.supply_voltage) -
+                 node_voltage(solution, group.node_b,
+                              solution.supply_voltage)) /
+        group.unit_resistance;
+    // Current crowding: the same model the EM arrays use (solver.cpp).
+    double hot = per_unit;
+    if (is_tsv_kind(group.kind)) {
+      const std::size_t sharing =
+          std::min(group.count, config_.params.tsv_crowding_share);
+      hot = per_unit * static_cast<double>(group.count) /
+            static_cast<double>(sharing);
+    }
+    EmRiskEntry entry;
+    entry.conductor_index = i;
+    entry.kind = group.kind;
+    entry.count = group.count;
+    entry.unit_current = hot;
+    entry.failure_probability =
+        horizon > 0.0 ? em::lognormal_failure_cdf(
+                            horizon, ctx_.black.median_ttf(hot),
+                            ctx_.mttf_options.sigma)
+                      : 0.0;
+    ranking.push_back(entry);
+  }
+
+  std::sort(ranking.begin(), ranking.end(),
+            [](const EmRiskEntry& a, const EmRiskEntry& b) {
+              if (a.failure_probability != b.failure_probability) {
+                return a.failure_probability > b.failure_probability;
+              }
+              if (a.unit_current != b.unit_current) {
+                return a.unit_current > b.unit_current;
+              }
+              return a.conductor_index < b.conductor_index;
+            });
+  return ranking;
+}
+
+ContingencyCase ContingencyEngine::evaluate_case(
+    const pdn::FaultSet& faults,
+    const std::vector<double>& layer_activities,
+    const ContingencyOptions& options, const std::string& label) const {
+  pdn::PdnModel model(config_, ctx_.layer_floorplan);
+  ContingencyCase result;
+  result.faults = faults;
+  result.label =
+      label.empty() ? faults.describe(model.network()) : label;
+
+  faults.apply_to(model.network_mutable());
+  const auto sol =
+      model.solve_activities(ctx_.core_model, layer_activities, options.solve);
+
+  result.solved = sol.solve_ok;
+  result.solve_attempts = std::max<std::size_t>(1, sol.report.attempts.size());
+  result.floating_islands = sol.floating_island_count;
+  result.diagnostic = sol.diagnostic;
+
+  if (!sol.solve_ok) {
+    result.outcome = CaseOutcome::Infeasible;
+    return result;
+  }
+
+  result.max_node_deviation_fraction = sol.max_node_deviation_fraction;
+  result.max_ir_drop_fraction = sol.max_ir_drop_fraction;
+  result.max_converter_current = sol.max_converter_current;
+  result.converter_limit_ok = sol.converter_limit_ok;
+  result.supply_current = sol.supply_current;
+  result.tsv_current_sum = sum(sol.tsv_currents);
+
+  if (sol.floating_load_current > 1e-12) {
+    result.outcome = CaseOutcome::Infeasible;  // stranded load current
+  } else if (!sol.converter_limit_ok ||
+             sol.max_node_deviation_fraction >
+                 options.noise_budget_fraction) {
+    result.outcome = CaseOutcome::Degraded;
+  } else {
+    result.outcome = CaseOutcome::Survivable;
+  }
+  return result;
+}
+
+ContingencyReport ContingencyEngine::make_baseline_report(
+    const std::vector<double>& layer_activities,
+    const ContingencyOptions& options) const {
+  const pdn::PdnModel model(config_, ctx_.layer_floorplan);
+  const auto sol =
+      model.solve_activities(ctx_.core_model, layer_activities, options.solve);
+  VS_REQUIRE(sol.solve_ok, "baseline solve failed: " + sol.diagnostic);
+
+  ContingencyReport report;
+  report.base_max_node_deviation_fraction = sol.max_node_deviation_fraction;
+  report.base_max_ir_drop_fraction = sol.max_ir_drop_fraction;
+  report.base_max_converter_current = sol.max_converter_current;
+  report.base_tsv_current_sum = sum(sol.tsv_currents);
+  report.base_supply_current = sol.supply_current;
+  return report;
+}
+
+void ContingencyEngine::classify_and_append(ContingencyReport& report,
+                                            ContingencyCase one) const {
+  switch (one.outcome) {
+    case CaseOutcome::Survivable: ++report.survivable; break;
+    case CaseOutcome::Degraded:   ++report.degraded;   break;
+    case CaseOutcome::Infeasible: ++report.infeasible; break;
+  }
+  if (one.solved) {
+    report.worst_post_fault_deviation = std::max(
+        report.worst_post_fault_deviation, one.max_node_deviation_fraction);
+  }
+  report.cases.push_back(std::move(one));
+}
+
+ContingencyReport ContingencyEngine::run_n_minus_1(
+    const std::vector<double>& layer_activities,
+    const ContingencyOptions& options) const {
+  ContingencyReport report =
+      make_baseline_report(layer_activities, options);
+  report.ranking = rank_by_em_risk(layer_activities, options);
+
+  const std::size_t cases =
+      options.exhaustive ? report.ranking.size()
+                         : std::min(options.top_k, report.ranking.size());
+  for (std::size_t k = 0; k < cases; ++k) {
+    const EmRiskEntry& entry = report.ranking[k];
+    pdn::FaultSet faults;
+    faults.open_conductor(entry.conductor_index);
+    std::ostringstream label;
+    label << "N-1 open[" << pdn::conductor_kind_name(entry.kind) << "#"
+          << entry.conductor_index << " x" << entry.count << "]";
+    classify_and_append(
+        report,
+        evaluate_case(faults, layer_activities, options, label.str()));
+  }
+  return report;
+}
+
+ContingencyReport ContingencyEngine::run_monte_carlo(
+    const std::vector<double>& layer_activities,
+    const ContingencyOptions& options) const {
+  ContingencyReport report =
+      make_baseline_report(layer_activities, options);
+  report.ranking = rank_by_em_risk(layer_activities, options);
+  VS_REQUIRE(!report.ranking.empty(), "no fault candidates in this network");
+
+  // Sampling weights: failure probability with a floor so every candidate
+  // stays reachable even when the EM model calls it unstressed.
+  std::vector<double> cumulative(report.ranking.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < report.ranking.size(); ++i) {
+    total += report.ranking[i].failure_probability + 1e-9;
+    cumulative[i] = total;
+  }
+
+  const pdn::PdnModel probe(config_, ctx_.layer_floorplan);
+  const std::size_t converter_count = probe.network().converters().size();
+  const std::size_t grid_nodes = probe.network().node_count();
+
+  Rng rng(options.seed);
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    pdn::FaultSet faults;
+    std::vector<std::size_t> chosen;
+    std::size_t guard = 0;
+    while (chosen.size() < std::min(options.faults_per_trial,
+                                    report.ranking.size()) &&
+           ++guard < 64 * options.faults_per_trial) {
+      const double u = rng.uniform(0.0, total);
+      const std::size_t pick = static_cast<std::size_t>(
+          std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+          cumulative.begin());
+      if (std::find(chosen.begin(), chosen.end(), pick) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(pick);
+      const EmRiskEntry& entry = report.ranking[pick];
+      if (rng.uniform() < 0.5) {
+        faults.open_conductor(entry.conductor_index);
+      } else {
+        faults.degrade_conductor(entry.conductor_index,
+                                 options.degrade_factor);
+      }
+    }
+    for (std::size_t c = 0;
+         c < options.converter_faults_per_trial && converter_count > 0; ++c) {
+      faults.converter_stuck_off(rng.uniform_index(converter_count));
+    }
+    for (std::size_t c = 0; c < options.leakage_faults_per_trial; ++c) {
+      faults.leakage_to_ground(rng.uniform_index(grid_nodes),
+                               options.leakage_resistance);
+    }
+
+    std::ostringstream label;
+    label << "MC#" << trial;
+    classify_and_append(
+        report,
+        evaluate_case(faults, layer_activities, options, label.str()));
+  }
+  return report;
+}
+
+}  // namespace vstack::core

@@ -66,6 +66,12 @@ ScenarioResult evaluate_scenario(const StudyContext& ctx,
   pdn::PdnModel model(config, ctx.layer_floorplan);
   ScenarioResult result;
   result.solution = model.solve_activities(ctx.core_model, layer_activities);
+  // The study pipeline only evaluates healthy (fault-free) networks, where
+  // a failed solve indicates a modeling bug, not expected degradation --
+  // fault campaigns go through core/contingency.h, which inspects the
+  // report instead.
+  VS_REQUIRE(result.solution.solve_ok,
+             "PDN solve failed: " + result.solution.diagnostic);
   result.tsv_mttf = em::array_mttf(result.solution.tsv_currents, ctx.black,
                                    ctx.mttf_options);
   result.c4_mttf = em::array_mttf(result.solution.c4_pad_currents, ctx.black,

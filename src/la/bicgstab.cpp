@@ -27,6 +27,8 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
   Vector p(n, 0.0), v(n, 0.0), s(n), t(n), y(n), z(n);
 
   double rho = 1.0, alpha = 1.0, omega = 1.0;
+  double best_res = norm2(r) / b_norm;
+  std::size_t since_best = 0;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     const double rho_new = dot(r_hat, r);
@@ -73,6 +75,10 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
     }
     const double res = norm2(r) / b_norm;
     report.residual_norm = res;
+    if (!std::isfinite(res)) {
+      VS_LOG_WARN("BiCGSTAB: non-finite residual at iteration " << it);
+      break;
+    }
     if (res < options.relative_tolerance) {
       report.converged = true;
       return report;
@@ -80,6 +86,16 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
     if (std::abs(omega) < 1e-300) {
       VS_LOG_WARN("BiCGSTAB: stagnation (omega ~ 0) at iteration " << it);
       break;
+    }
+    if (options.stagnation_window > 0) {
+      if (res <= options.stagnation_factor * best_res) {
+        best_res = res;
+        since_best = 0;
+      } else if (++since_best >= options.stagnation_window) {
+        VS_LOG_WARN("BiCGSTAB: stagnated (residual " << res
+                    << ") at iteration " << it);
+        break;
+      }
     }
   }
 

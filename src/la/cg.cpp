@@ -29,11 +29,15 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   Vector ap(n);
   double rz = dot(r, z);
 
+  double best_res = norm2(r) / b_norm;
+  std::size_t since_best = 0;
+
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     a.multiply(p, ap);
     const double pap = dot(p, ap);
-    if (pap <= 0.0) {
-      // Not SPD along this direction; bail out and report the residual.
+    if (!(pap > 0.0)) {
+      // Not SPD along this direction (or NaN from a broken preconditioner);
+      // bail out and report the residual.
       VS_LOG_WARN("CG: non-positive curvature at iteration " << it);
       break;
     }
@@ -44,9 +48,23 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
     const double res = norm2(r) / b_norm;
     report.iterations = it + 1;
     report.residual_norm = res;
+    if (!std::isfinite(res)) {
+      VS_LOG_WARN("CG: non-finite residual at iteration " << it);
+      break;
+    }
     if (res < options.relative_tolerance) {
       report.converged = true;
       return report;
+    }
+    if (options.stagnation_window > 0) {
+      if (res <= options.stagnation_factor * best_res) {
+        best_res = res;
+        since_best = 0;
+      } else if (++since_best >= options.stagnation_window) {
+        VS_LOG_WARN("CG: stagnated (residual " << res << ") at iteration "
+                    << it);
+        break;
+      }
     }
 
     precond.apply(r, z);

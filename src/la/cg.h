@@ -2,21 +2,44 @@
 // (the regular-PDN and thermal grids).
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "la/preconditioner.h"
 #include "la/sparse.h"
 
 namespace vstack::la {
 
-/// Convergence report shared by the Krylov solvers.
+/// One rung of the front-door solve's escalation ladder (see la/solve.h).
+struct SolveAttempt {
+  std::string method;          // e.g. "cg+ilu0", "bicgstab+jacobi", "dense-lu"
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// Convergence report shared by the Krylov solvers.  The base fields always
+/// describe the final (or only) attempt; `attempts` is the full escalation
+/// trail when the report comes from la::solve, so callers can see HOW
+/// degraded a solve was, not just whether it succeeded.
 struct SolveReport {
   bool converged = false;
   std::size_t iterations = 0;
   double residual_norm = 0.0;  // final ||b - Ax|| / ||b||
+  std::vector<SolveAttempt> attempts;
+  std::string diagnostic;      // nonempty when converged == false
 };
 
 struct IterativeOptions {
   std::size_t max_iterations = 5000;
   double relative_tolerance = 1e-10;
+  /// Stagnation detection: give up when the best residual seen has not
+  /// improved by at least a factor of `stagnation_factor` within the last
+  /// `stagnation_window` iterations.  0 disables the check (default for
+  /// direct solver calls; la::solve enables it per escalation rung so a
+  /// stalled Krylov run hands over to the next method promptly).
+  std::size_t stagnation_window = 0;
+  double stagnation_factor = 0.99;
 };
 
 /// Solve A x = b with preconditioned CG.  `x` is used as the initial guess

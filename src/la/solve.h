@@ -1,5 +1,16 @@
-// Front-door solve: picks CG for symmetric matrices and BiCGSTAB otherwise,
-// with ILU(0) preconditioning, and throws if the system fails to converge.
+// Front-door solve with a graceful-degradation ladder.
+//
+// The primary method is CG for symmetric matrices and BiCGSTAB otherwise,
+// with ILU(0) preconditioning.  When the primary method stalls (fault-damaged
+// PDNs routinely produce near-singular or indefinite systems), the solve
+// escalates instead of throwing:
+//
+//   CG -> BiCGSTAB -> BiCGSTAB with a rebuilt, diagonally-shifted ILU ->
+//   dense LU (systems up to dense_fallback_max_size unknowns)
+//
+// Every rung restarts from the caller's initial guess, runs under a
+// per-attempt iteration budget with stagnation detection, and is recorded in
+// SolveReport::attempts so callers can see how degraded the solve was.
 #pragma once
 
 #include "la/bicgstab.h"
@@ -13,10 +24,24 @@ struct SolveOptions {
   SolverKind kind = SolverKind::Auto;
   IterativeOptions iterative;
   bool use_ilu0 = true;  // fall back to Jacobi when false
+  /// Escalate through the fallback ladder on non-convergence.  When false,
+  /// only the primary method runs (one attempt).
+  bool escalate = true;
+  /// Largest system the final dense-LU rung will factorize; anything bigger
+  /// skips that rung (a dense factorization would not fit in memory).
+  std::size_t dense_fallback_max_size = 4000;
+  /// Relative diagonal shift applied to the rebuilt-preconditioner rung
+  /// (stabilizes ILU on near-singular matrices; the system solved is still
+  /// the original A).
+  double ilu_rebuild_shift = 1e-6;
 };
 
 /// Solve A x = b; x is the initial guess and receives the solution.
-/// Throws vstack::Error if the selected solver does not converge.
+///
+/// NON-THROWING on solver failure: check report.converged.  On failure,
+/// report.diagnostic names the reason, report.attempts holds the full trail,
+/// and x is restored to the caller's initial guess -- never NaN.  (Size
+/// mismatches and other precondition violations still throw vstack::Error.)
 SolveReport solve(const CsrMatrix& a, const Vector& b, Vector& x,
                   const SolveOptions& options = {});
 

@@ -36,6 +36,49 @@ std::size_t PdnNetwork::gnd_node(std::size_t layer, std::size_t cell) const {
   return 2 + (layer * 2 + 1) * config_.grid_nx * config_.grid_ny + cell;
 }
 
+double PdnNetwork::nominal_potential(std::size_t node) const {
+  if (node == kFixedSupply) return config_.supply_voltage();
+  if (node == kFixedGround) return 0.0;
+  VS_REQUIRE(node < node_count_, "node out of range");
+  if (node == package_vdd_node()) return config_.supply_voltage();
+  if (node == package_gnd_node()) return 0.0;
+  const std::size_t cells = config_.grid_nx * config_.grid_ny;
+  const std::size_t rel = node - 2;
+  const std::size_t layer = rel / (2 * cells);
+  const bool is_vdd = (rel / cells) % 2 == 0;
+  if (!config_.is_voltage_stacked()) return is_vdd ? config_.vdd : 0.0;
+  const double rail_base = static_cast<double>(layer) * config_.vdd;
+  return is_vdd ? rail_base + config_.vdd : rail_base;
+}
+
+void PdnNetwork::remove_conductor_units(std::size_t index, std::size_t units) {
+  VS_REQUIRE(index < conductors_.size(), "conductor index out of range");
+  auto& group = conductors_[index];
+  group.count -= std::min(units, group.count);
+  ++topology_epoch_;
+}
+
+void PdnNetwork::scale_conductor_resistance(std::size_t index, double factor) {
+  VS_REQUIRE(index < conductors_.size(), "conductor index out of range");
+  VS_REQUIRE(factor > 0.0, "resistance factor must be positive");
+  conductors_[index].unit_resistance *= factor;
+  ++topology_epoch_;
+}
+
+void PdnNetwork::disable_converter(std::size_t index) {
+  VS_REQUIRE(index < converters_.size(), "converter index out of range");
+  converters_[index].enabled = false;
+  ++topology_epoch_;
+}
+
+void PdnNetwork::add_leakage_to_ground(std::size_t node, double resistance) {
+  VS_REQUIRE(node < node_count_, "leakage node out of range");
+  VS_REQUIRE(resistance > 0.0, "leakage resistance must be positive");
+  conductors_.push_back(
+      {ConductorKind::Leakage, node, kFixedGround, resistance, 1, 1});
+  ++topology_epoch_;
+}
+
 std::vector<std::size_t> PdnNetwork::distribute(std::size_t count,
                                                 std::size_t slots) {
   VS_REQUIRE(slots > 0, "cannot distribute over zero slots");

@@ -25,7 +25,8 @@ enum class ConductorKind {
   TsvVdd,        // inter-layer Vdd TSV (regular)
   TsvGnd,        // inter-layer ground TSV (regular)
   RecyclingTsv,  // rail-stitching TSV (voltage-stacked)
-  ThroughVia     // pad + through-via chain to the top rail (voltage-stacked)
+  ThroughVia,    // pad + through-via chain to the top rail (voltage-stacked)
+  Leakage        // injected fault: resistive short from a node to ground
 };
 
 /// `count` identical conductors in parallel between two nodes, stamped as a
@@ -59,6 +60,7 @@ struct ConverterInstance {
   double r_series = 0.0;
   std::size_t core = 0;
   std::size_t level = 0;  // intermediate rail index (1..N-1)
+  bool enabled = true;    // false = stuck-off fault: not stamped, no current
 };
 
 /// Fixed-potential sentinels used in ConductorGroup node slots.
@@ -85,6 +87,39 @@ class PdnNetwork {
   const std::vector<ConverterInstance>& converters() const {
     return converters_;
   }
+
+  /// Monotone counter bumped by every topology mutation below.  Consumers
+  /// that cache anything derived from the conductor/converter lists (the
+  /// assembled MNA matrix, ILU factors, island maps) must key their cache on
+  /// this and rebuild on mismatch.
+  std::size_t topology_epoch() const { return topology_epoch_; }
+
+  /// Nominal (unloaded) potential of a node [V].  Accepts grid and package
+  /// node indices plus the kFixedSupply/kFixedGround sentinels.  Regular
+  /// topology: Vdd nets at vdd, Gnd nets at 0.  Stacked: layer l's Gnd net
+  /// at l*vdd, its Vdd net at (l+1)*vdd.
+  double nominal_potential(std::size_t node) const;
+
+  // --- Fault-injection mutators (see pdn/fault.h) --------------------------
+  // All bump the topology epoch.  Conductor indices refer to conductors();
+  // groups reduced to count 0 stay in the list as inert placeholders so
+  // indices remain stable across fault application.
+
+  /// Remove `units` parallel conductors from group `index` (the whole group
+  /// when units >= count).
+  void remove_conductor_units(std::size_t index, std::size_t units);
+
+  /// Multiply group `index`'s per-unit resistance by `factor` (> 0); models
+  /// EM-thinned or partially-voided conductors.
+  void scale_conductor_resistance(std::size_t index, double factor);
+
+  /// Stuck-off converter phase: converter `index` stops stamping and sources
+  /// no current.  Its converter_currents slot reads 0.
+  void disable_converter(std::size_t index);
+
+  /// Add a resistive leakage path from `node` to board ground (defect
+  /// short); appends a ConductorKind::Leakage group.
+  void add_leakage_to_ground(std::size_t node, double resistance);
 
   /// Build per-cell loads for the given per-layer core activities.
   /// activities[l] applies to every core of layer l.
@@ -121,6 +156,7 @@ class PdnNetwork {
   StackupConfig config_;
   const floorplan::Floorplan& floorplan_;
   std::size_t node_count_ = 0;
+  std::size_t topology_epoch_ = 0;
   std::vector<ConductorGroup> conductors_;
   std::vector<ConverterInstance> converters_;
 };

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/log.h"
+#include "pdn/fault.h"
 
 namespace vstack::pdn {
 
@@ -15,6 +17,12 @@ bool is_fixed(std::size_t node) {
 double fixed_potential(std::size_t node, double supply_voltage) {
   return node == kFixedSupply ? supply_voltage : 0.0;
 }
+
+/// Weak pin [S] grounding each floating-island node to its nominal rail
+/// potential.  Strong enough to keep the matrix comfortably nonsingular;
+/// weak enough that any load current strayed onto an island produces a
+/// glaring (and flagged) voltage deviation rather than hiding.
+constexpr double kIslandPinConductance = 1.0;
 
 }  // namespace
 
@@ -32,18 +40,21 @@ PdnSolution PdnModel::solve(const std::vector<LoadInjection>& loads,
 
   PdnSolution solution = solve_once(loads, r_series, options);
 
-  if (cfg.is_voltage_stacked() &&
+  if (solution.solve_ok && cfg.is_voltage_stacked() &&
       cfg.converter.control == sc::ControlPolicy::ClosedLoop) {
     // Closed-loop converters modulate f_sw (and hence R_SSL) with load:
     // iterate the series resistances to a fixed point.
     const sc::ScCompactModel model(cfg.converter);
     for (std::size_t it = 0; it < options.control_iterations; ++it) {
       for (std::size_t c = 0; c < r_series.size(); ++c) {
+        if (!network_.converters()[c].enabled) continue;
         const double f =
             model.switching_frequency(solution.converter_currents[c]);
         r_series[c] = model.r_series(f);
       }
-      solution = solve_once(loads, r_series, options);
+      PdnSolution refined = solve_once(loads, r_series, options);
+      if (!refined.solve_ok) break;  // keep the last good fixed-point iterate
+      solution = std::move(refined);
     }
   }
   return solution;
@@ -67,12 +78,14 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
   VS_REQUIRE(converter_r_series.size() == network_.converters().size(),
              "converter resistance vector size mismatch");
 
-  // (Re)assemble only when the converter resistances changed.
-  if (!cache_ || cache_->r_series != converter_r_series) {
+  // (Re)assemble when the topology epoch or converter resistances changed.
+  if (!cache_ || cache_->epoch != network_.topology_epoch() ||
+      cache_->r_series != converter_r_series) {
     la::CooBuilder builder(n);
     la::Vector base_rhs(n, 0.0);
 
     for (const auto& group : network_.conductors()) {
+      if (group.count == 0) continue;  // fully opened by a fault
       const double g =
           static_cast<double>(group.count) / group.unit_resistance;
       const bool a_fixed = is_fixed(group.node_a);
@@ -93,6 +106,7 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
 
     for (std::size_t c = 0; c < network_.converters().size(); ++c) {
       const auto& conv = network_.converters()[c];
+      if (!conv.enabled) continue;  // stuck-off fault
       const double g = 1.0 / converter_r_series[c];
       if (ideal_reference) {
         // Stiff reference: resistor R_SERIES from the output rail to its
@@ -113,29 +127,92 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
     }
 
     auto cache = std::make_unique<CachedSystem>();
+
+    // Ground any subgraph that fault application cut off from every fixed
+    // potential: a weak pin to the nominal rail level keeps the matrix
+    // nonsingular, and the island map feeds the feasibility diagnostic.
+    const IslandReport islands = find_floating_islands(network_);
+    cache->node_floating.assign(n, 0);
+    cache->island_count = islands.islands.size();
+    cache->floating_node_count = islands.floating_node_count();
+    for (const auto& island : islands.islands) {
+      for (const std::size_t node : island) {
+        builder.add(node, node, kIslandPinConductance);
+        base_rhs[node] +=
+            kIslandPinConductance * network_.nominal_potential(node);
+        cache->node_floating[node] = 1;
+      }
+    }
+    if (cache->island_count > 0) {
+      VS_LOG_WARN("PDN has " << cache->island_count << " floating island(s) ("
+                  << cache->floating_node_count
+                  << " nodes); grounding to nominal rails");
+    }
+
+    cache->epoch = network_.topology_epoch();
     cache->r_series = converter_r_series;
     cache->matrix = builder.build();
     cache->base_rhs = std::move(base_rhs);
-    cache->precond = la::make_ilu0(cache->matrix);
+    try {
+      cache->precond = la::make_ilu0(cache->matrix);
+    } catch (const Error&) {
+      VS_LOG_WARN("ILU(0) unavailable on faulted PDN matrix; using Jacobi");
+      cache->precond = la::make_jacobi(cache->matrix);
+    }
     cache_ = std::move(cache);
     last_solution_.clear();
   }
+  // Staleness assertion: a topology mutation that failed to bump the epoch
+  // (or a cache bypassing the key) would silently reuse a wrong matrix.
+  VS_REQUIRE(cache_->epoch == network_.topology_epoch() &&
+                 cache_->matrix.size() == n,
+             "stale PDN system cache (topology mutated without epoch bump)");
 
   la::Vector rhs = cache_->base_rhs;
+  PdnSolution sol;
+  sol.supply_voltage = v_supply;
+  sol.floating_island_count = cache_->island_count;
+  sol.floating_node_count = cache_->floating_node_count;
   for (const auto& load : loads) {
     rhs[load.vdd_node] -= load.current;
     rhs[load.gnd_node] += load.current;
+    if (cache_->node_floating[load.vdd_node] ||
+        cache_->node_floating[load.gnd_node]) {
+      sol.floating_load_current += load.current;
+    }
   }
 
-  PdnSolution sol;
-  sol.supply_voltage = v_supply;
-
-  // Warm start from the previous solve on this model.
+  // Fast path: warm-started CG with the cached preconditioner.  On a stall
+  // (damaged network), escalate through la::solve's degradation ladder from
+  // a cold start and keep the full attempt trail.
   sol.node_voltages =
       (last_solution_.size() == n) ? last_solution_ : la::Vector(n, 0.0);
   sol.report = la::conjugate_gradient(cache_->matrix, rhs, sol.node_voltages,
                                       *cache_->precond, options.iterative);
-  VS_REQUIRE(sol.report.converged, "PDN solve failed to converge");
+  if (!sol.report.converged) {
+    la::SolveAttempt first{"cg+cached-precond", false, sol.report.iterations,
+                           sol.report.residual_norm};
+    la::SolveOptions fallback;
+    fallback.iterative = options.iterative;
+    sol.node_voltages.assign(n, 0.0);
+    sol.report = la::solve(cache_->matrix, rhs, sol.node_voltages, fallback);
+    sol.report.attempts.insert(sol.report.attempts.begin(), first);
+  }
+  if (!sol.report.converged) {
+    sol.solve_ok = false;
+    sol.diagnostic =
+        "PDN solve failed: " + (sol.report.diagnostic.empty()
+                                    ? std::string("did not converge")
+                                    : sol.report.diagnostic);
+    last_solution_.clear();
+    return sol;  // metrics stay zeroed; node_voltages are finite
+  }
+  sol.solve_ok = true;
+  if (sol.floating_load_current > 0.0) {
+    sol.diagnostic = "structurally infeasible: loads inject " +
+                     std::to_string(sol.floating_load_current) +
+                     " A into floating island(s) with no return path";
+  }
   last_solution_ = sol.node_voltages;
 
   const auto voltage = [&](std::size_t node) {
@@ -192,6 +269,7 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
     return static_cast<unsigned>((node - 2) / (2 * grid_cells));
   };
   for (const auto& group : network_.conductors()) {
+    if (group.count == 0) continue;  // fully opened by a fault
     const double per_unit = std::abs(
         (voltage(group.node_a) - voltage(group.node_b)) /
         group.unit_resistance);
@@ -234,6 +312,7 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
       case ConductorKind::GridStrap:
       case ConductorKind::PackageVdd:
       case ConductorKind::PackageGnd:
+      case ConductorKind::Leakage:
         break;  // not part of the pad/TSV EM arrays
     }
     if (group.kind == ConductorKind::PackageVdd) {
@@ -247,6 +326,10 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
   sol.converter_currents.reserve(network_.converters().size());
   for (std::size_t c = 0; c < network_.converters().size(); ++c) {
     const auto& conv = network_.converters()[c];
+    if (!conv.enabled) {
+      sol.converter_currents.push_back(0.0);  // stuck-off phase
+      continue;
+    }
     const double reference =
         ideal_reference
             ? static_cast<double>(conv.level) * cfg.vdd

@@ -7,7 +7,10 @@
 // v = (1/2, 1/2, -1) on (top, bottom, out) -- algebraically identical to a
 // resistor R between the output and the virtual midpoint (V_top+V_bottom)/2.
 // The full system therefore stays SPD for both topologies and is solved
-// with ILU(0)-preconditioned CG.
+// with ILU(0)-preconditioned CG.  Fault-damaged networks (pdn/fault.h) may
+// break that structure; when the cached-CG fast path stalls, the solve
+// escalates through la::solve's degradation ladder and reports the attempt
+// trail instead of throwing (see docs/fault_model.md).
 #pragma once
 
 #include "floorplan/power_map.h"
@@ -55,6 +58,22 @@ struct PdnSolution {
   double resistive_efficiency = 0.0;
 
   la::SolveReport report;
+
+  /// True when the solve converged and the metrics above are valid.  A
+  /// failed solve does NOT throw (fault-damaged networks are expected to be
+  /// hard); it returns solve_ok == false with zeroed metrics and a
+  /// diagnostic, and `report.attempts` shows the escalation trail.
+  bool solve_ok = false;
+  std::string diagnostic;  // nonempty on failure or structural infeasibility
+
+  /// Floating-subgraph accounting: islands cut off from every fixed
+  /// potential by fault application are grounded with a weak pin to their
+  /// nominal rail level so the matrix stays nonsingular.  Load current
+  /// injected into such an island has no physical return path, so any
+  /// nonzero floating_load_current marks the case structurally infeasible.
+  std::size_t floating_island_count = 0;
+  std::size_t floating_node_count = 0;
+  double floating_load_current = 0.0;  // [A]
 };
 
 struct PdnSolveOptions {
@@ -71,6 +90,11 @@ class PdnModel {
 
   const PdnNetwork& network() const { return network_; }
   const StackupConfig& config() const { return network_.config(); }
+
+  /// Mutable access for fault injection (pdn/fault.h).  Mutations bump the
+  /// network's topology epoch; the cached system is keyed on it and
+  /// reassembles automatically on the next solve.
+  PdnNetwork& network_mutable() { return network_; }
 
   /// Solve for explicit load injections.
   ///
@@ -95,12 +119,20 @@ class PdnModel {
 
   PdnNetwork network_;
 
-  /// Cached system keyed by the converter resistance vector.
+  /// Cached system keyed by (topology epoch, converter resistance vector).
+  /// Any network mutation bumps the epoch, so a fault application can never
+  /// reuse a stale matrix.
   struct CachedSystem {
+    std::size_t epoch = 0;
     std::vector<double> r_series;
     la::CsrMatrix matrix;
     la::Vector base_rhs;  // fixed-rail + ideal-reference injections
     std::unique_ptr<la::Preconditioner> precond;
+    /// Floating-island map from fault application (islands are grounded
+    /// with weak pins during assembly).
+    std::vector<char> node_floating;
+    std::size_t island_count = 0;
+    std::size_t floating_node_count = 0;
   };
   mutable std::unique_ptr<CachedSystem> cache_;
   mutable la::Vector last_solution_;

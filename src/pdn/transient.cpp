@@ -48,6 +48,7 @@ PdnTransientResult simulate_load_step(
   const double g_l = h / (2.0 * options.package_inductance);
 
   for (const auto& group : net.conductors()) {
+    if (group.count == 0) continue;  // fully opened by a fault
     const double g = static_cast<double>(group.count) / group.unit_resistance;
     std::size_t a = group.node_a;
     std::size_t b = group.node_b;
@@ -75,6 +76,7 @@ PdnTransientResult simulate_load_step(
   const bool ideal_reference =
       cfg.converter_reference == ConverterReference::IdealRails;
   for (const auto& conv : net.converters()) {
+    if (!conv.enabled) continue;  // stuck-off fault
     const double g = 1.0 / conv.r_series;
     if (ideal_reference) {
       builder.add(conv.out, conv.out, g);

@@ -18,6 +18,7 @@
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/table.h"
+#include "core/contingency.h"
 #include "core/sweeps.h"
 #include "floorplan/heatmap.h"
 #include "pdn/config_io.h"
@@ -288,6 +289,80 @@ int cmd_report(const core::StudyContext& ctx) {
   return 0;
 }
 
+const char* outcome_name(core::CaseOutcome outcome) {
+  switch (outcome) {
+    case core::CaseOutcome::Survivable: return "survivable";
+    case core::CaseOutcome::Degraded:   return "DEGRADED";
+    case core::CaseOutcome::Infeasible: return "INFEASIBLE";
+  }
+  return "?";
+}
+
+int cmd_contingency(const core::StudyContext& ctx, const CliArgs& args) {
+  const auto cfg = resolve_config(ctx, args);
+  const double imbalance = args.get_double("imbalance", 0.5);
+  const auto acts =
+      power::interleaved_layer_activities(cfg.layer_count, imbalance);
+
+  core::ContingencyOptions opts;
+  opts.top_k = args.get_size("top", opts.top_k);
+  opts.exhaustive = args.get_bool("exhaustive");
+  opts.noise_budget_fraction = args.get_double("budget",
+                                               opts.noise_budget_fraction);
+  opts.trials = args.get_size("trials", opts.trials);
+  opts.faults_per_trial = args.get_size("faults", opts.faults_per_trial);
+  opts.seed = args.get_size("seed", opts.seed);
+
+  const core::ContingencyEngine engine(ctx, cfg);
+  const bool monte_carlo = args.get_bool("mc");
+  const auto report = monte_carlo ? engine.run_monte_carlo(acts, opts)
+                                  : engine.run_n_minus_1(acts, opts);
+
+  std::cout << "EM risk ranking (top "
+            << std::min<std::size_t>(opts.top_k, report.ranking.size())
+            << " of " << report.ranking.size() << " candidate groups):\n";
+  TextTable rank({"Group", "Count", "Hot I (mA)", "P(fail)"});
+  for (std::size_t k = 0;
+       k < std::min<std::size_t>(opts.top_k, report.ranking.size()); ++k) {
+    const auto& e = report.ranking[k];
+    rank.add_row({std::string(pdn::conductor_kind_name(e.kind)) + "#" +
+                      std::to_string(e.conductor_index),
+                  std::to_string(e.count),
+                  TextTable::num(e.unit_current * 1e3, 2),
+                  TextTable::num(e.failure_probability, 4)});
+  }
+  rank.print(std::cout);
+
+  std::cout << "\n" << (monte_carlo ? "Monte Carlo N-k" : "N-1") << " campaign ("
+            << report.cases.size() << " cases, baseline deviation "
+            << TextTable::percent(report.base_max_node_deviation_fraction, 2)
+            << "):\n";
+  TextTable cases({"Case", "Outcome", "Deviation", "Conv I (mA)", "Attempts"});
+  for (const auto& c : report.cases) {
+    cases.add_row({c.label, outcome_name(c.outcome),
+                   c.solved
+                       ? TextTable::percent(c.max_node_deviation_fraction, 2)
+                       : "-",
+                   c.solved ? TextTable::num(c.max_converter_current * 1e3, 1)
+                            : "-",
+                   std::to_string(c.solve_attempts)});
+  }
+  cases.print(std::cout);
+
+  std::cout << "\nsummary: " << report.survivable << " survivable, "
+            << report.degraded << " degraded, " << report.infeasible
+            << " infeasible; worst post-fault deviation "
+            << TextTable::percent(report.worst_post_fault_deviation, 2)
+            << " (budget "
+            << TextTable::percent(opts.noise_budget_fraction, 0) << ")\n";
+  for (const auto& c : report.cases) {
+    if (!c.diagnostic.empty()) {
+      std::cout << "  " << c.label << ": " << c.diagnostic << "\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_spice(const CliArgs& args) {
   VS_REQUIRE(args.positionals().size() >= 2,
              "usage: vstack_cli spice FILE");
@@ -315,6 +390,8 @@ void usage() {
       "  efficiency  system power efficiency  (--layers --converters "
       "--imbalance)\n"
       "  thermal     stack temperature        (--layers --sink)\n"
+      "  contingency fault-injection campaign (--top --exhaustive --mc "
+      "--trials --faults --seed --budget --layers --grid --config)\n"
       "  sweep       paper figure sweeps      (--figure=5a|5b|6|7|8)\n"
       "  report      one-command reproduction of every figure\n"
       "  spice FILE  run a SPICE-subset netlist\n"
@@ -327,10 +404,13 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
                        {"config", "layers", "topology", "imbalance",
-                        "converters", "map", "grid", "figure", "sink"});
+                        "converters", "map", "grid", "figure", "sink", "top",
+                        "exhaustive", "mc", "trials", "faults", "seed",
+                        "budget"});
     const auto ctx = core::StudyContext::paper_defaults();
     const std::string cmd = args.subcommand();
     if (cmd == "noise") return cmd_noise(ctx, args);
+    if (cmd == "contingency") return cmd_contingency(ctx, args);
     if (cmd == "em") return cmd_em(ctx, args);
     if (cmd == "efficiency") return cmd_efficiency(ctx, args);
     if (cmd == "thermal") return cmd_thermal(ctx, args);
