@@ -38,6 +38,11 @@ int main() {
       const auto r = pdn::simulate_load_step(
           model, ctx.core_model, std::vector<double>(layers, 0.2), after,
           opts);
+      if (!r.ok()) {
+        std::cerr << "transient engine trouble (" << layers << " layers, "
+                  << (stacked ? "V-S" : "Regular")
+                  << "): " << r.report.summary() << "\n";
+      }
       // Settled level from a static solve (the short run may still ring).
       const auto dc_after = model.solve_activities(ctx.core_model, after);
       const double dc_noise = dc_after.max_node_deviation_fraction;

@@ -47,6 +47,10 @@ void run_policy(sc::ControlPolicy policy, const std::vector<double>& loads_ma,
     sim_opts.measure_periods = 20;
     const auto sim = circuit::simulate_push_pull_sc(
         testbench_config(load, op.switching_frequency), sim_opts);
+    if (!sim.ok()) {
+      std::cerr << "transient engine trouble at " << ma
+                << " mA: " << sim.transient.summary() << "\n";
+    }
 
     t.add_row({TextTable::num(ma, 1),
                TextTable::num(op.efficiency * 100.0, 1),

@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
     text = kDemoNetlist;
   }
 
-  const ParsedCircuit circuit = parse_spice(text);
+  const ParsedCircuit circuit =
+      parse_spice(text, argc > 1 ? argv[1] : "<demo>");
   std::cout << "Parsed: " << (circuit.title.empty() ? "(untitled)"
                                                     : circuit.title)
             << " -- " << circuit.netlist.node_count() - 1 << " nodes, "
@@ -76,7 +77,14 @@ int main(int argc, char** argv) {
 
   TransientSimulator sim(circuit.netlist, circuit.clock_period);
   const auto result = sim.run(circuit.tran);
-  const double settle = 0.75 * circuit.tran.stop_time;
+  std::cout << "Transient: " << result.report.summary() << "\n";
+  if (!result.ok()) {
+    std::cerr << "warning: waveform truncated; statistics below cover the "
+                 "simulated prefix only\n";
+  }
+  const double span = result.ok() ? circuit.tran.stop_time
+                                  : result.report.end_time;
+  const double settle = 0.75 * span;
 
   TextTable t({"Node", "Avg (V)", "Min (V)", "Max (V)"});
   for (const auto& [name, node] : circuit.node_by_name) {

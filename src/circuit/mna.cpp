@@ -1,5 +1,8 @@
 #include "circuit/mna.h"
 
+#include <cmath>
+#include <sstream>
+
 namespace vstack::circuit {
 
 MnaSystem::MnaSystem(const Netlist& netlist) : netlist_(netlist) {}
@@ -132,6 +135,113 @@ DcSolution dc_solve(const Netlist& netlist,
     // negative of the MNA branch unknown.
     sol.vsource_currents[v] = -x[mna.source_current_index(v)];
   }
+  return sol;
+}
+
+namespace {
+
+bool all_finite(const la::Vector& x) {
+  for (const double v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+/// Solve the MNA system with an extra `gmin` conductance on every node
+/// diagonal and independent sources scaled by `source_scale`.  Returns an
+/// empty vector on factorization failure or a non-finite solution.
+la::Vector regularized_solve(const MnaSystem& mna, const Netlist& netlist,
+                             const std::vector<bool>& switch_on, double gmin,
+                             double source_scale) {
+  la::DenseMatrix m = mna.assemble_matrix(switch_on, {});
+  if (gmin > 0.0) {
+    for (NodeId node = 1; node < netlist.node_count(); ++node) {
+      const std::size_t i = mna.voltage_index(node);
+      m(i, i) += gmin;
+    }
+  }
+  la::Vector rhs = mna.assemble_rhs({});
+  if (source_scale != 1.0) {
+    for (double& v : rhs) v *= source_scale;
+  }
+  try {
+    la::Vector x = la::DenseLu(std::move(m)).solve(rhs);
+    if (!all_finite(x)) return {};
+    return x;
+  } catch (const Error&) {
+    return {};
+  }
+}
+
+DcSolution solution_from(const MnaSystem& mna, const Netlist& netlist,
+                         const la::Vector& x) {
+  DcSolution sol;
+  sol.node_voltages.assign(netlist.node_count(), 0.0);
+  for (NodeId n = 1; n < netlist.node_count(); ++n) {
+    sol.node_voltages[n] = mna.node_voltage(x, n);
+  }
+  sol.vsource_currents.assign(netlist.voltage_sources().size(), 0.0);
+  for (std::size_t v = 0; v < netlist.voltage_sources().size(); ++v) {
+    sol.vsource_currents[v] = -x[mna.source_current_index(v)];
+  }
+  return sol;
+}
+
+}  // namespace
+
+DcSolution dc_solve_robust(const Netlist& netlist,
+                           const std::vector<bool>& switch_on,
+                           DcSolveReport* report) {
+  const MnaSystem mna(netlist);
+  DcSolveReport local;
+  DcSolveReport& rep = report ? *report : local;
+
+  // Rung 1: direct solve of the untouched system.
+  la::Vector x = regularized_solve(mna, netlist, switch_on, 0.0, 1.0);
+  if (!x.empty()) {
+    rep.ok = true;
+    rep.method = "direct";
+    return solution_from(mna, netlist, x);
+  }
+
+  // Rung 2: gmin regularization -- a weak conductance from every node to
+  // ground makes floating subcircuits (nodes isolated behind open switches
+  // or DC-open capacitors) well-posed while perturbing driven nodes by
+  // O(gmin * R).  Try the weakest shunt first.
+  for (const double gmin : {1e-12, 1e-9, 1e-6}) {
+    x = regularized_solve(mna, netlist, switch_on, gmin, 1.0);
+    if (!x.empty()) {
+      rep.ok = true;
+      std::ostringstream oss;
+      oss << "gmin(" << gmin << ")";
+      rep.method = oss.str();
+      return solution_from(mna, netlist, x);
+    }
+  }
+
+  // Rung 3: source stepping under the strongest gmin shunt -- ramp every
+  // independent source from 10% to 100% and keep the last finite solution.
+  // (For a linear network each rung solve is independent; the ramp guards
+  // against overflow in extremely ill-conditioned systems.)
+  la::Vector best;
+  for (const double scale : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    x = regularized_solve(mna, netlist, switch_on, 1e-6, scale);
+    if (!x.empty()) best = x;
+  }
+  if (!best.empty()) {
+    rep.ok = true;
+    rep.method = "source-stepping";
+    return solution_from(mna, netlist, best);
+  }
+
+  rep.ok = false;
+  rep.method = "none";
+  rep.diagnostic =
+      "DC operating point unsolvable: direct LU, gmin regularization "
+      "(1e-12..1e-6) and source stepping all failed";
+  DcSolution sol;
+  sol.node_voltages.assign(netlist.node_count(), 0.0);
+  sol.vsource_currents.assign(netlist.voltage_sources().size(), 0.0);
   return sol;
 }
 

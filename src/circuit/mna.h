@@ -60,4 +60,21 @@ struct DcSolution {
 
 DcSolution dc_solve(const Netlist& netlist, const std::vector<bool>& switch_on);
 
+/// How a robust DC solve succeeded (or why it did not).
+struct DcSolveReport {
+  bool ok = false;
+  std::string method;      // "direct", "gmin(1e-09)", "source-stepping"
+  std::string diagnostic;  // nonempty when !ok
+};
+
+/// Non-throwing DC operating point with a recovery ladder: direct LU, then
+/// gmin regularization (a small conductance from every node to ground,
+/// tried from 1e-12 up), then source stepping (ramping every independent
+/// source under the strongest gmin).  On total failure returns an all-zero
+/// solution with report->ok == false instead of throwing -- transient
+/// engines fall back to the netlist's stated initial conditions.
+DcSolution dc_solve_robust(const Netlist& netlist,
+                           const std::vector<bool>& switch_on,
+                           DcSolveReport* report = nullptr);
+
 }  // namespace vstack::circuit

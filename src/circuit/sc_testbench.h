@@ -39,12 +39,23 @@ struct ScMeasurement {
   double output_power = 0.0;  // delivered to the load sink [W]
   double efficiency = 0.0;    // output_power / input_power
   double voltage_drop = 0.0;  // ideal midpoint minus average output [V]
+
+  /// Transient-engine outcome for the underlying run; measurements above
+  /// are only trustworthy when ok() holds.
+  sim::TransientReport transient;
+  bool ok() const { return transient.ok(); }
 };
 
 struct ScSimulationOptions {
-  int settle_periods = 60;    // discarded transient
-  int measure_periods = 20;   // averaging window
-  int steps_per_period = 64;  // must be a multiple of 2 * interleave_ways
+  int settle_periods = 60;   // discarded transient
+  int measure_periods = 20;  // averaging window
+  /// Upper bound on steps per clock period (adaptive: dt_max =
+  /// period / steps_per_period; fixed: the exact uniform step, and then it
+  /// must be a multiple of 2 * interleave_ways so edges land on the grid).
+  int steps_per_period = 64;
+  /// Adaptive LTE-controlled stepping with exact switch-edge snapping
+  /// (default).  Disable for the legacy uniform grid.
+  bool adaptive = true;
 };
 
 /// Build the interleaved push-pull converter netlist.  Returns the netlist

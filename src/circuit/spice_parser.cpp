@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <set>
 #include <sstream>
 
 #include "common/error.h"
@@ -38,18 +40,47 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
-  VS_FAIL("spice parse error at line " + std::to_string(line_no) + ": " +
-          message);
-}
+/// Parse-state shared by the card handlers: source location for messages,
+/// plus the already-seen element names for duplicate rejection.
+struct ParseContext {
+  const std::string& source_name;
+  std::size_t line_no = 0;
+  std::set<std::string> element_names;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    VS_FAIL(source_name + ":" + std::to_string(line_no) + ": " + message);
+  }
+
+  double value(const std::string& token, const char* what) const {
+    try {
+      return parse_spice_value(token);
+    } catch (const Error& e) {
+      fail(std::string(what) + ": " + e.what());
+    }
+  }
+
+  double positive(const std::string& token, const char* what) const {
+    const double v = value(token, what);
+    if (v <= 0.0) {
+      fail(std::string(what) + " must be positive, got '" + token + "'");
+    }
+    return v;
+  }
+
+  void claim_name(const std::string& name) {
+    if (!element_names.insert(lower(name)).second) {
+      fail("duplicate element name '" + name + "'");
+    }
+  }
+};
 
 /// KEY=VALUE parameter, case-insensitive key.
-bool parse_param(const std::string& token, const std::string& key,
-                 double* out) {
+bool parse_param(const ParseContext& ctx, const std::string& token,
+                 const std::string& key, double* out) {
   const auto eq = token.find('=');
   if (eq == std::string::npos) return false;
   if (lower(token.substr(0, eq)) != key) return false;
-  *out = parse_spice_value(token.substr(eq + 1));
+  *out = ctx.value(token.substr(eq + 1), key.c_str());
   return true;
 }
 
@@ -64,6 +95,8 @@ double parse_spice_value(const std::string& token) {
   } catch (const std::exception&) {
     VS_FAIL("malformed numeric value '" + token + "'");
   }
+  VS_REQUIRE(std::isfinite(value),
+             "non-finite numeric value '" + token + "'");
   const std::string suffix = lower(token.substr(consumed));
   if (suffix.empty()) return value;
   if (suffix.rfind("meg", 0) == 0) return value * 1e6;
@@ -81,8 +114,10 @@ double parse_spice_value(const std::string& token) {
   }
 }
 
-ParsedCircuit parse_spice(const std::string& text) {
+ParsedCircuit parse_spice(const std::string& text,
+                          const std::string& source_name) {
   ParsedCircuit out;
+  ParseContext ctx{source_name};
 
   const auto node_of = [&out](const std::string& name) -> NodeId {
     const std::string key = lower(name);
@@ -96,13 +131,13 @@ ParsedCircuit parse_spice(const std::string& text) {
 
   std::istringstream stream(text);
   std::string raw;
-  std::size_t line_no = 0;
   bool ended = false;
+  bool have_clock = false;
   while (std::getline(stream, raw)) {
-    ++line_no;
+    ++ctx.line_no;
     const std::string line = clean_line(raw);
     if (line.empty()) continue;
-    if (ended) fail(line_no, "content after .end");
+    if (ended) ctx.fail("content after .end");
     const auto tokens = tokenize(line);
     const std::string head = lower(tokens.front());
 
@@ -113,79 +148,106 @@ ParsedCircuit parse_spice(const std::string& text) {
                         ? ""
                         : line.substr(line.find_first_not_of(" \t", pos));
       } else if (head == ".clock") {
-        if (tokens.size() != 2) fail(line_no, ".clock needs one value");
-        out.clock_period = parse_spice_value(tokens[1]);
+        if (have_clock) ctx.fail("duplicate .clock directive");
+        if (tokens.size() != 2) ctx.fail(".clock needs one value");
+        out.clock_period = ctx.positive(tokens[1], ".clock period");
+        have_clock = true;
       } else if (head == ".tran") {
-        if (tokens.size() < 3) fail(line_no, ".tran needs step and stop");
+        if (out.has_tran) ctx.fail("duplicate .tran directive");
+        if (tokens.size() < 3) ctx.fail(".tran needs step and stop");
         out.has_tran = true;
-        out.tran.time_step = parse_spice_value(tokens[1]);
-        out.tran.stop_time = parse_spice_value(tokens[2]);
-        if (tokens.size() > 3 && lower(tokens[3]) == "dc") {
-          out.tran.start_from_dc = true;
+        out.tran.time_step = ctx.positive(tokens[1], ".tran step");
+        out.tran.stop_time = ctx.positive(tokens[2], ".tran stop");
+        if (out.tran.stop_time <= out.tran.time_step) {
+          ctx.fail(".tran stop '" + tokens[2] +
+                   "' must exceed the step '" + tokens[1] + "'");
+        }
+        for (std::size_t k = 3; k < tokens.size(); ++k) {
+          const std::string flag = lower(tokens[k]);
+          if (flag == "dc") {
+            out.tran.start_from_dc = true;
+          } else if (flag == "adaptive") {
+            out.tran.mode = SteppingMode::Adaptive;
+          } else {
+            ctx.fail("unknown .tran flag '" + tokens[k] +
+                     "' (expected DC or ADAPTIVE)");
+          }
         }
       } else if (head == ".end") {
         ended = true;
       } else {
-        fail(line_no, "unknown directive '" + head + "'");
+        ctx.fail("unknown directive '" + head + "'");
       }
       continue;
     }
 
+    ctx.claim_name(tokens.front());
     switch (head.front()) {
       case 'r': {
-        if (tokens.size() != 4) fail(line_no, "R card: R<name> a b value");
+        if (tokens.size() != 4) ctx.fail("R card: R<name> a b value");
         out.netlist.add_resistor(node_of(tokens[1]), node_of(tokens[2]),
-                                 parse_spice_value(tokens[3]));
+                                 ctx.positive(tokens[3], "resistance"));
         break;
       }
       case 'c': {
         if (tokens.size() < 4 || tokens.size() > 5) {
-          fail(line_no, "C card: C<name> a b value [IC=v0]");
+          ctx.fail("C card: C<name> a b value [IC=v0]");
         }
         double ic = 0.0;
-        if (tokens.size() == 5 && !parse_param(tokens[4], "ic", &ic)) {
-          fail(line_no, "expected IC=<v0>");
+        if (tokens.size() == 5 && !parse_param(ctx, tokens[4], "ic", &ic)) {
+          ctx.fail("expected IC=<v0>, got '" + tokens[4] + "'");
         }
         out.netlist.add_capacitor(node_of(tokens[1]), node_of(tokens[2]),
-                                  parse_spice_value(tokens[3]), ic);
+                                  ctx.positive(tokens[3], "capacitance"),
+                                  ic);
         break;
       }
       case 'v': {
-        if (tokens.size() != 4) fail(line_no, "V card: V<name> n+ n- value");
+        if (tokens.size() != 4) ctx.fail("V card: V<name> n+ n- value");
         out.netlist.add_voltage_source(node_of(tokens[1]),
                                        node_of(tokens[2]),
-                                       parse_spice_value(tokens[3]));
+                                       ctx.value(tokens[3], "voltage"));
         break;
       }
       case 'i': {
         if (tokens.size() != 4) {
-          fail(line_no, "I card: I<name> from to value");
+          ctx.fail("I card: I<name> from to value");
         }
         out.netlist.add_current_source(node_of(tokens[1]),
                                        node_of(tokens[2]),
-                                       parse_spice_value(tokens[3]));
+                                       ctx.value(tokens[3], "current"));
         break;
       }
       case 's': {
         if (tokens.size() != 7) {
-          fail(line_no,
-               "S card: S<name> a b Ron Roff PHASE=<off> DUTY=<duty>");
+          ctx.fail("S card: S<name> a b Ron Roff PHASE=<off> DUTY=<duty>");
+        }
+        const double ron = ctx.positive(tokens[3], "on resistance");
+        const double roff = ctx.positive(tokens[4], "off resistance");
+        if (roff < ron) {
+          ctx.fail("off resistance '" + tokens[4] +
+                   "' must be >= on resistance '" + tokens[3] + "'");
         }
         double phase = 0.0, duty = 0.5;
-        if (!parse_param(tokens[5], "phase", &phase)) {
-          fail(line_no, "expected PHASE=<offset>");
+        if (!parse_param(ctx, tokens[5], "phase", &phase)) {
+          ctx.fail("expected PHASE=<offset>, got '" + tokens[5] + "'");
         }
-        if (!parse_param(tokens[6], "duty", &duty)) {
-          fail(line_no, "expected DUTY=<duty>");
+        if (!parse_param(ctx, tokens[6], "duty", &duty)) {
+          ctx.fail("expected DUTY=<duty>, got '" + tokens[6] + "'");
         }
-        out.netlist.add_switch(node_of(tokens[1]), node_of(tokens[2]),
-                               parse_spice_value(tokens[3]),
-                               parse_spice_value(tokens[4]),
-                               ClockPhase{phase, duty});
+        if (phase < 0.0 || phase >= 1.0) {
+          ctx.fail("PHASE offset '" + tokens[5] +
+                   "' must lie in [0, 1) (fraction of the clock period)");
+        }
+        if (duty < 0.0 || duty > 1.0) {
+          ctx.fail("DUTY '" + tokens[6] + "' must lie in [0, 1]");
+        }
+        out.netlist.add_switch(node_of(tokens[1]), node_of(tokens[2]), ron,
+                               roff, ClockPhase{phase, duty});
         break;
       }
       default:
-        fail(line_no, "unknown element card '" + tokens.front() + "'");
+        ctx.fail("unknown element card '" + tokens.front() + "'");
     }
   }
   return out;
@@ -233,6 +295,7 @@ std::string write_spice(const ParsedCircuit& circuit) {
     oss << ".tran " << circuit.tran.time_step << " "
         << circuit.tran.stop_time;
     if (circuit.tran.start_from_dc) oss << " DC";
+    if (circuit.tran.mode == SteppingMode::Adaptive) oss << " ADAPTIVE";
     oss << "\n";
   }
   oss << ".end\n";

@@ -11,11 +11,18 @@
 //   C<name> <a> <b> <value> [IC=<v0>]
 //   S<name> <a> <b> <Ron> <Roff> PHASE=<offset> DUTY=<duty>
 //   .clock <period>                 ; switch phases are fractions of this
-//   .tran <step> <stop> [DC]        ; DC requests start_from_dc
+//   .tran <step> <stop> [DC] [ADAPTIVE]
 //   .end
 //
 // Values accept SPICE suffixes (f p n u m k meg g t).  Node "0" or "gnd"
 // is ground; all other node names are created on first use.
+//
+// The parser is a hardened front-end: every rejection names the source, the
+// line, and the offending token ("netlist.sp:7: ..."), duplicate element
+// names and duplicate .clock/.tran cards are rejected, and all element
+// values are range-checked (positive R/C, Roff >= Ron, duty in [0, 1],
+// phase offset in [0, 1), finite everywhere) so malformed input fails here
+// with an actionable message instead of deep inside the solver.
 #pragma once
 
 #include <map>
@@ -37,11 +44,13 @@ struct ParsedCircuit {
   std::map<std::string, NodeId> node_by_name;
 };
 
-/// Parse a netlist from text.  Throws vstack::Error with a line number on
-/// any malformed card.
-ParsedCircuit parse_spice(const std::string& text);
+/// Parse a netlist from text.  Throws vstack::Error on any malformed card;
+/// the message is "<source_name>:<line>: <what>" with the offending token.
+ParsedCircuit parse_spice(const std::string& text,
+                          const std::string& source_name = "<netlist>");
 
 /// Parse a single SPICE value with magnitude suffix ("4.7n", "1meg", "10").
+/// Throws vstack::Error on malformed, unknown-suffix, or non-finite values.
 double parse_spice_value(const std::string& token);
 
 /// Serialize a netlist back to the dialect (round-trip support).

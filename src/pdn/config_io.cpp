@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <set>
 #include <sstream>
 
 #include "common/error.h"
@@ -23,25 +25,56 @@ std::string lower(std::string s) {
   return s;
 }
 
-double to_number(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(value, &used);
-    VS_REQUIRE(used == value.size(), "trailing characters");
-    return v;
-  } catch (const std::exception&) {
-    VS_FAIL("config key '" + key + "' expects a number, got '" + value +
-            "'");
-  }
-}
+/// Carries the location through the key handlers so every rejection reads
+/// "stackup config line N: ..." with the offending key and value.
+struct LineContext {
+  std::size_t line_no = 0;
 
-TsvConfig tsv_by_name(const std::string& name) {
-  const std::string n = lower(name);
-  if (n == "dense") return TsvConfig::dense();
-  if (n == "sparse") return TsvConfig::sparse();
-  if (n == "few") return TsvConfig::few();
-  VS_FAIL("unknown tsv config '" + name + "' (dense|sparse|few)");
-}
+  [[noreturn]] void fail(const std::string& message) const {
+    VS_FAIL("stackup config line " + std::to_string(line_no) + ": " +
+            message);
+  }
+
+  double number(const std::string& key, const std::string& value) const {
+    double v = 0.0;
+    try {
+      std::size_t used = 0;
+      v = std::stod(value, &used);
+      if (used != value.size()) throw Error("trailing characters");
+    } catch (const std::exception&) {
+      fail("key '" + key + "' expects a number, got '" + value + "'");
+    }
+    if (!std::isfinite(v)) {
+      fail("key '" + key + "' must be finite, got '" + value + "'");
+    }
+    return v;
+  }
+
+  /// Non-negative whole number (layer counts, pad counts, grid sizes):
+  /// rejects fractions and negatives instead of silently truncating.
+  std::size_t integer(const std::string& key, const std::string& value,
+                      std::size_t min, std::size_t max) const {
+    const double v = number(key, value);
+    if (v < 0.0 || v != std::floor(v)) {
+      fail("key '" + key + "' expects a non-negative integer, got '" +
+           value + "'");
+    }
+    const auto n = static_cast<std::size_t>(v);
+    if (n < min || n > max) {
+      fail("key '" + key + "' must lie in [" + std::to_string(min) + ", " +
+           std::to_string(max) + "], got '" + value + "'");
+    }
+    return n;
+  }
+
+  TsvConfig tsv_by_name(const std::string& name) const {
+    const std::string n = lower(name);
+    if (n == "dense") return TsvConfig::dense();
+    if (n == "sparse") return TsvConfig::sparse();
+    if (n == "few") return TsvConfig::few();
+    fail("unknown tsv config '" + name + "' (dense|sparse|few)");
+  }
+};
 
 }  // namespace
 
@@ -50,9 +83,10 @@ StackupConfig parse_stackup_config(const std::string& text,
   StackupConfig cfg = base;
   std::istringstream stream(text);
   std::string raw;
-  std::size_t line_no = 0;
+  LineContext ctx;
+  std::set<std::string> seen_keys;
   while (std::getline(stream, raw)) {
-    ++line_no;
+    ++ctx.line_no;
     std::string line = raw;
     const auto comment = line.find_first_of("#;");
     if (comment != std::string::npos) line.erase(comment);
@@ -60,12 +94,17 @@ StackupConfig parse_stackup_config(const std::string& text,
     if (line.empty()) continue;
 
     const auto eq = line.find('=');
-    VS_REQUIRE(eq != std::string::npos,
-               "config line " + std::to_string(line_no) +
-                   " is not 'key = value'");
+    if (eq == std::string::npos) {
+      ctx.fail("'" + line + "' is not 'key = value'");
+    }
     const std::string key = lower(trim(line.substr(0, eq)));
     const std::string value = trim(line.substr(eq + 1));
-    VS_REQUIRE(!value.empty(), "config key '" + key + "' has no value");
+    if (key.empty()) ctx.fail("missing key before '='");
+    if (value.empty()) ctx.fail("key '" + key + "' has no value");
+    if (!seen_keys.insert(key).second) {
+      ctx.fail("duplicate key '" + key +
+               "' (each key may be set at most once)");
+    }
 
     if (key == "topology") {
       const std::string v = lower(value);
@@ -74,21 +113,27 @@ StackupConfig parse_stackup_config(const std::string& text,
       } else if (v == "stacked" || v == "voltage-stacked") {
         cfg.topology = PdnTopology::VoltageStacked;
       } else {
-        VS_FAIL("unknown topology '" + value + "' (regular|stacked)");
+        ctx.fail("unknown topology '" + value + "' (regular|stacked)");
       }
     } else if (key == "layers") {
-      cfg.layer_count = static_cast<std::size_t>(to_number(key, value));
+      cfg.layer_count = ctx.integer(key, value, 1, 1024);
     } else if (key == "vdd") {
-      cfg.vdd = to_number(key, value);
+      cfg.vdd = ctx.number(key, value);
+      if (cfg.vdd <= 0.0 || cfg.vdd > 100.0) {
+        ctx.fail("vdd must lie in (0, 100] volts, got '" + value + "'");
+      }
     } else if (key == "tsv") {
-      cfg.tsv = tsv_by_name(value);
+      cfg.tsv = ctx.tsv_by_name(value);
     } else if (key == "power_c4_fraction") {
-      cfg.power_c4_fraction = to_number(key, value);
+      cfg.power_c4_fraction = ctx.number(key, value);
+      if (cfg.power_c4_fraction <= 0.0 || cfg.power_c4_fraction > 1.0) {
+        ctx.fail("power_c4_fraction is the fraction of C4 bumps carrying "
+                 "power and must lie in (0, 1], got '" + value + "'");
+      }
     } else if (key == "vdd_pads_per_core") {
-      cfg.vdd_pads_per_core = static_cast<std::size_t>(to_number(key, value));
+      cfg.vdd_pads_per_core = ctx.integer(key, value, 1, 1'000'000);
     } else if (key == "converters_per_core") {
-      cfg.converters_per_core =
-          static_cast<std::size_t>(to_number(key, value));
+      cfg.converters_per_core = ctx.integer(key, value, 0, 1'000'000);
     } else if (key == "converter_reference") {
       const std::string v = lower(value);
       if (v == "ideal") {
@@ -96,8 +141,8 @@ StackupConfig parse_stackup_config(const std::string& text,
       } else if (v == "adjacent") {
         cfg.converter_reference = ConverterReference::AdjacentRails;
       } else {
-        VS_FAIL("unknown converter_reference '" + value +
-                "' (ideal|adjacent)");
+        ctx.fail("unknown converter_reference '" + value +
+                 "' (ideal|adjacent)");
       }
     } else if (key == "control") {
       const std::string v = lower(value);
@@ -106,14 +151,15 @@ StackupConfig parse_stackup_config(const std::string& text,
       } else if (v == "closed") {
         cfg.converter.control = sc::ControlPolicy::ClosedLoop;
       } else {
-        VS_FAIL("unknown control '" + value + "' (open|closed)");
+        ctx.fail("unknown control '" + value + "' (open|closed)");
       }
     } else if (key == "grid") {
-      const auto n = static_cast<std::size_t>(to_number(key, value));
+      // An NxN per-layer grid: bound N so a typo ("grid = 1e6") fails here
+      // instead of exhausting memory building the network.
+      const auto n = ctx.integer(key, value, 2, 1024);
       cfg.grid_nx = cfg.grid_ny = n;
     } else {
-      VS_FAIL("unknown config key '" + key + "' at line " +
-              std::to_string(line_no));
+      ctx.fail("unknown config key '" + key + "'");
     }
   }
   cfg.validate();

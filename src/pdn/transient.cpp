@@ -1,11 +1,19 @@
 #include "pdn/transient.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
 
 #include "common/error.h"
 #include "la/cg.h"
 #include "la/preconditioner.h"
 #include "la/skyline_cholesky.h"
+#include "la/solve.h"
 
 namespace vstack::pdn {
 
@@ -14,6 +22,140 @@ namespace {
 bool is_fixed(std::size_t node) {
   return node == kFixedSupply || node == kFixedGround;
 }
+
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b = 0;
+  static_assert(sizeof(b) == sizeof(x));
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+struct Trip {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double v = 0.0;
+};
+
+/// The transient matrix split into timestep-independent parts so adaptive
+/// stepping can reassemble it for any (dt, scheme) in O(nnz):
+///
+///   A(h) = static + cap_coeff * s/h + ind_coeff * h/s,   s = 1 (BE), 2 (trap)
+///
+/// where cap_coeff holds raw capacitances [F] and ind_coeff raw reciprocal
+/// inductances [1/H] with the companion stamp signs baked in.
+struct SplitSystem {
+  std::size_t n = 0;
+  std::vector<Trip> static_part;
+  std::vector<Trip> cap_part;
+  std::vector<Trip> ind_part;
+
+  la::CsrMatrix assemble(double h, bool backward_euler) const {
+    const double s = backward_euler ? 1.0 : 2.0;
+    la::CooBuilder builder(n);
+    for (const auto& t : static_part) builder.add(t.i, t.j, t.v);
+    for (const auto& t : cap_part) builder.add(t.i, t.j, t.v * s / h);
+    for (const auto& t : ind_part) builder.add(t.i, t.j, t.v * h / s);
+    return builder.build();
+  }
+};
+
+/// Per-(dt, scheme) cached factorization / preconditioner with a solve that
+/// escalates instead of throwing: skyline Cholesky (small systems) -> warm-
+/// started CG -> la::solve's full degradation ladder.
+class StepSolver {
+ public:
+  StepSolver(const SplitSystem& sys, const PdnTransientOptions& options)
+      : sys_(sys), options_(options) {}
+
+  /// Solve A(h) x = rhs.  `x` carries the warm start and receives the
+  /// solution only on success; returns false (with a diagnostic) when every
+  /// rung failed.  Fallback activity is recorded into `report`.
+  bool solve(double h, bool backward_euler, const la::Vector& rhs,
+             la::Vector& x, double t, sim::TransientReport& report,
+             std::string& diagnostic) {
+    Cached& c = cached(h, backward_euler, t, report);
+    if (c.direct) {
+      la::Vector sol = c.direct->solve(rhs);
+      if (sim::finite_and_bounded(sol, options_.control.overflow_limit)) {
+        x = std::move(sol);
+        return true;
+      }
+      report.record_event(t, "direct back-substitution produced non-finite "
+                             "values; escalating to the iterative ladder");
+    }
+    if (c.precond) {
+      la::Vector iterate = x;
+      const auto r = la::conjugate_gradient(c.matrix, rhs, iterate,
+                                            *c.precond, options_.iterative);
+      if (r.converged &&
+          sim::finite_and_bounded(iterate, options_.control.overflow_limit)) {
+        x = std::move(iterate);
+        return true;
+      }
+      report.record_event(t, "warm-started CG stalled (residual " +
+                                 std::to_string(r.residual_norm) +
+                                 "); escalating through la::solve");
+    }
+    // Final rung: the full non-throwing escalation ladder from PR 1.
+    la::Vector iterate = x;
+    la::SolveOptions ladder;
+    ladder.iterative = options_.iterative;
+    const auto r = la::solve(c.matrix, rhs, iterate, ladder);
+    if (r.converged &&
+        sim::finite_and_bounded(iterate, options_.control.overflow_limit)) {
+      x = std::move(iterate);
+      return true;
+    }
+    diagnostic = r.diagnostic.empty() ? "transient solve failed"
+                                      : r.diagnostic;
+    return false;
+  }
+
+ private:
+  struct Cached {
+    la::CsrMatrix matrix;
+    std::unique_ptr<la::ReorderedCholesky> direct;
+    std::unique_ptr<la::Preconditioner> precond;
+  };
+
+  Cached& cached(double h, bool backward_euler, double t,
+                 sim::TransientReport& report) {
+    const auto key = std::make_pair(bits_of(h), backward_euler);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    if (cache_.size() > 16) cache_.clear();  // bound adaptive-dt growth
+
+    Cached c;
+    c.matrix = sys_.assemble(h, backward_euler);
+    if (sys_.n <= options_.direct_solver_node_limit) {
+      try {
+        c.direct = std::make_unique<la::ReorderedCholesky>(c.matrix);
+      } catch (const Error&) {
+        report.record_event(t, "skyline Cholesky factorization failed for "
+                               "dt = " + std::to_string(h) +
+                               " s; using the iterative ladder");
+      }
+    }
+    if (!c.direct) {
+      try {
+        c.precond = la::make_ilu0(c.matrix);
+      } catch (const Error&) {
+        c.precond = la::make_jacobi(c.matrix);
+      }
+    }
+    return cache_.emplace(key, std::move(c)).first->second;
+  }
+
+  const SplitSystem& sys_;
+  const PdnTransientOptions& options_;
+  std::map<std::pair<std::uint64_t, bool>, Cached> cache_;
+};
 
 }  // namespace
 
@@ -24,6 +166,7 @@ void PdnTransientOptions::validate() const {
   VS_REQUIRE(duration > time_step, "duration must exceed the time step");
   VS_REQUIRE(step_time >= 0.0 && step_time < duration,
              "step time must lie within the run");
+  control.validate();
 }
 
 PdnTransientResult simulate_load_step(
@@ -35,7 +178,6 @@ PdnTransientResult simulate_load_step(
   const PdnNetwork& net = model.network();
   const StackupConfig& cfg = model.config();
   const double v_supply = cfg.supply_voltage();
-  const double h = options.time_step;
 
   // Two extra unknowns split the package resistors so the loop inductance
   // can sit between the ideal source and the package node.
@@ -43,9 +185,9 @@ PdnTransientResult simulate_load_step(
   const std::size_t lvdd_mid = net.node_count();
   const std::size_t lgnd_mid = net.node_count() + 1;
 
-  // --- Static + companion matrix (constant over the run). -------------
-  la::CooBuilder builder(n);
-  const double g_l = h / (2.0 * options.package_inductance);
+  // --- Timestep-independent system parts. -----------------------------
+  SplitSystem sys;
+  sys.n = n;
 
   for (const auto& group : net.conductors()) {
     if (group.count == 0) continue;  // fully opened by a fault
@@ -60,13 +202,13 @@ PdnTransientResult simulate_load_step(
     const bool b_fixed = is_fixed(b);
     VS_REQUIRE(!(a_fixed && b_fixed), "conductor between two fixed rails");
     if (!a_fixed && !b_fixed) {
-      builder.add(a, a, g);
-      builder.add(b, b, g);
-      builder.add(a, b, -g);
-      builder.add(b, a, -g);
+      sys.static_part.push_back({a, a, g});
+      sys.static_part.push_back({b, b, g});
+      sys.static_part.push_back({a, b, -g});
+      sys.static_part.push_back({b, a, -g});
     } else {
       const std::size_t free_node = a_fixed ? b : a;
-      builder.add(free_node, free_node, g);
+      sys.static_part.push_back({free_node, free_node, g});
       // No static fixed-rail injections remain: both package paths now go
       // through the inductor companions below.
     }
@@ -79,13 +221,13 @@ PdnTransientResult simulate_load_step(
     if (!conv.enabled) continue;  // stuck-off fault
     const double g = 1.0 / conv.r_series;
     if (ideal_reference) {
-      builder.add(conv.out, conv.out, g);
+      sys.static_part.push_back({conv.out, conv.out, g});
     } else {
       const std::size_t idx[3] = {conv.top, conv.bottom, conv.out};
       const double v[3] = {0.5, 0.5, -1.0};
       for (int i = 0; i < 3; ++i) {
         for (int j = 0; j < 3; ++j) {
-          builder.add(idx[i], idx[j], g * v[i] * v[j]);
+          sys.static_part.push_back({idx[i], idx[j], g * v[i] * v[j]});
         }
       }
     }
@@ -98,40 +240,42 @@ PdnTransientResult simulate_load_step(
   const std::size_t cells = cfg.grid_nx * cfg.grid_ny;
   const double cell_area = net.floorplan().width * net.floorplan().height /
                            static_cast<double>(cells);
-  std::vector<double> layer_g_c(cfg.layer_count);
+  std::vector<double> layer_cap(cfg.layer_count);  // per-cell capacitance [F]
   for (std::size_t l = 0; l < cfg.layer_count; ++l) {
     const double density = options.layer_decap_density.empty()
                                ? options.decap_density
                                : options.layer_decap_density[l];
     VS_REQUIRE(density > 0.0, "decap density must be positive");
-    layer_g_c[l] = 2.0 * density * cell_area / h;
+    layer_cap[l] = density * cell_area;
     for (std::size_t cell = 0; cell < cells; ++cell) {
       const std::size_t a = net.vdd_node(l, cell);
       const std::size_t b = net.gnd_node(l, cell);
-      builder.add(a, a, layer_g_c[l]);
-      builder.add(b, b, layer_g_c[l]);
-      builder.add(a, b, -layer_g_c[l]);
-      builder.add(b, a, -layer_g_c[l]);
+      sys.cap_part.push_back({a, a, layer_cap[l]});
+      sys.cap_part.push_back({b, b, layer_cap[l]});
+      sys.cap_part.push_back({a, b, -layer_cap[l]});
+      sys.cap_part.push_back({b, a, -layer_cap[l]});
     }
   }
 
   // Inductor companions: supply -> lvdd_mid, lgnd_mid -> ground.
-  builder.add(lvdd_mid, lvdd_mid, g_l);
-  builder.add(lgnd_mid, lgnd_mid, g_l);
+  const double inv_l = 1.0 / options.package_inductance;
+  sys.ind_part.push_back({lvdd_mid, lvdd_mid, inv_l});
+  sys.ind_part.push_back({lgnd_mid, lgnd_mid, inv_l});
 
-  const la::CsrMatrix matrix = builder.build();
-  std::unique_ptr<la::ReorderedCholesky> direct;
-  std::unique_ptr<la::Preconditioner> precond;
-  if (n <= options.direct_solver_node_limit) {
-    direct = std::make_unique<la::ReorderedCholesky>(matrix);
-  } else {
-    precond = la::make_ilu0(matrix);
-  }
+  StepSolver solver(sys, options);
 
   // --- Initial condition: DC solve before the step. --------------------
   const auto loads_before = net.build_loads(core_model, activities_before);
   const auto loads_after = net.build_loads(core_model, activities_after);
   const PdnSolution dc = model.solve(loads_before);
+
+  PdnTransientResult result;
+  if (!dc.solve_ok) {
+    result.report.status = sim::TransientStatus::SolverFailure;
+    result.report.diagnostic =
+        "pre-step DC operating point failed: " + dc.diagnostic;
+    return result;
+  }
 
   la::Vector x(n, 0.0);
   for (std::size_t i = 0; i < net.node_count(); ++i) {
@@ -175,23 +319,17 @@ PdnTransientResult simulate_load_step(
     return worst / cfg.vdd;
   };
 
-  PdnTransientResult result;
   result.initial_noise = worst_noise_of(x);
-
-  const auto n_steps = static_cast<std::size_t>(
-      std::llround(options.duration / h));
-  result.time.reserve(n_steps);
-  result.worst_noise.reserve(n_steps);
-  result.supply_current.reserve(n_steps);
   result.peak_noise = result.initial_noise;
   result.peak_time = 0.0;
 
   la::Vector rhs(n, 0.0);
-  for (std::size_t step = 0; step < n_steps; ++step) {
-    const double t_new = static_cast<double>(step + 1) * h;
-    const auto& loads = (t_new >= options.step_time) ? loads_after
-                                                     : loads_before;
 
+  /// Companion right-hand side for one step of size h at scheme `be`.
+  const auto build_rhs = [&](const std::vector<LoadInjection>& loads,
+                             double h, bool be) {
+    const double s = be ? 1.0 : 2.0;
+    const double g_l = h / (s * options.package_inductance);
     std::fill(rhs.begin(), rhs.end(), 0.0);
     for (const auto& load : loads) {
       rhs[load.vdd_node] -= load.current;
@@ -199,59 +337,192 @@ PdnTransientResult simulate_load_step(
     }
     if (ideal_reference) {
       for (const auto& conv : net.converters()) {
+        if (!conv.enabled) continue;
         rhs[conv.out] += (1.0 / conv.r_series) *
                          static_cast<double>(conv.level) * cfg.vdd;
       }
     }
     // Capacitor histories.
     for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+      const double g_c = s * layer_cap[l] / h;
       for (std::size_t cell = 0; cell < cells; ++cell) {
         const std::size_t k = l * cells + cell;
-        const double j_c = layer_g_c[l] * cap_v[k] + cap_i[k];
+        const double j_c = g_c * cap_v[k] + (be ? 0.0 : cap_i[k]);
         rhs[net.vdd_node(l, cell)] += j_c;
         rhs[net.gnd_node(l, cell)] -= j_c;
       }
     }
     // Inductor histories (fixed-rail side folded into the RHS).
-    const double j_lvdd = lvdd_i + g_l * lvdd_v;
+    const double j_lvdd = lvdd_i + (be ? 0.0 : g_l * lvdd_v);
     rhs[lvdd_mid] += g_l * v_supply + j_lvdd;
-    const double j_lgnd = lgnd_i + g_l * lgnd_v;
+    const double j_lgnd = lgnd_i + (be ? 0.0 : g_l * lgnd_v);
     rhs[lgnd_mid] += -j_lgnd;  // current leaves the mid node into ground
+  };
 
-    if (direct) {
-      x = direct->solve(rhs);
-    } else {
-      const auto report =
-          la::conjugate_gradient(matrix, rhs, x, *precond, options.iterative);
-      VS_REQUIRE(report.converged, "transient PDN step failed to converge");
-    }
-
-    // Update states.
+  /// Advance companion states to the accepted solution `sol`.
+  const auto commit_states = [&](const la::Vector& sol, double h, bool be) {
+    const double s = be ? 1.0 : 2.0;
+    const double g_l = h / (s * options.package_inductance);
     for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+      const double g_c = s * layer_cap[l] / h;
       for (std::size_t cell = 0; cell < cells; ++cell) {
         const std::size_t k = l * cells + cell;
         const double v_new =
-            x[net.vdd_node(l, cell)] - x[net.gnd_node(l, cell)];
-        cap_i[k] =
-            layer_g_c[l] * v_new - (layer_g_c[l] * cap_v[k] + cap_i[k]);
+            sol[net.vdd_node(l, cell)] - sol[net.gnd_node(l, cell)];
+        const double j_c = g_c * cap_v[k] + (be ? 0.0 : cap_i[k]);
+        cap_i[k] = g_c * v_new - j_c;
         cap_v[k] = v_new;
       }
     }
-    lvdd_v = v_supply - x[lvdd_mid];
+    const double j_lvdd = lvdd_i + (be ? 0.0 : g_l * lvdd_v);
+    lvdd_v = v_supply - sol[lvdd_mid];
     lvdd_i = j_lvdd + g_l * lvdd_v;
-    lgnd_v = x[lgnd_mid];  // mid node minus ground
+    const double j_lgnd = lgnd_i + (be ? 0.0 : g_l * lgnd_v);
+    lgnd_v = sol[lgnd_mid];  // mid node minus ground
     lgnd_i = j_lgnd + g_l * lgnd_v;
+  };
 
-    const double noise = worst_noise_of(x);
-    result.time.push_back(t_new);
+  const auto record_sample = [&](double t, const la::Vector& sol) {
+    const double noise = worst_noise_of(sol);
+    result.time.push_back(t);
     result.worst_noise.push_back(noise);
     result.supply_current.push_back(lvdd_i);
     if (noise > result.peak_noise) {
       result.peak_noise = noise;
-      result.peak_time = t_new;
+      result.peak_time = t;
     }
+  };
+
+  std::string diagnostic;
+
+  if (!options.adaptive) {
+    // --- Legacy uniform grid (bit-compatible waveforms) under the shared
+    // guard/budget/report discipline. ------------------------------------
+    const double h = options.time_step;
+    const auto n_steps = static_cast<std::size_t>(
+        std::llround(options.duration / h));
+    result.time.reserve(n_steps);
+    result.worst_noise.reserve(n_steps);
+    result.supply_current.reserve(n_steps);
+
+    sim::TransientReport& report = result.report;
+    const double wall_start = monotonic_seconds();
+
+    for (std::size_t step = 0; step < n_steps; ++step) {
+      const double t_new = static_cast<double>(step + 1) * h;
+      if (options.control.max_steps > 0 &&
+          report.accepted_steps >= options.control.max_steps) {
+        report.status = sim::TransientStatus::BudgetExhausted;
+        report.diagnostic = "step budget of " +
+                            std::to_string(options.control.max_steps) +
+                            " exhausted at t = " + std::to_string(t_new) +
+                            " s; result truncated";
+        break;
+      }
+      if (options.control.wall_clock_budget_s > 0.0 &&
+          monotonic_seconds() - wall_start >
+              options.control.wall_clock_budget_s) {
+        report.status = sim::TransientStatus::BudgetExhausted;
+        report.diagnostic = "wall-clock budget exhausted at t = " +
+                            std::to_string(t_new) + " s; result truncated";
+        break;
+      }
+      const auto& loads = (t_new >= options.step_time) ? loads_after
+                                                       : loads_before;
+      build_rhs(loads, h, /*be=*/false);
+      if (!solver.solve(h, /*be=*/false, rhs, x, t_new, report, diagnostic)) {
+        report.status = sim::TransientStatus::SolverFailure;
+        report.diagnostic = "transient PDN step failed at t = " +
+                            std::to_string(t_new) + " s: " + diagnostic;
+        break;
+      }
+      commit_states(x, h, /*be=*/false);
+      record_sample(t_new, x);
+      ++report.accepted_steps;
+      report.end_time = t_new;
+    }
+    report.min_dt = result.time.empty() ? 0.0 : h;
+    report.max_dt = report.min_dt;
+    report.last_dt = report.min_dt;
+    report.wall_seconds = monotonic_seconds() - wall_start;
+  } else {
+    // --- Adaptive LTE-controlled stepping; the load-step instant is an
+    // event the controller lands on exactly. ------------------------------
+    const double dt_max = std::min(options.time_step, options.duration);
+    sim::StepController ctl(options.control, 0.0, options.duration,
+                            dt_max / 8.0, dt_max);
+    constexpr int kBeStartupSteps = 2;
+    int be_left = kBeStartupSteps;
+    const double event_tol = 1e-12 * options.duration;
+
+    std::vector<double> cap_slope(cap_v.size(), 0.0);
+    std::vector<double> v_new(cap_v.size(), 0.0);
+    std::vector<double> v_pred(cap_v.size(), 0.0);
+    la::Vector candidate = x;
+
+    while (!ctl.done() && !ctl.failed()) {
+      const double t = ctl.time();
+      const double next_event =
+          (t < options.step_time - event_tol)
+              ? options.step_time
+              : std::numeric_limits<double>::infinity();
+      const double dt = ctl.begin_step(next_event);
+      if (ctl.failed()) break;
+      const bool be = be_left > 0;
+      // The step uses the loads in force at its START, so the discontinuity
+      // begins exactly at the snapped step_time boundary.
+      const auto& loads = (t >= options.step_time - event_tol) ? loads_after
+                                                               : loads_before;
+      build_rhs(loads, dt, be);
+      candidate = x;  // warm start; x stays the last accepted solution
+      if (!solver.solve(dt, be, rhs, candidate, t, ctl.report(),
+                        diagnostic)) {
+        ctl.reject_step("linear solve failure");
+        continue;
+      }
+      if (!sim::finite_and_bounded(candidate,
+                                   options.control.overflow_limit)) {
+        ctl.reject_step("NaN/overflow guard");
+        continue;
+      }
+      for (std::size_t l = 0; l < cfg.layer_count; ++l) {
+        for (std::size_t cell = 0; cell < cells; ++cell) {
+          const std::size_t k = l * cells + cell;
+          v_new[k] = candidate[net.vdd_node(l, cell)] -
+                     candidate[net.gnd_node(l, cell)];
+        }
+      }
+      double err = 0.0;
+      if (!be) {
+        for (std::size_t k = 0; k < cap_v.size(); ++k) {
+          v_pred[k] = cap_v[k] + cap_slope[k] * dt;
+        }
+        err = sim::error_norm(v_new, v_pred, options.control.rel_tol,
+                              options.control.abs_tol);
+      }
+      const bool on_edge = ctl.ends_on_event();
+      if (!ctl.finish_step(err, be ? 1 : 2)) continue;
+
+      for (std::size_t k = 0; k < cap_v.size(); ++k) {
+        cap_slope[k] = (v_new[k] - cap_v[k]) / dt;
+      }
+      commit_states(candidate, dt, be);
+      x = candidate;
+      record_sample(ctl.time(), x);
+      if (on_edge) {
+        be_left = kBeStartupSteps;
+        ctl.reset_dt(dt_max / 16.0);
+      } else if (be_left > 0) {
+        --be_left;
+      }
+    }
+    ctl.finalize();
+    result.report = ctl.report();
   }
-  result.final_noise = result.worst_noise.back();
+
+  result.final_noise =
+      result.worst_noise.empty() ? result.initial_noise
+                                 : result.worst_noise.back();
   return result;
 }
 

@@ -4,10 +4,18 @@
 //
 // On top of the resistive network, this adds per-cell on-chip decoupling
 // capacitance and a package inductance per supply net, then integrates a
-// load step with the trapezoidal rule.  Both companion models are pure
-// conductances plus history currents, so the system stays SPD and every
-// step reuses one ILU(0)-preconditioned CG solve, warm-started from the
-// previous time step.
+// load step with trapezoidal companions (backward-Euler startup and
+// post-event stabilization in adaptive mode).  Both companion models are
+// pure conductances plus history currents, so the system stays SPD; small
+// systems are factorized once per distinct (dt, scheme) with the
+// RCM-reordered skyline Cholesky, larger ones use warm-started CG.
+//
+// Robustness (shared sim::StepController core, same discipline as
+// circuit/transient.h): optional LTE-controlled adaptive stepping that hits
+// the load-step instant exactly, NaN/overflow guards on every candidate
+// solution, linear solves that escalate through la::solve's degradation
+// ladder instead of throwing, and hard step / wall-clock budgets.  Callers
+// check PdnTransientResult::report instead of catching exceptions.
 //
 // The headline result it enables: voltage stacking draws ~N times less
 // off-chip current, so the L*di/dt droop of a full-power step is far
@@ -15,6 +23,7 @@
 #pragma once
 
 #include "pdn/solver.h"
+#include "sim/step_control.h"
 
 namespace vstack::pdn {
 
@@ -30,23 +39,34 @@ struct PdnTransientOptions {
   /// Package + board loop inductance per supply net [H].
   double package_inductance = 50e-12;
 
+  /// Fixed mode: the uniform step.  Adaptive mode: the LARGEST step the
+  /// controller may take.
   double time_step = 0.5e-9;  // [s]
   double duration = 200e-9;   // [s] total simulated time
   double step_time = 20e-9;   // [s] when the load step fires
 
+  /// LTE-controlled adaptive stepping that snaps a step boundary exactly
+  /// onto step_time.  Off by default (the fixed grid reproduces historical
+  /// waveforms bit-for-bit); guards, budgets and reporting apply either way.
+  bool adaptive = false;
+
+  /// Tolerances, budgets and guard thresholds for the shared controller.
+  sim::StepControlOptions control;
+
   la::IterativeOptions iterative{20000, 1e-8};
 
-  /// Systems at or below this many unknowns are factorized once with the
-  /// RCM-reordered skyline Cholesky and back-substituted per step (hundreds
-  /// of times faster than per-step CG at small sizes); larger systems use
-  /// warm-started CG.  Set to 0 to force the iterative path.
+  /// Systems at or below this many unknowns are factorized per distinct
+  /// timestep with the RCM-reordered skyline Cholesky and back-substituted
+  /// per step (hundreds of times faster than per-step CG at small sizes);
+  /// larger systems use warm-started CG.  Set to 0 to force the iterative
+  /// path.
   std::size_t direct_solver_node_limit = 2500;
 
   void validate() const;
 };
 
 struct PdnTransientResult {
-  std::vector<double> time;          // [s], one entry per step
+  std::vector<double> time;          // [s], one entry per accepted step
   std::vector<double> worst_noise;   // max node deviation fraction per step
   std::vector<double> supply_current;  // off-chip current [A] per step
 
@@ -54,10 +74,18 @@ struct PdnTransientResult {
   double peak_noise = 0.0;     // worst transient excursion
   double peak_time = 0.0;      // when it occurs [s]
   double final_noise = 0.0;    // settled value at the end of the run
+
+  /// Structured outcome: step statistics, recovery/fallback events, and a
+  /// status labeling truncated results.  Check ok() before trusting the
+  /// waveform to span the full duration; waveforms never contain NaN.
+  sim::TransientReport report;
+  bool ok() const { return report.ok(); }
 };
 
 /// Simulate a load step from `activities_before` to `activities_after`
-/// (per-layer activity factors) on the given PDN.
+/// (per-layer activity factors) on the given PDN.  Throws only on
+/// precondition violations; numerical trouble truncates the waveform and is
+/// described in the returned report.
 PdnTransientResult simulate_load_step(
     const PdnModel& model, const power::CorePowerModel& core_model,
     const std::vector<double>& activities_before,

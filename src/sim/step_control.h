@@ -1,0 +1,200 @@
+// Shared adaptive-transient core used by the switch-level circuit engine
+// (circuit/transient.h) and the PDN transient solver (pdn/transient.h).
+//
+// Three pieces live here:
+//
+//  * StepController -- local-truncation-error driven timestep selection with
+//    step rejection, halving, exponential grow-back, exact clamping onto
+//    event times (clocked-switch edges, load steps, the stop time), and hard
+//    step / wall-clock budgets.  Fixed-step engines reuse the same
+//    controller with dt_min == dt_max so guards, budgets and reporting are
+//    identical in both modes.
+//
+//  * TransientReport -- the structured outcome callers check INSTEAD of
+//    catching exceptions: accepted/rejected step counts, dt range, LTE
+//    statistics, every recovery/fallback event, and a status that labels
+//    truncated results (budget exhaustion, step collapse, solver failure)
+//    rather than hanging or propagating NaN.
+//
+//  * PeriodicEvents + guard helpers -- switch-edge schedules and the
+//    NaN/overflow checks every engine runs before committing a step.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vstack::sim {
+
+enum class TransientStatus {
+  Completed,        // integrated to the requested stop time
+  BudgetExhausted,  // step or wall-clock budget hit; result truncated
+  StepCollapse,     // dt driven below dt_min without an acceptable step
+  SolverFailure,    // linear solve unrecoverable after every fallback
+};
+
+const char* to_string(TransientStatus status);
+
+/// One recovery-ladder action (gmin fallback, solver escalation, guard
+/// rejection...) recorded so a degraded run is visible after the fact.
+struct RecoveryEvent {
+  double time = 0.0;  // simulation time when it happened [s]
+  std::string what;
+};
+
+/// Structured outcome of a transient run.  `ok()` is the one-stop check;
+/// everything else explains HOW the run went (or how degraded it was).
+struct TransientReport {
+  TransientStatus status = TransientStatus::Completed;
+
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;   // lte + guard + solver rejections
+  std::size_t lte_rejections = 0;   // error estimate above tolerance
+  std::size_t guard_rejections = 0;  // NaN / overflow guards fired
+  std::size_t solver_rejections = 0;  // linear-solve failures retried
+
+  double min_dt = std::numeric_limits<double>::infinity();  // accepted only
+  double max_dt = 0.0;
+  double last_dt = 0.0;
+  double max_accepted_error = 0.0;  // worst normalized LTE that passed
+  double end_time = 0.0;            // last accepted time point [s]
+  double wall_seconds = 0.0;
+
+  /// Recovery-ladder trail, capped at kMaxEvents (events_dropped counts the
+  /// overflow) so a pathological run cannot balloon the report.
+  static constexpr std::size_t kMaxEvents = 32;
+  std::vector<RecoveryEvent> events;
+  std::size_t events_dropped = 0;
+
+  std::string diagnostic;  // nonempty when !ok()
+
+  bool ok() const { return status == TransientStatus::Completed; }
+  void record_event(double time, std::string what);
+
+  /// One-line human-readable digest for logs and bench footers.
+  std::string summary() const;
+};
+
+struct StepControlOptions {
+  /// LTE acceptance: a step passes when the predictor-corrector error,
+  /// normalized per state entry by (abs_tol + rel_tol * |value|), is <= 1.
+  double rel_tol = 1e-4;
+  double abs_tol = 1e-6;
+
+  double dt_min = 0.0;      // 0 = derived as dt_max * 1e-7
+  double dt_grow = 2.0;     // max growth factor per accepted step
+  double dt_shrink = 0.1;   // max shrink factor per rejected step
+  double safety = 0.8;
+
+  int max_rejections_per_step = 16;  // consecutive, then StepCollapse
+
+  /// Hard budgets: 0 disables.  `max_steps` counts attempted (accepted +
+  /// rejected) steps; on exhaustion the run returns a truncated result with
+  /// status BudgetExhausted instead of running away.
+  std::size_t max_steps = 2'000'000;
+  double wall_clock_budget_s = 0.0;
+
+  /// Guard threshold: any |entry| beyond this (or any non-finite entry) in a
+  /// candidate solution rejects the step.
+  double overflow_limit = 1e12;
+
+  void validate() const;
+};
+
+/// Timestep state machine.  Usage per step:
+///
+///   double dt = ctl.begin_step(next_event_time);
+///   if (ctl.failed()) break;            // budget / collapse -- truncated
+///   ... assemble, solve with dt ...
+///   if (guard fails)  { ctl.reject_step(t, "why"); continue; }
+///   if (ctl.finish_step(err_norm, order)) { commit state; }
+///
+/// Rejected steps leave time unchanged, so callers simply do not commit.
+class StepController {
+ public:
+  /// `dt_init`/`dt_max` bound the adaptive step; passing dt_init == dt_max
+  /// with rel_tol control disabled (finish_step(0.0, ...)) reproduces a
+  /// fixed-step run under the same guards and budgets.
+  StepController(const StepControlOptions& options, double t_start,
+                 double t_end, double dt_init, double dt_max);
+
+  double time() const { return t_; }
+  double dt() const { return dt_; }
+  bool done() const { return done_; }
+  bool failed() const { return failed_; }
+
+  /// Propose the next step, clamped so `next_event` (if inside the step or
+  /// within 10% of dt past its end) and t_end are hit exactly.  Pass
+  /// infinity when no event is pending.  Checks budgets; on exhaustion sets
+  /// failed() and returns 0.
+  double begin_step(double next_event);
+
+  /// True when the step proposed by the last begin_step ends on next_event.
+  bool ends_on_event() const { return ends_on_event_; }
+
+  /// Accept (err_norm <= 1) or reject the step; `order` is the local order
+  /// of the integration method (1 = BE, 2 = trapezoidal) used to scale the
+  /// dt update.  Returns whether the step was accepted (time advanced).
+  bool finish_step(double err_norm, int order);
+
+  /// Reject for a non-LTE reason (NaN guard, solver failure): halves dt and
+  /// counts toward the consecutive-rejection collapse limit.  `kind` is
+  /// recorded in the report's event trail.
+  void reject_step(const char* kind);
+
+  /// Force the next proposal down to at most `dt` (used after switching
+  /// edges where history-based prediction is invalid).
+  void reset_dt(double dt);
+
+  TransientReport& report() { return report_; }
+  const TransientReport& report() const { return report_; }
+
+  /// Stamp wall_seconds and, if the run ended early without a recorded
+  /// failure, finalize the status/diagnostic fields.
+  void finalize();
+
+ private:
+  void fail(TransientStatus status, const std::string& diagnostic);
+
+  StepControlOptions opts_;
+  double t_ = 0.0;
+  double t_end_ = 0.0;
+  double dt_ = 0.0;
+  double dt_max_ = 0.0;
+  bool done_ = false;
+  bool failed_ = false;
+  bool ends_on_event_ = false;
+  int consecutive_rejections_ = 0;
+  std::size_t attempted_steps_ = 0;
+  double wall_start_s_ = 0.0;  // monotonic clock at construction
+  TransientReport report_;
+};
+
+/// Max-norm LTE estimate: |value - predicted| normalized per entry by
+/// (abs_tol + rel_tol * |value|).  Sizes must match.
+double error_norm(const std::vector<double>& value,
+                  const std::vector<double>& predicted, double rel_tol,
+                  double abs_tol);
+
+/// True when every entry is finite and |entry| <= limit.
+bool finite_and_bounded(const std::vector<double>& x, double limit);
+
+/// Event schedule of clocked-switch edges: `fractions` are edge positions
+/// within one period (in [0, 1)); next_after(t) returns the first edge
+/// strictly after t (with a relative snap tolerance so a step that just
+/// landed on an edge is not matched again).
+class PeriodicEvents {
+ public:
+  PeriodicEvents() = default;
+  PeriodicEvents(double period, std::vector<double> fractions);
+
+  bool empty() const { return fractions_.empty(); }
+  double next_after(double t) const;
+
+ private:
+  double period_ = 0.0;
+  std::vector<double> fractions_;  // sorted, deduped, in [0, 1)
+};
+
+}  // namespace vstack::sim

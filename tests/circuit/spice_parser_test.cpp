@@ -86,12 +86,25 @@ TEST(SpiceParserTest, CommentsAndBlankLinesIgnored) {
   EXPECT_EQ(c.netlist.resistors().size(), 1u);
 }
 
-TEST(SpiceParserTest, ErrorsCarryLineNumbers) {
+TEST(SpiceParserTest, ErrorsCarrySourceNameLineAndToken) {
   try {
-    parse_spice("R1 a 0 1k\nQ1 b 0 1k\n");
+    parse_spice("R1 a 0 1k\nQ1 b 0 1k\n", "bench.sp");
     FAIL() << "expected throw";
   } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bench.sp:2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("Q1"), std::string::npos) << what;
+  }
+}
+
+TEST(SpiceParserTest, ErrorsNameTheOffendingValueToken) {
+  try {
+    parse_spice("R1 a 0 1x2\n", "bad.sp");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.sp:1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("1x2"), std::string::npos) << what;
   }
 }
 
@@ -101,6 +114,51 @@ TEST(SpiceParserTest, RejectsMalformedCards) {
   EXPECT_THROW(parse_spice(".tran 1u\n"), Error);
   EXPECT_THROW(parse_spice(".bogus\n"), Error);
   EXPECT_THROW(parse_spice(".end\nR1 a 0 1k\n"), Error);  // after .end
+}
+
+// Malformed-netlist corpus: every entry must be rejected with a clean parse
+// error (no crash, no acceptance).  Runs under ASan+UBSan in the sanitizer
+// CI job.
+TEST(SpiceParserTest, MalformedCorpusAllRejected) {
+  const char* corpus[] = {
+      "R1 a 0 -1k\n",                   // negative resistance
+      "R1 a 0 0\n",                     // zero resistance
+      "C1 a 0 -1n\n",                   // negative capacitance
+      "C1 a 0 1n IC\n",                 // bare IC without value
+      "C1 a 0 1n IC=abc\n",             // garbage IC value
+      "C1 a 0 1n IC=1 extra\n",         // trailing token
+      "R1 a 0 1k\nR1 b 0 2k\n",         // duplicate element name
+      "R1 a 0 1k\nr1 b 0 2k\n",         // duplicate, case-insensitive
+      "S1 a b -0.5 1e9 PHASE=0 DUTY=0.5\n",   // negative Ron
+      "S1 a b 10 1 PHASE=0 DUTY=0.5\n",        // Roff < Ron
+      "S1 a b 1 1e9 PHASE=1.5 DUTY=0.5\n",     // phase out of range
+      "S1 a b 1 1e9 PHASE=0 DUTY=1.5\n",       // duty out of range
+      "S1 a b 1 1e9 PHASE=0 DUTY=-0.1\n",      // negative duty
+      ".clock 0\n",                     // zero clock period
+      ".clock -1n\n",                   // negative clock period
+      ".clock 1n\n.clock 2n\n",         // duplicate .clock
+      ".tran 1n 1u\n.tran 1n 1u\n",     // duplicate .tran
+      ".tran 1u 1n\n",                  // stop <= step
+      ".tran -1n 1u\n",                 // negative step
+      ".tran 1n 1u FAST\n",             // unknown flag
+      "V1 a 0 1e999\n",                 // overflow -> non-finite
+      "V1 a 0 nan\n",                   // NaN value
+      "X1 a 0 1\n",                     // unknown card
+  };
+  for (const char* text : corpus) {
+    EXPECT_THROW(parse_spice(text, "corpus.sp"), Error)
+        << "accepted malformed netlist:\n" << text;
+  }
+}
+
+TEST(SpiceParserTest, TranAdaptiveFlagSelectsAdaptiveMode) {
+  const auto c = parse_spice("R1 a 0 1k\n.tran 1n 1u DC ADAPTIVE\n.end\n");
+  ASSERT_TRUE(c.has_tran);
+  EXPECT_TRUE(c.tran.start_from_dc);
+  EXPECT_EQ(c.tran.mode, SteppingMode::Adaptive);
+  // Round trip keeps the flag.
+  const auto reparsed = parse_spice(write_spice(c));
+  EXPECT_EQ(reparsed.tran.mode, SteppingMode::Adaptive);
 }
 
 TEST(SpiceParserTest, RoundTripPreservesCircuit) {

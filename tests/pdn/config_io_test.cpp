@@ -63,6 +63,48 @@ TEST(ConfigIoTest, RejectsBadValues) {
   EXPECT_THROW(parse_stackup_config("layers\n"), Error);
 }
 
+TEST(ConfigIoTest, RejectsOutOfRangePhysicalParameters) {
+  // Every entry must fail with a line-numbered, actionable message.
+  const char* corpus[] = {
+      "vdd = 0\n",                      // non-positive supply
+      "vdd = -1\n",                     //
+      "vdd = 1e300\n",                  // absurd supply
+      "vdd = nan\n",                    // non-finite
+      "power_c4_fraction = 0\n",        // fraction out of (0, 1]
+      "power_c4_fraction = 1.5\n",      //
+      "power_c4_fraction = -0.2\n",     //
+      "layers = 2.5\n",                 // fractional integer
+      "layers = -3\n",                  // negative integer
+      "layers = 0\n",                   // below minimum
+      "vdd_pads_per_core = 0\n",        //
+      "vdd_pads_per_core = 3.7\n",      //
+      "converters_per_core = -1\n",     //
+      "grid = 1\n",                     // below minimum (needs 2x2 cells)
+      "grid = 1e6\n",                   // absurd grid -> memory bomb
+      "grid = 8.5\n",                   // fractional
+  };
+  for (const char* text : corpus) {
+    EXPECT_THROW(parse_stackup_config(text), Error)
+        << "accepted bad config: " << text;
+  }
+}
+
+TEST(ConfigIoTest, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_stackup_config("layers = 4\nlayers = 8\n"), Error);
+  EXPECT_THROW(parse_stackup_config("vdd = 1.0\nVDD = 0.9\n"), Error);
+}
+
+TEST(ConfigIoTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_stackup_config("layers = 4\nvdd = banana\n");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("banana"), std::string::npos) << what;
+  }
+}
+
 TEST(ConfigIoTest, ValidatesResult) {
   // Voltage stacking with a single layer must be rejected by validate().
   EXPECT_THROW(parse_stackup_config("topology = stacked\nlayers = 1\n"),

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.h"
 #include "floorplan/floorplan.h"
 #include "power/workload.h"
@@ -149,6 +151,73 @@ TEST(PdnTransientTest, WaveformLengthsConsistent) {
   EXPECT_EQ(r.time.size(), r.worst_noise.size());
   EXPECT_EQ(r.time.size(), r.supply_current.size());
   EXPECT_EQ(r.time.size(), 80u);
+}
+
+TEST(PdnTransientTest, FixedModeReportIsPopulated) {
+  PdnModel model(small(PdnTopology::Regular3d, 2), paper_fp());
+  const auto r = simulate_load_step(model, cpm(), {0.5, 0.5}, {1.0, 1.0},
+                                    fast_options());
+  ASSERT_TRUE(r.ok()) << r.report.summary();
+  EXPECT_EQ(r.report.status, sim::TransientStatus::Completed);
+  EXPECT_EQ(r.report.accepted_steps, 80u);
+  EXPECT_DOUBLE_EQ(r.report.min_dt, 1e-9);
+  EXPECT_DOUBLE_EQ(r.report.max_dt, 1e-9);
+  EXPECT_NEAR(r.report.end_time, 80e-9, 1e-15);
+}
+
+TEST(PdnTransientTest, AdaptiveMatchesFixedPeakNoise) {
+  // The adaptive run takes different (larger, nonuniform) steps but must
+  // see the same physics: DC levels identical, transient peak close.
+  PdnModel model(small(PdnTopology::Regular3d, 4), paper_fp());
+  const std::vector<double> before(4, 0.2), after(4, 1.0);
+  PdnTransientOptions fixed = fast_options();
+  fixed.duration = 120e-9;
+  PdnTransientOptions ad = fixed;
+  ad.adaptive = true;
+  const auto r_fixed = simulate_load_step(model, cpm(), before, after, fixed);
+  const auto r_ad = simulate_load_step(model, cpm(), before, after, ad);
+  ASSERT_TRUE(r_fixed.ok()) << r_fixed.report.summary();
+  ASSERT_TRUE(r_ad.ok()) << r_ad.report.summary();
+  // Warm-started CG: the two DC solves agree only to solver tolerance.
+  EXPECT_NEAR(r_ad.initial_noise, r_fixed.initial_noise,
+              1e-6 * r_fixed.initial_noise);
+  EXPECT_NEAR(r_ad.peak_noise, r_fixed.peak_noise,
+              0.05 * r_fixed.peak_noise);
+  // Nonuniform: the step-time snap plus LTE control changes the sampling.
+  for (const double v : r_ad.worst_noise) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(PdnTransientTest, AdaptiveSnapsOntoStepTime) {
+  // step_time = 13 ns is not a multiple of any power-of-two fraction of the
+  // 1 ns max step; the controller must land a step boundary on it exactly.
+  PdnModel model(small(PdnTopology::Regular3d, 2), paper_fp());
+  PdnTransientOptions o = fast_options();
+  o.adaptive = true;
+  o.step_time = 13e-9;
+  const auto r = simulate_load_step(model, cpm(), {0.2, 0.2}, {1.0, 1.0}, o);
+  ASSERT_TRUE(r.ok()) << r.report.summary();
+  double closest = 1e9;
+  for (const double t : r.time) {
+    closest = std::min(closest, std::abs(t - o.step_time));
+  }
+  EXPECT_LT(closest, 1e-15) << "missed the load-step instant";
+}
+
+TEST(PdnTransientTest, StepBudgetTruncatesButLabels) {
+  PdnModel model(small(PdnTopology::Regular3d, 2), paper_fp());
+  PdnTransientOptions o = fast_options();
+  o.control.max_steps = 20;
+  const auto r = simulate_load_step(model, cpm(), {0.2, 0.2}, {1.0, 1.0}, o);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.report.status, sim::TransientStatus::BudgetExhausted);
+  EXPECT_FALSE(r.report.diagnostic.empty());
+  ASSERT_FALSE(r.time.empty());
+  EXPECT_LT(r.report.end_time, o.duration);
+  for (const double v : r.worst_noise) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
 }
 
 }  // namespace

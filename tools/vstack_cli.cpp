@@ -366,12 +366,18 @@ int cmd_contingency(const core::StudyContext& ctx, const CliArgs& args) {
 int cmd_spice(const CliArgs& args) {
   VS_REQUIRE(args.positionals().size() >= 2,
              "usage: vstack_cli spice FILE");
-  const auto circuit =
-      circuit::parse_spice(read_file(args.positionals()[1]));
+  const auto circuit = circuit::parse_spice(
+      read_file(args.positionals()[1]), args.positionals()[1]);
   VS_REQUIRE(circuit.has_tran, "netlist needs a .tran card");
   circuit::TransientSimulator sim(circuit.netlist, circuit.clock_period);
   const auto result = sim.run(circuit.tran);
-  const double settle = 0.75 * circuit.tran.stop_time;
+  std::cout << "transient: " << result.report.summary() << "\n";
+  if (!result.ok()) {
+    std::cout << "warning: waveform truncated; statistics cover the "
+                 "simulated prefix only\n";
+  }
+  const double settle =
+      0.75 * (result.ok() ? circuit.tran.stop_time : result.report.end_time);
   TextTable t({"Node", "Avg (V)"});
   for (const auto& [name, node] : circuit.node_by_name) {
     t.add_row({name,
