@@ -96,6 +96,32 @@ Factorization robust_factor(const MnaSystem& mna,
   return out;
 }
 
+/// Clocked states with every switch fault active at `t_eval` overriding its
+/// switch.  The first time a fault takes effect it is recorded into the
+/// report's event trail (at `t_report`, the step's reporting time).
+std::vector<bool> apply_switch_faults(std::vector<bool> state,
+                                      const TransientOptions& options,
+                                      double t_eval, double t_report,
+                                      std::vector<bool>& applied,
+                                      sim::TransientReport& report) {
+  for (std::size_t i = 0; i < options.switch_faults.size(); ++i) {
+    const auto& f = options.switch_faults[i];
+    if (t_eval < f.time) continue;
+    state[f.switch_index] = f.stuck_on;
+    if (!applied[i]) {
+      applied[i] = true;
+      const std::string label =
+          f.label.empty() ? "switch " + std::to_string(f.switch_index)
+                          : f.label;
+      report.record_event(t_report, "switch fault '" + label + "': drive " +
+                                        std::string(f.stuck_on
+                                                        ? "stuck on"
+                                                        : "stuck off"));
+    }
+  }
+  return state;
+}
+
 /// Shared per-run integrator state and sample recording.
 struct Engine {
   const Netlist& netlist;
@@ -263,6 +289,11 @@ sim::PeriodicEvents TransientSimulator::switch_edges() const {
 
 TransientResult TransientSimulator::run(const TransientOptions& options) {
   VS_REQUIRE(options.stop_time > 0.0, "stop_time must be positive");
+  for (const auto& f : options.switch_faults) {
+    VS_REQUIRE(f.switch_index < netlist_.switches().size(),
+               "switch-fault index out of range");
+    VS_REQUIRE(std::isfinite(f.time), "switch-fault time must be finite");
+  }
   options.control.validate();
   if (options.mode == SteppingMode::Fixed) {
     return run_fixed(options);
@@ -304,6 +335,7 @@ TransientResult TransientSimulator::run_fixed(const TransientOptions& options) {
   sim::TransientReport& report = eng.result.report;
   const double wall_start = monotonic_seconds();
   std::vector<bool> prev_state = switch_states(0.5 * h);
+  std::vector<bool> faults_applied(options.switch_faults.size(), false);
   int backward_euler_steps = 2;  // start conservatively
 
   std::vector<double> geq(netlist_.capacitors().size());
@@ -331,7 +363,9 @@ TransientResult TransientSimulator::run_fixed(const TransientOptions& options) {
     }
     // Evaluate switch state at the midpoint of the step so events that land
     // exactly on a boundary take effect in the step that follows them.
-    const std::vector<bool> state = switch_states(t_new - 0.5 * h);
+    const std::vector<bool> state =
+        apply_switch_faults(switch_states(t_new - 0.5 * h), options,
+                            t_new - 0.5 * h, t_new, faults_applied, report);
     if (state != prev_state) {
       backward_euler_steps = 2;
       prev_state = state;
@@ -387,9 +421,14 @@ TransientResult TransientSimulator::run_adaptive(
   Engine eng(netlist_);
   if (options.start_from_dc) eng.init_from_dc(switch_states(0.0));
 
-  const sim::PeriodicEvents edges = switch_edges();
+  // Unified timeline: clocked switch edges plus every switch-fault instant,
+  // so the controller lands a step boundary exactly on each.
+  sim::EventSchedule schedule(options.stop_time);
+  schedule.add_periodic(switch_edges());
+  for (const auto& f : options.switch_faults) schedule.add_time(f.time);
   sim::StepController ctl(options.control, 0.0, options.stop_time, dt_init,
                           dt_max);
+  std::vector<bool> faults_applied(options.switch_faults.size(), false);
 
   std::vector<double> geq(netlist_.capacitors().size());
   std::vector<double> ieq(netlist_.capacitors().size());
@@ -406,13 +445,13 @@ TransientResult TransientSimulator::run_adaptive(
 
   while (!ctl.done() && !ctl.failed()) {
     const double t = ctl.time();
-    const double dt = ctl.begin_step(edges.empty()
-                                         ? std::numeric_limits<double>::infinity()
-                                         : edges.next_after(t));
+    const double dt = ctl.begin_step(schedule.next_after(t));
     if (ctl.failed()) break;
     const bool be = be_left > 0;
 
-    const std::vector<bool> state = switch_states(t + 0.5 * dt);
+    const std::vector<bool> state =
+        apply_switch_faults(switch_states(t + 0.5 * dt), options, t + 0.5 * dt,
+                            t, faults_applied, ctl.report());
     eng.companions(be, dt, geq, ieq);
     if (!eng.solve_step(state, be, dt, geq, ieq, t, x)) {
       ctl.reject_step("unfactorizable step matrix");

@@ -216,34 +216,33 @@ ContingencyReport ContingencyEngine::run_n_minus_1(
   return report;
 }
 
-ContingencyReport ContingencyEngine::run_monte_carlo(
-    const std::vector<double>& layer_activities,
-    const ContingencyOptions& options) const {
-  ContingencyReport report =
-      make_baseline_report(layer_activities, options);
-  report.ranking = rank_by_em_risk(layer_activities, options);
-  VS_REQUIRE(!report.ranking.empty(), "no fault candidates in this network");
+namespace {
 
+// The Monte Carlo sampler, shared verbatim by run_monte_carlo and
+// plan_monte_carlo.  ALL RNG consumption lives here -- evaluation draws
+// nothing -- so planning the whole campaign up front yields the same fault
+// sets as the historical sample-then-evaluate interleaving.
+std::vector<PlannedScenario> sample_trials(
+    const std::vector<EmRiskEntry>& ranking, std::size_t converter_count,
+    std::size_t grid_nodes, const ContingencyOptions& options) {
   // Sampling weights: failure probability with a floor so every candidate
   // stays reachable even when the EM model calls it unstressed.
-  std::vector<double> cumulative(report.ranking.size());
+  std::vector<double> cumulative(ranking.size());
   double total = 0.0;
-  for (std::size_t i = 0; i < report.ranking.size(); ++i) {
-    total += report.ranking[i].failure_probability + 1e-9;
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    total += ranking[i].failure_probability + 1e-9;
     cumulative[i] = total;
   }
 
-  const pdn::PdnModel probe(config_, ctx_.layer_floorplan);
-  const std::size_t converter_count = probe.network().converters().size();
-  const std::size_t grid_nodes = probe.network().node_count();
-
   Rng rng(options.seed);
+  std::vector<PlannedScenario> plan;
+  plan.reserve(options.trials);
   for (std::size_t trial = 0; trial < options.trials; ++trial) {
     pdn::FaultSet faults;
     std::vector<std::size_t> chosen;
     std::size_t guard = 0;
-    while (chosen.size() < std::min(options.faults_per_trial,
-                                    report.ranking.size()) &&
+    while (chosen.size() <
+               std::min(options.faults_per_trial, ranking.size()) &&
            ++guard < 64 * options.faults_per_trial) {
       const double u = rng.uniform(0.0, total);
       const std::size_t pick = static_cast<std::size_t>(
@@ -253,7 +252,7 @@ ContingencyReport ContingencyEngine::run_monte_carlo(
         continue;
       }
       chosen.push_back(pick);
-      const EmRiskEntry& entry = report.ranking[pick];
+      const EmRiskEntry& entry = ranking[pick];
       if (rng.uniform() < 0.5) {
         faults.open_conductor(entry.conductor_index);
       } else {
@@ -272,9 +271,39 @@ ContingencyReport ContingencyEngine::run_monte_carlo(
 
     std::ostringstream label;
     label << "MC#" << trial;
-    classify_and_append(
-        report,
-        evaluate_case(faults, layer_activities, options, label.str()));
+    plan.push_back(PlannedScenario{trial, label.str(), std::move(faults)});
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<PlannedScenario> ContingencyEngine::plan_monte_carlo(
+    const std::vector<double>& layer_activities,
+    const ContingencyOptions& options) const {
+  const auto ranking = rank_by_em_risk(layer_activities, options);
+  VS_REQUIRE(!ranking.empty(), "no fault candidates in this network");
+  const pdn::PdnModel probe(config_, ctx_.layer_floorplan);
+  return sample_trials(ranking, probe.network().converters().size(),
+                       probe.network().node_count(), options);
+}
+
+ContingencyReport ContingencyEngine::run_monte_carlo(
+    const std::vector<double>& layer_activities,
+    const ContingencyOptions& options) const {
+  ContingencyReport report =
+      make_baseline_report(layer_activities, options);
+  report.ranking = rank_by_em_risk(layer_activities, options);
+  VS_REQUIRE(!report.ranking.empty(), "no fault candidates in this network");
+
+  const pdn::PdnModel probe(config_, ctx_.layer_floorplan);
+  const auto plan =
+      sample_trials(report.ranking, probe.network().converters().size(),
+                    probe.network().node_count(), options);
+  for (const PlannedScenario& scenario : plan) {
+    classify_and_append(report,
+                        evaluate_case(scenario.faults, layer_activities,
+                                      options, scenario.label));
   }
   return report;
 }

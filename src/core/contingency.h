@@ -62,6 +62,16 @@ struct ContingencyOptions {
   pdn::PdnSolveOptions solve;
 };
 
+/// One sampled Monte Carlo scenario, fully determined before any evaluation.
+/// All RNG consumption happens while PLANNING, never while evaluating, so a
+/// campaign can be replayed (or resumed from a checkpoint) scenario-by-
+/// scenario and still reproduce run_monte_carlo's exact fault sets.
+struct PlannedScenario {
+  std::size_t index = 0;  // trial number within the campaign
+  std::string label;      // "MC#<trial>"
+  pdn::FaultSet faults;
+};
+
 enum class CaseOutcome {
   Survivable,  // converged, within noise budget and converter limits
   Degraded,    // converged, but a budget or converter limit is violated
@@ -122,6 +132,15 @@ class ContingencyEngine {
 
   /// Seeded Monte Carlo N-k campaign (reproducible from options.seed).
   ContingencyReport run_monte_carlo(
+      const std::vector<double>& layer_activities,
+      const ContingencyOptions& options = {}) const;
+
+  /// Sample the full Monte Carlo trial list WITHOUT evaluating anything.
+  /// run_monte_carlo is exactly: plan, then evaluate_case over the plan --
+  /// the trial fault sets here are bit-identical to what it would build for
+  /// the same seed and options.  The transient campaign runner
+  /// (core/campaign.h) uses this to checkpoint/resume mid-campaign.
+  std::vector<PlannedScenario> plan_monte_carlo(
       const std::vector<double>& layer_activities,
       const ContingencyOptions& options = {}) const;
 

@@ -71,6 +71,25 @@ void PdnNetwork::disable_converter(std::size_t index) {
   ++topology_epoch_;
 }
 
+void PdnNetwork::set_converter_r_series(std::size_t index, double r_series) {
+  VS_REQUIRE(index < converters_.size(), "converter index out of range");
+  VS_REQUIRE(r_series > 0.0, "converter r_series must be positive");
+  converters_[index].r_series = r_series;
+  ++topology_epoch_;
+}
+
+std::size_t PdnNetwork::add_converter_clone(std::size_t index,
+                                            double r_series) {
+  VS_REQUIRE(index < converters_.size(), "converter index out of range");
+  VS_REQUIRE(r_series > 0.0, "converter r_series must be positive");
+  ConverterInstance clone = converters_[index];
+  clone.r_series = r_series;
+  clone.enabled = true;
+  converters_.push_back(clone);
+  ++topology_epoch_;
+  return converters_.size() - 1;
+}
+
 void PdnNetwork::add_leakage_to_ground(std::size_t node, double resistance) {
   VS_REQUIRE(node < node_count_, "leakage node out of range");
   VS_REQUIRE(resistance > 0.0, "leakage resistance must be positive");

@@ -117,6 +117,17 @@ class PdnNetwork {
   /// no current.  Its converter_currents slot reads 0.
   void disable_converter(std::size_t index);
 
+  /// Overwrite converter `index`'s series resistance (supervisor actions:
+  /// interleaved-phase rebalancing and switching-frequency retargeting model
+  /// a stronger phase as a lower R_series).
+  void set_converter_r_series(std::size_t index, double r_series);
+
+  /// Append a new enabled converter at the same terminals/level as converter
+  /// `index` with the given series resistance; models a bypass linear
+  /// regulator engaged at a (possibly stuck-off) phase's site.  Returns the
+  /// new converter's index.
+  std::size_t add_converter_clone(std::size_t index, double r_series);
+
   /// Add a resistive leakage path from `node` to board ground (defect
   /// short); appends a ConductorKind::Leakage group.
   void add_leakage_to_ground(std::size_t node, double resistance);

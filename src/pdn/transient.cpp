@@ -1,27 +1,18 @@
 #include "pdn/transient.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <cstdint>
-#include <cstring>
 #include <limits>
-#include <map>
-#include <sstream>
+#include <string>
 #include <utility>
 
 #include "common/error.h"
-#include "la/cg.h"
-#include "la/preconditioner.h"
-#include "la/skyline_cholesky.h"
-#include "la/solve.h"
+#include "pdn/transient_core.h"
 
 namespace vstack::pdn {
 
 namespace {
-
-bool is_fixed(std::size_t node) {
-  return node == kFixedSupply || node == kFixedGround;
-}
 
 double monotonic_seconds() {
   using clock = std::chrono::steady_clock;
@@ -29,132 +20,14 @@ double monotonic_seconds() {
       .count();
 }
 
-std::uint64_t bits_of(double x) {
-  std::uint64_t b = 0;
-  static_assert(sizeof(b) == sizeof(x));
-  std::memcpy(&b, &x, sizeof(b));
-  return b;
-}
-
-struct Trip {
-  std::size_t i = 0;
-  std::size_t j = 0;
-  double v = 0.0;
-};
-
-/// The transient matrix split into timestep-independent parts so adaptive
-/// stepping can reassemble it for any (dt, scheme) in O(nnz):
-///
-///   A(h) = static + cap_coeff * s/h + ind_coeff * h/s,   s = 1 (BE), 2 (trap)
-///
-/// where cap_coeff holds raw capacitances [F] and ind_coeff raw reciprocal
-/// inductances [1/H] with the companion stamp signs baked in.
-struct SplitSystem {
-  std::size_t n = 0;
-  std::vector<Trip> static_part;
-  std::vector<Trip> cap_part;
-  std::vector<Trip> ind_part;
-
-  la::CsrMatrix assemble(double h, bool backward_euler) const {
-    const double s = backward_euler ? 1.0 : 2.0;
-    la::CooBuilder builder(n);
-    for (const auto& t : static_part) builder.add(t.i, t.j, t.v);
-    for (const auto& t : cap_part) builder.add(t.i, t.j, t.v * s / h);
-    for (const auto& t : ind_part) builder.add(t.i, t.j, t.v * h / s);
-    return builder.build();
-  }
-};
-
-/// Per-(dt, scheme) cached factorization / preconditioner with a solve that
-/// escalates instead of throwing: skyline Cholesky (small systems) -> warm-
-/// started CG -> la::solve's full degradation ladder.
-class StepSolver {
- public:
-  StepSolver(const SplitSystem& sys, const PdnTransientOptions& options)
-      : sys_(sys), options_(options) {}
-
-  /// Solve A(h) x = rhs.  `x` carries the warm start and receives the
-  /// solution only on success; returns false (with a diagnostic) when every
-  /// rung failed.  Fallback activity is recorded into `report`.
-  bool solve(double h, bool backward_euler, const la::Vector& rhs,
-             la::Vector& x, double t, sim::TransientReport& report,
-             std::string& diagnostic) {
-    Cached& c = cached(h, backward_euler, t, report);
-    if (c.direct) {
-      la::Vector sol = c.direct->solve(rhs);
-      if (sim::finite_and_bounded(sol, options_.control.overflow_limit)) {
-        x = std::move(sol);
-        return true;
-      }
-      report.record_event(t, "direct back-substitution produced non-finite "
-                             "values; escalating to the iterative ladder");
-    }
-    if (c.precond) {
-      la::Vector iterate = x;
-      const auto r = la::conjugate_gradient(c.matrix, rhs, iterate,
-                                            *c.precond, options_.iterative);
-      if (r.converged &&
-          sim::finite_and_bounded(iterate, options_.control.overflow_limit)) {
-        x = std::move(iterate);
-        return true;
-      }
-      report.record_event(t, "warm-started CG stalled (residual " +
-                                 std::to_string(r.residual_norm) +
-                                 "); escalating through la::solve");
-    }
-    // Final rung: the full non-throwing escalation ladder from PR 1.
-    la::Vector iterate = x;
-    la::SolveOptions ladder;
-    ladder.iterative = options_.iterative;
-    const auto r = la::solve(c.matrix, rhs, iterate, ladder);
-    if (r.converged &&
-        sim::finite_and_bounded(iterate, options_.control.overflow_limit)) {
-      x = std::move(iterate);
-      return true;
-    }
-    diagnostic = r.diagnostic.empty() ? "transient solve failed"
-                                      : r.diagnostic;
-    return false;
-  }
-
- private:
-  struct Cached {
-    la::CsrMatrix matrix;
-    std::unique_ptr<la::ReorderedCholesky> direct;
-    std::unique_ptr<la::Preconditioner> precond;
-  };
-
-  Cached& cached(double h, bool backward_euler, double t,
-                 sim::TransientReport& report) {
-    const auto key = std::make_pair(bits_of(h), backward_euler);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    if (cache_.size() > 16) cache_.clear();  // bound adaptive-dt growth
-
-    Cached c;
-    c.matrix = sys_.assemble(h, backward_euler);
-    if (sys_.n <= options_.direct_solver_node_limit) {
-      try {
-        c.direct = std::make_unique<la::ReorderedCholesky>(c.matrix);
-      } catch (const Error&) {
-        report.record_event(t, "skyline Cholesky factorization failed for "
-                               "dt = " + std::to_string(h) +
-                               " s; using the iterative ladder");
-      }
-    }
-    if (!c.direct) {
-      try {
-        c.precond = la::make_ilu0(c.matrix);
-      } catch (const Error&) {
-        c.precond = la::make_jacobi(c.matrix);
-      }
-    }
-    return cache_.emplace(key, std::move(c)).first->second;
-  }
-
-  const SplitSystem& sys_;
-  const PdnTransientOptions& options_;
-  std::map<std::pair<std::uint64_t, bool>, Cached> cache_;
+/// One pending one-shot event on the run's timeline: the built-in load step
+/// or an injected TimedFaultEvent (with its loads pre-built).
+struct PendingEvent {
+  double time = 0.0;
+  const FaultSet* faults = nullptr;  // null for the built-in load step
+  std::vector<LoadInjection> loads;
+  bool has_loads = false;
+  std::string label;
 };
 
 }  // namespace
@@ -166,6 +39,10 @@ void PdnTransientOptions::validate() const {
   VS_REQUIRE(duration > time_step, "duration must exceed the time step");
   VS_REQUIRE(step_time >= 0.0 && step_time < duration,
              "step time must lie within the run");
+  for (const auto& ev : fault_events) {
+    VS_REQUIRE(std::isfinite(ev.time), "fault-event time must be finite");
+    VS_REQUIRE(ev.time < duration, "fault-event time must precede the end");
+  }
   control.validate();
 }
 
@@ -175,94 +52,14 @@ PdnTransientResult simulate_load_step(
     const std::vector<double>& activities_after,
     const PdnTransientOptions& options) {
   options.validate();
-  const PdnNetwork& net = model.network();
   const StackupConfig& cfg = model.config();
-  const double v_supply = cfg.supply_voltage();
 
-  // Two extra unknowns split the package resistors so the loop inductance
-  // can sit between the ideal source and the package node.
-  const std::size_t n = net.node_count() + 2;
-  const std::size_t lvdd_mid = net.node_count();
-  const std::size_t lgnd_mid = net.node_count() + 1;
-
-  // --- Timestep-independent system parts. -----------------------------
-  SplitSystem sys;
-  sys.n = n;
-
-  for (const auto& group : net.conductors()) {
-    if (group.count == 0) continue;  // fully opened by a fault
-    const double g = static_cast<double>(group.count) / group.unit_resistance;
-    std::size_t a = group.node_a;
-    std::size_t b = group.node_b;
-    // Reroute package resistors through the inductor mid nodes.
-    if (group.kind == ConductorKind::PackageVdd) a = lvdd_mid;
-    if (group.kind == ConductorKind::PackageGnd) b = lgnd_mid;
-
-    const bool a_fixed = is_fixed(a);
-    const bool b_fixed = is_fixed(b);
-    VS_REQUIRE(!(a_fixed && b_fixed), "conductor between two fixed rails");
-    if (!a_fixed && !b_fixed) {
-      sys.static_part.push_back({a, a, g});
-      sys.static_part.push_back({b, b, g});
-      sys.static_part.push_back({a, b, -g});
-      sys.static_part.push_back({b, a, -g});
-    } else {
-      const std::size_t free_node = a_fixed ? b : a;
-      sys.static_part.push_back({free_node, free_node, g});
-      // No static fixed-rail injections remain: both package paths now go
-      // through the inductor companions below.
-    }
-  }
-
-  // Converters (quasi-static: regulation bandwidth assumed above the step).
-  const bool ideal_reference =
-      cfg.converter_reference == ConverterReference::IdealRails;
-  for (const auto& conv : net.converters()) {
-    if (!conv.enabled) continue;  // stuck-off fault
-    const double g = 1.0 / conv.r_series;
-    if (ideal_reference) {
-      sys.static_part.push_back({conv.out, conv.out, g});
-    } else {
-      const std::size_t idx[3] = {conv.top, conv.bottom, conv.out};
-      const double v[3] = {0.5, 0.5, -1.0};
-      for (int i = 0; i < 3; ++i) {
-        for (int j = 0; j < 3; ++j) {
-          sys.static_part.push_back({idx[i], idx[j], g * v[i] * v[j]});
-        }
-      }
-    }
-  }
-
-  // Decap companions: one per (layer, cell); density may vary per layer.
-  VS_REQUIRE(options.layer_decap_density.empty() ||
-                 options.layer_decap_density.size() == cfg.layer_count,
-             "per-layer decap vector must match layer count");
-  const std::size_t cells = cfg.grid_nx * cfg.grid_ny;
-  const double cell_area = net.floorplan().width * net.floorplan().height /
-                           static_cast<double>(cells);
-  std::vector<double> layer_cap(cfg.layer_count);  // per-cell capacitance [F]
-  for (std::size_t l = 0; l < cfg.layer_count; ++l) {
-    const double density = options.layer_decap_density.empty()
-                               ? options.decap_density
-                               : options.layer_decap_density[l];
-    VS_REQUIRE(density > 0.0, "decap density must be positive");
-    layer_cap[l] = density * cell_area;
-    for (std::size_t cell = 0; cell < cells; ++cell) {
-      const std::size_t a = net.vdd_node(l, cell);
-      const std::size_t b = net.gnd_node(l, cell);
-      sys.cap_part.push_back({a, a, layer_cap[l]});
-      sys.cap_part.push_back({b, b, layer_cap[l]});
-      sys.cap_part.push_back({a, b, -layer_cap[l]});
-      sys.cap_part.push_back({b, a, -layer_cap[l]});
-    }
-  }
-
-  // Inductor companions: supply -> lvdd_mid, lgnd_mid -> ground.
-  const double inv_l = 1.0 / options.package_inductance;
-  sys.ind_part.push_back({lvdd_mid, lvdd_mid, inv_l});
-  sys.ind_part.push_back({lgnd_mid, lgnd_mid, inv_l});
-
-  StepSolver solver(sys, options);
+  // Private copy of the network: mid-run fault events mutate the topology,
+  // and the caller's model (with its DC caches) must stay pristine.
+  PdnNetwork net = model.network();
+  detail::TransientWorkspace ws(net, options);
+  detail::StepSolver solver(ws.system(), options);
+  const std::size_t n = ws.n();
 
   // --- Initial condition: DC solve before the step. --------------------
   const auto loads_before = net.build_loads(core_model, activities_before);
@@ -278,115 +75,77 @@ PdnTransientResult simulate_load_step(
   }
 
   la::Vector x(n, 0.0);
-  for (std::size_t i = 0; i < net.node_count(); ++i) {
-    x[i] = dc.node_voltages[i];
-  }
-  x[lvdd_mid] = v_supply;  // inductors are shorts at DC
-  x[lgnd_mid] = 0.0;
+  ws.init_states(dc, x);
 
-  // Capacitor states.
-  std::vector<double> cap_v(cfg.layer_count * cells, 0.0);
-  std::vector<double> cap_i(cfg.layer_count * cells, 0.0);
-  for (std::size_t l = 0; l < cfg.layer_count; ++l) {
-    for (std::size_t cell = 0; cell < cells; ++cell) {
-      cap_v[l * cells + cell] = x[net.vdd_node(l, cell)] -
-                                x[net.gnd_node(l, cell)];
-    }
-  }
-  // Inductor states (current flowing from the fixed rail into the chip on
-  // the Vdd side, and from the chip into ground on the return side).
-  double lvdd_i = dc.supply_current;
-  double lgnd_i = dc.supply_current;
-  double lvdd_v = 0.0, lgnd_v = 0.0;  // DC inductor voltage is zero
-
-  // Nominal rail potentials for the noise metric.
-  const auto nominal = [&](std::size_t l, bool vdd_net) {
-    const double gnd = cfg.is_voltage_stacked()
-                           ? static_cast<double>(l) * cfg.vdd
-                           : 0.0;
-    return vdd_net ? gnd + cfg.vdd : gnd;
-  };
-  const auto worst_noise_of = [&](const la::Vector& sol) {
-    double worst = 0.0;
-    for (std::size_t l = 0; l < cfg.layer_count; ++l) {
-      for (std::size_t cell = 0; cell < cells; ++cell) {
-        worst = std::max(worst, std::abs(sol[net.vdd_node(l, cell)] -
-                                         nominal(l, true)));
-        worst = std::max(worst, std::abs(sol[net.gnd_node(l, cell)] -
-                                         nominal(l, false)));
-      }
-    }
-    return worst / cfg.vdd;
-  };
-
-  result.initial_noise = worst_noise_of(x);
+  result.initial_noise = ws.worst_noise_of(x);
   result.peak_noise = result.initial_noise;
   result.peak_time = 0.0;
 
+  // --- Unified one-shot timeline: load step + injected fault events. ---
+  std::vector<PendingEvent> pending;
+  {
+    PendingEvent step_event;
+    step_event.time = options.step_time;
+    step_event.loads = loads_after;
+    step_event.has_loads = true;
+    step_event.label = "load step";
+    pending.push_back(std::move(step_event));
+  }
+  for (const auto& ev : options.fault_events) {
+    PendingEvent p;
+    p.time = ev.time;
+    p.faults = &ev.faults;
+    if (!ev.activities.empty()) {
+      VS_REQUIRE(ev.activities.size() == cfg.layer_count,
+                 "fault-event activities must match layer count");
+      p.loads = net.build_loads(core_model, ev.activities);
+      p.has_loads = true;
+    }
+    p.label = ev.label.empty() ? "fault event" : ev.label;
+    pending.push_back(std::move(p));
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingEvent& a, const PendingEvent& b) {
+                     return a.time < b.time;
+                   });
+
+  const std::vector<LoadInjection>* live_loads = &loads_before;
+  std::size_t next_pending = 0;
+  // Apply every event with time <= t (+tol); returns whether the topology
+  // changed (requiring an integration restart in adaptive mode).  The
+  // epoch-keyed solver cache rebuilds factorizations on its own.
+  const auto apply_events_through = [&](double t, double tol,
+                                        sim::TransientReport& report) {
+    bool topology_changed = false;
+    while (next_pending < pending.size() &&
+           pending[next_pending].time <= t + tol) {
+      const PendingEvent& ev = pending[next_pending++];
+      if (ev.has_loads) live_loads = &ev.loads;
+      if (ev.faults == nullptr) continue;  // built-in load step: no trail
+      if (ev.has_loads) {
+        report.record_event(t, "load surge '" + ev.label + "' applied");
+      }
+      if (!ev.faults->empty()) {
+        ev.faults->apply_to(net);
+        ws.rebuild_topology();
+        topology_changed = true;
+        report.record_event(
+            t, "fault event '" + ev.label + "' applied (" +
+                   std::to_string(ev.faults->size()) +
+                   " faults, topology epoch " +
+                   std::to_string(net.topology_epoch()) + ")");
+      }
+    }
+    return topology_changed;
+  };
+
   la::Vector rhs(n, 0.0);
 
-  /// Companion right-hand side for one step of size h at scheme `be`.
-  const auto build_rhs = [&](const std::vector<LoadInjection>& loads,
-                             double h, bool be) {
-    const double s = be ? 1.0 : 2.0;
-    const double g_l = h / (s * options.package_inductance);
-    std::fill(rhs.begin(), rhs.end(), 0.0);
-    for (const auto& load : loads) {
-      rhs[load.vdd_node] -= load.current;
-      rhs[load.gnd_node] += load.current;
-    }
-    if (ideal_reference) {
-      for (const auto& conv : net.converters()) {
-        if (!conv.enabled) continue;
-        rhs[conv.out] += (1.0 / conv.r_series) *
-                         static_cast<double>(conv.level) * cfg.vdd;
-      }
-    }
-    // Capacitor histories.
-    for (std::size_t l = 0; l < cfg.layer_count; ++l) {
-      const double g_c = s * layer_cap[l] / h;
-      for (std::size_t cell = 0; cell < cells; ++cell) {
-        const std::size_t k = l * cells + cell;
-        const double j_c = g_c * cap_v[k] + (be ? 0.0 : cap_i[k]);
-        rhs[net.vdd_node(l, cell)] += j_c;
-        rhs[net.gnd_node(l, cell)] -= j_c;
-      }
-    }
-    // Inductor histories (fixed-rail side folded into the RHS).
-    const double j_lvdd = lvdd_i + (be ? 0.0 : g_l * lvdd_v);
-    rhs[lvdd_mid] += g_l * v_supply + j_lvdd;
-    const double j_lgnd = lgnd_i + (be ? 0.0 : g_l * lgnd_v);
-    rhs[lgnd_mid] += -j_lgnd;  // current leaves the mid node into ground
-  };
-
-  /// Advance companion states to the accepted solution `sol`.
-  const auto commit_states = [&](const la::Vector& sol, double h, bool be) {
-    const double s = be ? 1.0 : 2.0;
-    const double g_l = h / (s * options.package_inductance);
-    for (std::size_t l = 0; l < cfg.layer_count; ++l) {
-      const double g_c = s * layer_cap[l] / h;
-      for (std::size_t cell = 0; cell < cells; ++cell) {
-        const std::size_t k = l * cells + cell;
-        const double v_new =
-            sol[net.vdd_node(l, cell)] - sol[net.gnd_node(l, cell)];
-        const double j_c = g_c * cap_v[k] + (be ? 0.0 : cap_i[k]);
-        cap_i[k] = g_c * v_new - j_c;
-        cap_v[k] = v_new;
-      }
-    }
-    const double j_lvdd = lvdd_i + (be ? 0.0 : g_l * lvdd_v);
-    lvdd_v = v_supply - sol[lvdd_mid];
-    lvdd_i = j_lvdd + g_l * lvdd_v;
-    const double j_lgnd = lgnd_i + (be ? 0.0 : g_l * lgnd_v);
-    lgnd_v = sol[lgnd_mid];  // mid node minus ground
-    lgnd_i = j_lgnd + g_l * lgnd_v;
-  };
-
   const auto record_sample = [&](double t, const la::Vector& sol) {
-    const double noise = worst_noise_of(sol);
+    const double noise = ws.worst_noise_of(sol);
     result.time.push_back(t);
     result.worst_noise.push_back(noise);
-    result.supply_current.push_back(lvdd_i);
+    result.supply_current.push_back(ws.supply_inductor_current());
     if (noise > result.peak_noise) {
       result.peak_noise = noise;
       result.peak_time = t;
@@ -396,8 +155,10 @@ PdnTransientResult simulate_load_step(
   std::string diagnostic;
 
   if (!options.adaptive) {
-    // --- Legacy uniform grid (bit-compatible waveforms) under the shared
-    // guard/budget/report discipline. ------------------------------------
+    // --- Legacy uniform grid (bit-compatible waveforms when no fault
+    // events are scheduled) under the shared guard/budget/report
+    // discipline.  Events fire at the first grid point t >= event time,
+    // mirroring the historical load-step rule. -----------------------------
     const double h = options.time_step;
     const auto n_steps = static_cast<std::size_t>(
         std::llround(options.duration / h));
@@ -427,16 +188,15 @@ PdnTransientResult simulate_load_step(
                             std::to_string(t_new) + " s; result truncated";
         break;
       }
-      const auto& loads = (t_new >= options.step_time) ? loads_after
-                                                       : loads_before;
-      build_rhs(loads, h, /*be=*/false);
+      apply_events_through(t_new, 0.0, report);
+      ws.build_rhs(*live_loads, h, /*be=*/false, rhs);
       if (!solver.solve(h, /*be=*/false, rhs, x, t_new, report, diagnostic)) {
         report.status = sim::TransientStatus::SolverFailure;
         report.diagnostic = "transient PDN step failed at t = " +
                             std::to_string(t_new) + " s: " + diagnostic;
         break;
       }
-      commit_states(x, h, /*be=*/false);
+      ws.commit_states(x, h, /*be=*/false);
       record_sample(t_new, x);
       ++report.accepted_steps;
       report.end_time = t_new;
@@ -446,8 +206,8 @@ PdnTransientResult simulate_load_step(
     report.last_dt = report.min_dt;
     report.wall_seconds = monotonic_seconds() - wall_start;
   } else {
-    // --- Adaptive LTE-controlled stepping; the load-step instant is an
-    // event the controller lands on exactly. ------------------------------
+    // --- Adaptive LTE-controlled stepping; the load-step instant and every
+    // fault event are schedule entries the controller lands on exactly. ----
     const double dt_max = std::min(options.time_step, options.duration);
     sim::StepController ctl(options.control, 0.0, options.duration,
                             dt_max / 8.0, dt_max);
@@ -455,25 +215,30 @@ PdnTransientResult simulate_load_step(
     int be_left = kBeStartupSteps;
     const double event_tol = 1e-12 * options.duration;
 
-    std::vector<double> cap_slope(cap_v.size(), 0.0);
-    std::vector<double> v_new(cap_v.size(), 0.0);
-    std::vector<double> v_pred(cap_v.size(), 0.0);
+    sim::EventSchedule schedule(options.duration);
+    schedule.add_time(options.step_time);
+    for (const auto& ev : options.fault_events) schedule.add_time(ev.time);
+
+    std::vector<double> cap_slope(ws.cap_voltages().size(), 0.0);
+    std::vector<double> v_new(cap_slope.size(), 0.0);
+    std::vector<double> v_pred(cap_slope.size(), 0.0);
     la::Vector candidate = x;
 
     while (!ctl.done() && !ctl.failed()) {
       const double t = ctl.time();
-      const double next_event =
-          (t < options.step_time - event_tol)
-              ? options.step_time
-              : std::numeric_limits<double>::infinity();
-      const double dt = ctl.begin_step(next_event);
+      // Events whose instant the controller just landed on (or, on the
+      // first iteration, events at t <= 0) fire before the step that
+      // starts here; a topology change restarts the integration history.
+      if (apply_events_through(t, event_tol, ctl.report())) {
+        be_left = kBeStartupSteps;
+        ctl.reset_dt(dt_max / 16.0);
+      }
+      const double dt = ctl.begin_step(schedule.next_after(t));
       if (ctl.failed()) break;
       const bool be = be_left > 0;
-      // The step uses the loads in force at its START, so the discontinuity
-      // begins exactly at the snapped step_time boundary.
-      const auto& loads = (t >= options.step_time - event_tol) ? loads_after
-                                                               : loads_before;
-      build_rhs(loads, dt, be);
+      // The step uses the loads in force at its START, so each
+      // discontinuity begins exactly at its snapped boundary.
+      ws.build_rhs(*live_loads, dt, be, rhs);
       candidate = x;  // warm start; x stays the last accepted solution
       if (!solver.solve(dt, be, rhs, candidate, t, ctl.report(),
                         diagnostic)) {
@@ -485,9 +250,10 @@ PdnTransientResult simulate_load_step(
         ctl.reject_step("NaN/overflow guard");
         continue;
       }
-      for (std::size_t l = 0; l < cfg.layer_count; ++l) {
-        for (std::size_t cell = 0; cell < cells; ++cell) {
-          const std::size_t k = l * cells + cell;
+      const auto& cap_v = ws.cap_voltages();
+      for (std::size_t l = 0; l < ws.layer_count(); ++l) {
+        for (std::size_t cell = 0; cell < ws.cells(); ++cell) {
+          const std::size_t k = l * ws.cells() + cell;
           v_new[k] = candidate[net.vdd_node(l, cell)] -
                      candidate[net.gnd_node(l, cell)];
         }
@@ -506,7 +272,7 @@ PdnTransientResult simulate_load_step(
       for (std::size_t k = 0; k < cap_v.size(); ++k) {
         cap_slope[k] = (v_new[k] - cap_v[k]) / dt;
       }
-      commit_states(candidate, dt, be);
+      ws.commit_states(candidate, dt, be);
       x = candidate;
       record_sample(ctl.time(), x);
       if (on_edge) {

@@ -22,10 +22,42 @@
 // smaller than in the regular PDN with the same package.
 #pragma once
 
+#include <string>
+#include <vector>
+
+#include "pdn/fault.h"
 #include "pdn/solver.h"
 #include "sim/step_control.h"
 
 namespace vstack::pdn {
+
+/// A fault (or load surge) scheduled to strike DURING a transient run.
+///
+/// Timing semantics: in adaptive mode the step controller snaps a step
+/// boundary exactly onto `time` and the event is applied at that boundary
+/// (the step starting at `time` already integrates the post-event topology
+/// and loads).  In fixed mode the event is applied at the first grid point
+/// t >= time, mirroring the legacy load-step rule, so runs without events
+/// reproduce historical waveforms bit-for-bit.  Events at time <= 0 are
+/// applied after the DC initial condition is taken but before the first
+/// step: the run starts from the HEALTHY operating point and the waveform
+/// shows the response from t = 0+.
+///
+/// Applying the faults bumps the working network's topology epoch, which
+/// invalidates every cached factorization/preconditioner; adaptive mode also
+/// restarts integration (backward-Euler startup, reduced dt) since the
+/// pre-fault history is invalid across the discontinuity.
+struct TimedFaultEvent {
+  double time = 0.0;  // [s] when the event strikes
+  /// Topology perturbations (TSV/C4 opens or degradations, converter
+  /// stuck-off, leakage shorts); may be empty for a pure load surge.
+  FaultSet faults;
+  /// Optional load surge: when non-empty (size = layer count), these
+  /// per-layer activities REPLACE the loads in force from `time` onward.
+  std::vector<double> activities;
+  /// Label recorded in the report's event trail (default "fault event").
+  std::string label;
+};
 
 struct PdnTransientOptions {
   /// On-chip decoupling capacitance per die area, per layer [F/m^2].
@@ -45,9 +77,15 @@ struct PdnTransientOptions {
   double duration = 200e-9;   // [s] total simulated time
   double step_time = 20e-9;   // [s] when the load step fires
 
+  /// Faults / load surges striking mid-run, applied to a private copy of the
+  /// model's network (the caller's model is never mutated).  See
+  /// TimedFaultEvent for the timing semantics.
+  std::vector<TimedFaultEvent> fault_events;
+
   /// LTE-controlled adaptive stepping that snaps a step boundary exactly
-  /// onto step_time.  Off by default (the fixed grid reproduces historical
-  /// waveforms bit-for-bit); guards, budgets and reporting apply either way.
+  /// onto step_time and every fault-event instant.  Off by default (the
+  /// fixed grid reproduces historical waveforms bit-for-bit); guards,
+  /// budgets and reporting apply either way.
   bool adaptive = false;
 
   /// Tolerances, budgets and guard thresholds for the shared controller.

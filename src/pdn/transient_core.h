@@ -1,0 +1,163 @@
+// Shared internals of the PDN transient engines (pdn/transient.cpp and
+// pdn/ride_through.cpp): the timestep-independent split system, the
+// epoch-keyed per-(dt, scheme) step solver, and the companion-state
+// workspace.
+//
+// Everything here operates on a PdnNetwork the caller owns (the engines copy
+// the model's network so mid-run fault events never mutate caller state).
+// After any topology mutation -- an injected fault, a supervisor action --
+// the caller invokes TransientWorkspace::rebuild_topology(), which
+// reassembles the split system and advances its epoch stamp; StepSolver
+// keys its factorization/preconditioner cache on that epoch, so a stale
+// factorization of the pre-fault topology can never be reused (see
+// docs/fault_model.md section on dynamic faults).
+//
+// This header is an implementation detail of vstack_pdn; it is not part of
+// the public modeling API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/preconditioner.h"
+#include "la/skyline_cholesky.h"
+#include "pdn/transient.h"
+
+namespace vstack::pdn::detail {
+
+struct Trip {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double v = 0.0;
+};
+
+/// The transient matrix split into timestep-independent parts so adaptive
+/// stepping can reassemble it for any (dt, scheme) in O(nnz):
+///
+///   A(h) = static + cap_coeff * s/h + ind_coeff * h/s,   s = 1 (BE), 2 (trap)
+///
+/// where cap_coeff holds raw capacitances [F] and ind_coeff raw reciprocal
+/// inductances [1/H] with the companion stamp signs baked in.
+struct SplitSystem {
+  std::size_t n = 0;
+  /// Topology epoch of the network this split was assembled from; bumped by
+  /// every rebuild so downstream caches can detect staleness.
+  std::size_t epoch = 0;
+  std::vector<Trip> static_part;
+  std::vector<Trip> cap_part;
+  std::vector<Trip> ind_part;
+
+  la::CsrMatrix assemble(double h, bool backward_euler) const;
+};
+
+/// Per-(dt, scheme, topology epoch) cached factorization / preconditioner
+/// with a solve that escalates instead of throwing: skyline Cholesky (small
+/// systems) -> warm-started CG -> la::solve's full degradation ladder.
+class StepSolver {
+ public:
+  StepSolver(const SplitSystem& sys, const PdnTransientOptions& options)
+      : sys_(sys), options_(options) {}
+
+  /// Solve A(h) x = rhs.  `x` carries the warm start and receives the
+  /// solution only on success; returns false (with a diagnostic) when every
+  /// rung failed.  Fallback activity is recorded into `report`.
+  bool solve(double h, bool backward_euler, const la::Vector& rhs,
+             la::Vector& x, double t, sim::TransientReport& report,
+             std::string& diagnostic);
+
+ private:
+  struct Key {
+    std::uint64_t dt_bits = 0;
+    bool backward_euler = false;
+    std::size_t epoch = 0;
+    bool operator<(const Key& o) const {
+      if (epoch != o.epoch) return epoch < o.epoch;
+      if (dt_bits != o.dt_bits) return dt_bits < o.dt_bits;
+      return backward_euler < o.backward_euler;
+    }
+  };
+
+  struct Cached {
+    la::CsrMatrix matrix;
+    std::unique_ptr<la::ReorderedCholesky> direct;
+    std::unique_ptr<la::Preconditioner> precond;
+  };
+
+  Cached& cached(double h, bool backward_euler, double t,
+                 sim::TransientReport& report);
+
+  const SplitSystem& sys_;
+  const PdnTransientOptions& options_;
+  std::map<Key, Cached> cache_;
+};
+
+/// Companion-state workspace shared by the load-step and ride-through
+/// engines: owns the split system, the capacitor/inductor states, and the
+/// RHS/commit/noise machinery.  The network reference must outlive the
+/// workspace; rebuild_topology() must be called after every mutation.
+class TransientWorkspace {
+ public:
+  TransientWorkspace(const PdnNetwork& net,
+                     const PdnTransientOptions& options);
+
+  const PdnNetwork& network() const { return net_; }
+  const SplitSystem& system() const { return sys_; }
+  std::size_t n() const { return sys_.n; }
+  std::size_t lvdd_mid() const { return lvdd_mid_; }
+  std::size_t lgnd_mid() const { return lgnd_mid_; }
+  std::size_t layer_count() const { return layer_count_; }
+  std::size_t cells() const { return cells_; }
+
+  /// Reassemble the split system from the network's CURRENT conductor and
+  /// converter lists and stamp it with the network's topology epoch.  Cheap
+  /// (O(nnz) triplet rebuild); called once at construction and after every
+  /// mid-run fault event or supervisor action.
+  void rebuild_topology();
+
+  /// Initialize companion states and the unknown vector from the pre-event
+  /// DC operating point (inductors are shorts, capacitors hold the local
+  /// rail span).
+  void init_states(const PdnSolution& dc, la::Vector& x);
+
+  /// Companion right-hand side for one step of size h at scheme `be`.
+  void build_rhs(const std::vector<LoadInjection>& loads, double h, bool be,
+                 la::Vector& rhs) const;
+
+  /// Advance companion states to the accepted solution `sol`.
+  void commit_states(const la::Vector& sol, double h, bool be);
+
+  /// Max node deviation from nominal as a fraction of vdd; when `per_layer`
+  /// is non-null it receives each layer's own maximum (size layer_count).
+  double worst_noise_of(const la::Vector& sol,
+                        std::vector<double>* per_layer = nullptr) const;
+
+  /// Current through the supply-side package inductor [A].
+  double supply_inductor_current() const { return lvdd_i_; }
+
+  /// Capacitor voltage states (one per (layer, cell)); read by the adaptive
+  /// engines' LTE predictor.
+  const std::vector<double>& cap_voltages() const { return cap_v_; }
+
+ private:
+  double nominal(std::size_t layer, bool vdd_net) const;
+
+  const PdnNetwork& net_;
+  const PdnTransientOptions& options_;
+  SplitSystem sys_;
+  std::size_t lvdd_mid_ = 0;
+  std::size_t lgnd_mid_ = 0;
+  std::size_t layer_count_ = 0;
+  std::size_t cells_ = 0;
+  std::vector<double> layer_cap_;  // per-cell capacitance per layer [F]
+  std::vector<double> cap_v_;
+  std::vector<double> cap_i_;
+  double lvdd_i_ = 0.0;
+  double lgnd_i_ = 0.0;
+  double lvdd_v_ = 0.0;
+  double lgnd_v_ = 0.0;
+};
+
+}  // namespace vstack::pdn::detail

@@ -1,0 +1,162 @@
+#include "sc/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+
+namespace {
+
+constexpr int kShutdownRung =
+    static_cast<int>(SupervisorActionKind::LayerShutdown);
+
+}  // namespace
+
+const char* to_string(SupervisorState state) {
+  switch (state) {
+    case SupervisorState::Nominal: return "nominal";
+    case SupervisorState::Armed: return "armed";
+    case SupervisorState::Mitigating: return "mitigating";
+    case SupervisorState::Recovered: return "recovered";
+    case SupervisorState::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* to_string(SupervisorActionKind kind) {
+  switch (kind) {
+    case SupervisorActionKind::PhaseRebalance: return "phase-rebalance";
+    case SupervisorActionKind::FrequencyRetarget: return "frequency-retarget";
+    case SupervisorActionKind::BypassEngage: return "bypass-engage";
+    case SupervisorActionKind::LayerShutdown: return "layer-shutdown";
+  }
+  return "unknown";
+}
+
+std::string SupervisorAction::describe() const {
+  std::ostringstream oss;
+  oss << to_string(kind) << " layer " << layer << " at " << time << " s";
+  if (kind == SupervisorActionKind::FrequencyRetarget) {
+    oss << " (fsw x" << factor << ")";
+  }
+  return oss.str();
+}
+
+void SupervisorConfig::validate() const {
+  VS_REQUIRE(trip_fraction > 0.0, "trip fraction must be positive");
+  VS_REQUIRE(recovery_fraction > 0.0 && recovery_fraction < trip_fraction,
+             "recovery fraction must be positive and below the trip "
+             "fraction (hysteresis)");
+  VS_REQUIRE(detection_latency >= 0.0, "detection latency must be >= 0");
+  VS_REQUIRE(sense_interval > 0.0, "sense interval must be positive");
+  VS_REQUIRE(action_dwell >= 0.0, "action dwell must be >= 0");
+  VS_REQUIRE(watchdog_timeout > detection_latency,
+             "watchdog timeout must exceed the detection latency");
+  VS_REQUIRE(frequency_boost > 1.0, "frequency boost must exceed 1");
+  VS_REQUIRE(max_actions >= 1, "need room for at least one action");
+}
+
+StackSupervisor::StackSupervisor(SupervisorConfig config,
+                                 std::size_t layer_count)
+    : config_(config), layer_count_(layer_count) {
+  config_.validate();
+  VS_REQUIRE(layer_count >= 1, "supervisor needs at least one layer");
+}
+
+SupervisorAction StackSupervisor::fire(double t, std::size_t layer) {
+  SupervisorAction action;
+  action.time = t;
+  action.kind = static_cast<SupervisorActionKind>(rung_);
+  action.layer = layer;
+  if (action.kind == SupervisorActionKind::FrequencyRetarget) {
+    action.factor = config_.frequency_boost;
+  }
+  last_action_at_ = t;
+  if (rung_ < kShutdownRung) ++rung_;
+  actions_.push_back(action);
+  return action;
+}
+
+std::vector<SupervisorAction> StackSupervisor::observe(
+    double t, const std::vector<double>& layer_droop) {
+  VS_REQUIRE(layer_droop.size() == layer_count_,
+             "droop sample size must match layer count");
+  VS_REQUIRE(t >= last_sample_time_, "samples must arrive in time order");
+  last_sample_time_ = t;
+
+  double worst = 0.0;
+  std::size_t worst_layer = 0;
+  for (std::size_t l = 0; l < layer_droop.size(); ++l) {
+    VS_REQUIRE(std::isfinite(layer_droop[l]), "droop sample must be finite");
+    if (layer_droop[l] > worst) {
+      worst = layer_droop[l];
+      worst_layer = l;
+    }
+  }
+  worst_droop_ = std::max(worst_droop_, worst);
+
+  std::vector<SupervisorAction> fired;
+
+  // Arming / disarming transitions first; Mitigating logic runs below so a
+  // trip that just cleared the detection latency fires its first rung at
+  // the SAME tick it is declared (detection latency already covers it).
+  switch (state_) {
+    case SupervisorState::Nominal:
+    case SupervisorState::Recovered:
+    case SupervisorState::Shutdown:
+      if (worst >= config_.trip_fraction) {
+        state_ = SupervisorState::Armed;
+        armed_at_ = t;
+      }
+      break;
+    case SupervisorState::Armed:
+      if (worst < config_.trip_fraction) {
+        // Transient glitch shorter than the detection latency.
+        state_ = detected_at_ >= 0.0 ? SupervisorState::Recovered
+                                     : SupervisorState::Nominal;
+        break;
+      }
+      if (t - armed_at_ >= config_.detection_latency) {
+        if (detected_at_ < 0.0) detected_at_ = t;
+        mitigating_since_ = t;
+        state_ = SupervisorState::Mitigating;
+      }
+      break;
+    case SupervisorState::Mitigating:
+      break;
+  }
+
+  if (state_ != SupervisorState::Mitigating) return fired;
+
+  if (worst <= config_.recovery_fraction) {
+    state_ = SupervisorState::Recovered;
+    if (recovered_at_ < 0.0) recovered_at_ = t;
+    return fired;
+  }
+
+  // Watchdog: out of regulation too long -> jump straight to shutdown,
+  // regardless of ladder position or the action-trail bound.
+  const bool watchdog = t - mitigating_since_ >= config_.watchdog_timeout;
+  if (watchdog) rung_ = kShutdownRung;
+  // Action-trail bound: once full, only the watchdog shutdown may fire.
+  if (!watchdog && actions_.size() >= config_.max_actions) return fired;
+
+  const bool first_rung = last_action_at_ < mitigating_since_;
+  if (first_rung || watchdog ||
+      t - last_action_at_ >= config_.action_dwell) {
+    fired.push_back(fire(t, worst_layer));
+    if (fired.back().kind == SupervisorActionKind::LayerShutdown) {
+      // Terminal for this episode; another rail tripping re-arms with a
+      // fresh ladder.
+      state_ = SupervisorState::Shutdown;
+      rung_ = 0;
+      mitigating_since_ = -1.0;
+    }
+  }
+  return fired;
+}
+
+}  // namespace vstack::sc

@@ -1,0 +1,119 @@
+// Supervisory controller for a voltage-stacked converter bank (robustness
+// layer): watches per-layer rail droop and walks an escalation ladder when a
+// fault drives a rail out of regulation.
+//
+// The supervisor is deliberately PDN-agnostic: it sees only a vector of
+// per-layer worst droop fractions sampled at a fixed cadence (the sensing
+// interval of the on-die voltage monitors) and emits ABSTRACT actions.  The
+// ride-through driver (pdn/ride_through.h) translates those actions into
+// network mutations -- rebalanced phase strengths, retargeted switching
+// frequency through the SC compact model, an engaged bypass linear
+// regulator, or a controlled layer shutdown -- so the sc library never
+// depends on pdn.
+//
+// Detection mirrors a realistic monitor chain: a droop above trip_fraction
+// ARMS detection; only after it persists for detection_latency does the
+// supervisor declare a fault and fire the first rung.  Recovery uses a
+// hysteresis band (recovery_fraction < trip_fraction) so a rail hovering at
+// the threshold does not chatter between states.  Each rung gets
+// action_dwell to take effect before the next fires; a watchdog jumps
+// straight to layer shutdown when the rail has been out of regulation for
+// watchdog_timeout regardless of ladder position.  The action trail is
+// bounded by max_actions (the watchdog still fires), so a pathological run
+// cannot balloon the report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vstack::sc {
+
+enum class SupervisorState {
+  Nominal,     // all rails inside the trip band
+  Armed,       // a rail tripped; waiting out the detection latency
+  Mitigating,  // fault declared; escalation ladder active
+  Recovered,   // droop back inside the recovery band after mitigation
+  Shutdown,    // a layer was shut down; re-arms if another rail trips
+};
+
+const char* to_string(SupervisorState state);
+
+/// Escalation ladder, mildest first.  The supervisor fires them in order,
+/// one rung per dwell window, while the rail stays out of regulation.
+enum class SupervisorActionKind {
+  PhaseRebalance,     // strengthen surviving interleaved phases
+  FrequencyRetarget,  // raise the bank's switching frequency
+  BypassEngage,       // switch in the bypass linear regulator
+  LayerShutdown,      // controlled shutdown of the afflicted layer
+};
+
+const char* to_string(SupervisorActionKind kind);
+
+struct SupervisorAction {
+  double time = 0.0;      // [s] when it fired
+  SupervisorActionKind kind = SupervisorActionKind::PhaseRebalance;
+  std::size_t layer = 0;  // afflicted layer (worst droop at fire time)
+  /// FrequencyRetarget: switching-frequency multiplier to apply.
+  double factor = 1.0;
+
+  std::string describe() const;
+};
+
+struct SupervisorConfig {
+  double trip_fraction = 0.10;      // droop fraction that arms detection
+  double recovery_fraction = 0.05;  // hysteresis: at or below = recovered
+  double detection_latency = 50e-9;  // [s] trip must persist this long
+  double sense_interval = 10e-9;     // [s] monitor sampling cadence
+  double action_dwell = 100e-9;      // [s] settle time between rungs
+  double watchdog_timeout = 1e-6;    // [s] out-of-regulation -> shutdown
+  double frequency_boost = 2.0;      // FrequencyRetarget multiplier
+  std::size_t max_actions = 16;      // action-trail bound (watchdog exempt)
+
+  void validate() const;
+};
+
+class StackSupervisor {
+ public:
+  StackSupervisor(SupervisorConfig config, std::size_t layer_count);
+
+  const SupervisorConfig& config() const { return config_; }
+
+  /// Feed one sensing sample: per-layer worst droop fractions (of vdd) at
+  /// time `t`.  Samples must arrive in nondecreasing time order.  Returns
+  /// the actions fired at this tick (usually empty); they are also appended
+  /// to actions().
+  std::vector<SupervisorAction> observe(double t,
+                                        const std::vector<double>& layer_droop);
+
+  SupervisorState state() const { return state_; }
+  /// When the fault was declared (armed trip persisted through the
+  /// detection latency); negative when never detected.
+  double detected_at() const { return detected_at_; }
+  /// When the droop first re-entered the recovery band after mitigation;
+  /// negative when it never did.
+  double recovered_at() const { return recovered_at_; }
+  /// Full action trail, in firing order (bounded by config().max_actions
+  /// plus any watchdog shutdowns).
+  const std::vector<SupervisorAction>& actions() const { return actions_; }
+  /// Worst droop fraction seen across all samples.
+  double worst_droop() const { return worst_droop_; }
+
+ private:
+  SupervisorAction fire(double t, std::size_t layer);
+
+  SupervisorConfig config_;
+  std::size_t layer_count_ = 0;
+  SupervisorState state_ = SupervisorState::Nominal;
+  int rung_ = 0;  // next ladder rung to fire (index into the enum)
+  double armed_at_ = -1.0;
+  double detected_at_ = -1.0;
+  double recovered_at_ = -1.0;
+  double last_action_at_ = -1.0;
+  double mitigating_since_ = -1.0;
+  double worst_droop_ = 0.0;
+  double last_sample_time_ = -1.0;
+  std::vector<SupervisorAction> actions_;
+};
+
+}  // namespace vstack::sc

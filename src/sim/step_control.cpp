@@ -261,4 +261,29 @@ double PeriodicEvents::next_after(double t) const {
   VS_FAIL("periodic event search failed to advance");
 }
 
+EventSchedule::EventSchedule(double horizon) : horizon_(horizon) {
+  VS_REQUIRE(horizon > 0.0, "event-schedule horizon must be positive");
+}
+
+void EventSchedule::add_periodic(PeriodicEvents events) {
+  if (!events.empty()) periodic_.push_back(std::move(events));
+}
+
+void EventSchedule::add_time(double t) {
+  VS_REQUIRE(std::isfinite(t), "event time must be finite");
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  times_.insert(it, t);
+}
+
+double EventSchedule::next_after(double t) const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& p : periodic_) {
+    next = std::min(next, p.next_after(t));
+  }
+  const double tol = 1e-12 * horizon_;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t + tol);
+  if (it != times_.end()) next = std::min(next, *it);
+  return next;
+}
+
 }  // namespace vstack::sim

@@ -197,4 +197,32 @@ class PeriodicEvents {
   std::vector<double> fractions_;  // sorted, deduped, in [0, 1)
 };
 
+/// Unified event timeline for a transient run: any number of periodic edge
+/// schedules (clocked switches, supervisor sensing ticks) merged with sorted
+/// one-shot instants (load steps, injected fault events).  next_after(t)
+/// returns the earliest pending event strictly after t so the step
+/// controller can clamp a step boundary exactly onto it; one-shot times use
+/// the same relative snap tolerance as PeriodicEvents, scaled by
+/// `horizon` (the stop time passed at construction).
+class EventSchedule {
+ public:
+  EventSchedule() = default;
+  /// `horizon` scales the snap tolerance for one-shot times (pass the run's
+  /// stop time); must be positive.
+  explicit EventSchedule(double horizon);
+
+  void add_periodic(PeriodicEvents events);
+  /// One-shot event.  Times at or before 0 are accepted but never returned
+  /// (they are "already in the past" at the start of the run).
+  void add_time(double t);
+
+  bool empty() const { return periodic_.empty() && times_.empty(); }
+  double next_after(double t) const;
+
+ private:
+  double horizon_ = 1.0;
+  std::vector<PeriodicEvents> periodic_;
+  std::vector<double> times_;  // sorted
+};
+
 }  // namespace vstack::sim

@@ -1,0 +1,143 @@
+// Mid-run switch faults (circuit::TimedSwitchFault): a clocked switch whose
+// gate drive fails stuck-on / stuck-off partway through a transient run, in
+// both fixed and adaptive stepping modes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "circuit/netlist.h"
+#include "circuit/transient.h"
+
+namespace vstack::circuit {
+namespace {
+
+/// Two-phase switched divider with a holding capacitor: S0 connects out to
+/// 1 V during phase A, S1 grounds it during phase B.  The 1 nF cap gives
+/// `out` a ~10 ns switching time constant but a ~1 ms keeper decay, so a
+/// failed discharge switch leaves the node visibly stuck high.
+struct Divider {
+  Netlist net;
+  NodeId vin;
+  NodeId out;
+
+  Divider() {
+    vin = net.create_node("vin");
+    out = net.create_node("out");
+    net.add_voltage_source(vin, kGround, 1.0);
+    net.add_switch(vin, out, 10.0, 1e9, ClockPhase{0.0, 0.5});  // S0: charge
+    net.add_switch(out, kGround, 10.0, 1e9, ClockPhase{0.5, 0.5});  // S1
+    net.add_resistor(out, kGround, 1e6);  // keeper, ~1 ms with the cap
+    net.add_capacitor(out, kGround, 1e-9, 0.0);
+  }
+};
+
+bool trail_contains(const sim::TransientReport& report,
+                    const std::string& needle) {
+  for (const auto& ev : report.events) {
+    if (ev.what.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(SwitchFaultTest, DischargeSwitchStuckOffFreezesTheNodeHigh) {
+  Divider d;
+  TransientSimulator sim(d.net, 1e-6);
+
+  TransientOptions opts;
+  opts.stop_time = 6e-6;
+  opts.time_step = 1e-8;
+  TimedSwitchFault fault;
+  fault.time = 3e-6;
+  fault.switch_index = 1;  // S1: the discharge path
+  fault.stuck_on = false;
+  fault.label = "discharge-drive-lost";
+  opts.switch_faults.push_back(fault);
+
+  const auto r = sim.run(opts);
+  ASSERT_TRUE(r.ok()) << r.report.diagnostic;
+
+  // Healthy cycles discharge `out` nearly to ground every phase B...
+  EXPECT_LT(r.min_node_voltage(d.out, 1e-6), 0.2);
+  // ...but once S1's drive is lost the node never discharges again (the
+  // keeper's 1 ms decay is invisible over a few microseconds).
+  EXPECT_GT(r.min_node_voltage(d.out, 3.6e-6), 0.8);
+  EXPECT_TRUE(trail_contains(r.report,
+                             "switch fault 'discharge-drive-lost'"));
+}
+
+TEST(SwitchFaultTest, ChargeSwitchStuckOnShortsTheDivider) {
+  Divider d;
+  TransientSimulator sim(d.net, 1e-6);
+
+  TransientOptions opts;
+  opts.stop_time = 6e-6;
+  opts.time_step = 1e-8;
+  TimedSwitchFault fault;
+  fault.time = 3e-6;
+  fault.switch_index = 0;  // S0 stuck on: fights S1 during phase B
+  fault.stuck_on = true;
+  opts.switch_faults.push_back(fault);
+
+  const auto r = sim.run(opts);
+  ASSERT_TRUE(r.ok()) << r.report.diagnostic;
+
+  // With both switches on during phase B the node sits at the resistive
+  // divider midpoint instead of discharging to ground.
+  EXPECT_LT(r.min_node_voltage(d.out, 1e-6), 0.2);
+  const double post = r.min_node_voltage(d.out, 3.6e-6);
+  EXPECT_GT(post, 0.4);
+  EXPECT_LT(post, 0.6);
+  // Default label falls back to the switch index.
+  EXPECT_TRUE(trail_contains(r.report, "switch fault 'switch 0'"));
+}
+
+TEST(SwitchFaultTest, AdaptiveModeHandlesAFaultExactlyOnAClockEdge) {
+  Divider d;
+  TransientSimulator sim(d.net, 1e-6);
+
+  TransientOptions opts;
+  opts.stop_time = 6e-6;
+  opts.mode = SteppingMode::Adaptive;
+  TimedSwitchFault fault;
+  fault.time = 3e-6;  // exactly a phase-A rising edge of S0
+  fault.switch_index = 1;
+  fault.stuck_on = false;
+  fault.label = "edge-coincident";
+  opts.switch_faults.push_back(fault);
+
+  const auto r = sim.run(opts);
+  ASSERT_TRUE(r.ok()) << r.report.diagnostic;
+
+  // Same physics as the fixed-mode stuck-off case; the edge-coincident
+  // fault must neither be skipped nor applied twice.
+  EXPECT_LT(r.min_node_voltage(d.out, 1e-6), 0.2);
+  EXPECT_GT(r.min_node_voltage(d.out, 3.6e-6), 0.8);
+  EXPECT_TRUE(trail_contains(r.report, "'edge-coincident'"));
+}
+
+TEST(SwitchFaultTest, FixedAndAdaptiveAgreeOnThePostFaultAverage) {
+  Divider d;
+  TransientSimulator sim(d.net, 1e-6);
+
+  TransientOptions opts;
+  opts.stop_time = 6e-6;
+  opts.time_step = 1e-8;
+  TimedSwitchFault fault;
+  fault.time = 2.5e-6;
+  fault.switch_index = 1;
+  fault.stuck_on = false;
+  opts.switch_faults.push_back(fault);
+
+  const auto fixed = sim.run(opts);
+  opts.mode = SteppingMode::Adaptive;
+  opts.time_step = 0.0;  // derive from the clock period
+  const auto adaptive = sim.run(opts);
+  ASSERT_TRUE(fixed.ok()) << fixed.report.diagnostic;
+  ASSERT_TRUE(adaptive.ok()) << adaptive.report.diagnostic;
+
+  EXPECT_NEAR(adaptive.average_node_voltage(d.out, 4e-6),
+              fixed.average_node_voltage(d.out, 4e-6), 0.02);
+}
+
+}  // namespace
+}  // namespace vstack::circuit

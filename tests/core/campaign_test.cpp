@@ -1,0 +1,226 @@
+// Crash-safe transient campaign runner (core/campaign.h): plan/evaluate
+// determinism against the DC Monte Carlo, JSONL checkpoint round-tripping,
+// partial resume after truncation, and refusal of mismatched manifests.
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "power/workload.h"
+
+namespace vstack::core {
+namespace {
+
+const StudyContext& ctx() {
+  static const StudyContext c = StudyContext::paper_defaults();
+  return c;
+}
+
+pdn::StackupConfig stacked4() {
+  auto cfg = make_stacked(ctx(), 4, pdn::TsvConfig::few(), 8);
+  cfg.grid_nx = cfg.grid_ny = 8;
+  return cfg;
+}
+
+std::vector<double> acts4() {
+  return power::interleaved_layer_activities(4, 0.8);
+}
+
+CampaignOptions fast_options(std::uint64_t seed = 42) {
+  CampaignOptions o;
+  o.contingency.trials = 4;
+  o.contingency.faults_per_trial = 2;
+  o.contingency.converter_faults_per_trial = 8;
+  o.contingency.seed = seed;
+  o.ride_through.transient.time_step = 2e-9;
+  o.ride_through.transient.duration = 200e-9;
+  o.ride_through.supervisor.trip_fraction = 0.10;
+  o.ride_through.supervisor.recovery_fraction = 0.08;
+  o.ride_through.supervisor.sense_interval = 5e-9;
+  o.ride_through.supervisor.detection_latency = 20e-9;
+  o.ride_through.supervisor.action_dwell = 40e-9;
+  o.ride_through.supervisor.watchdog_timeout = 120e-9;
+  o.fault_time = 50e-9;
+  return o;
+}
+
+void expect_scenarios_identical(const CampaignReport& a,
+                                const CampaignReport& b) {
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+  for (std::size_t i = 0; i < a.scenarios.size(); ++i) {
+    const auto& x = a.scenarios[i];
+    const auto& y = b.scenarios[i];
+    EXPECT_EQ(x.index, y.index);
+    EXPECT_EQ(x.label, y.label);
+    EXPECT_EQ(x.scenario_hash, y.scenario_hash);
+    EXPECT_EQ(x.outcome, y.outcome);
+    EXPECT_EQ(x.completed, y.completed);
+    EXPECT_EQ(x.timed_out, y.timed_out);
+    // Bit-identical doubles: the manifest round-trips through %.17g.
+    EXPECT_EQ(x.detected_at, y.detected_at) << "scenario " << i;
+    EXPECT_EQ(x.recovered_at, y.recovered_at) << "scenario " << i;
+    EXPECT_EQ(x.worst_droop, y.worst_droop) << "scenario " << i;
+    EXPECT_EQ(x.final_droop, y.final_droop) << "scenario " << i;
+    EXPECT_EQ(x.action_count, y.action_count);
+    EXPECT_EQ(x.shutdown_count, y.shutdown_count);
+  }
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.worst_droop, b.worst_droop);
+  EXPECT_EQ(a.config_hash, b.config_hash);
+}
+
+TEST(CampaignPlanTest, PlanMatchesRunMonteCarloFaultSets) {
+  const ContingencyEngine engine(ctx(), stacked4());
+  ContingencyOptions opts;
+  opts.trials = 5;
+  opts.faults_per_trial = 2;
+  opts.converter_faults_per_trial = 2;
+  opts.leakage_faults_per_trial = 1;
+  opts.seed = 7;
+
+  const auto plan = engine.plan_monte_carlo(acts4(), opts);
+  const auto report = engine.run_monte_carlo(acts4(), opts);
+  ASSERT_EQ(plan.size(), 5u);
+  ASSERT_EQ(report.cases.size(), 5u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].index, i);
+    EXPECT_EQ(plan[i].label, report.cases[i].label);
+    const auto& pf = plan[i].faults.faults();
+    const auto& rf = report.cases[i].faults.faults();
+    ASSERT_EQ(pf.size(), rf.size()) << "trial " << i;
+    for (std::size_t j = 0; j < pf.size(); ++j) {
+      EXPECT_EQ(static_cast<int>(pf[j].kind), static_cast<int>(rf[j].kind));
+      EXPECT_EQ(pf[j].index, rf[j].index);
+      EXPECT_EQ(pf[j].units, rf[j].units);
+      EXPECT_EQ(pf[j].severity, rf[j].severity);
+    }
+  }
+}
+
+TEST(CampaignRunnerTest, ClassifiesEveryScenario) {
+  const CampaignRunner runner(ctx(), stacked4());
+  const auto report = runner.run(acts4(), fast_options());
+  ASSERT_EQ(report.scenarios.size(), 4u);
+  EXPECT_EQ(report.evaluated, 4u);
+  EXPECT_EQ(report.resumed, 0u);
+  EXPECT_EQ(report.recovered + report.degraded + report.lost, 4u);
+  EXPECT_NE(report.config_hash, 0u);
+  for (const auto& s : report.scenarios) {
+    EXPECT_FALSE(s.label.empty());
+    EXPECT_NE(s.scenario_hash, 0u);
+    EXPECT_GE(s.attempts, 1u);
+    EXPECT_FALSE(s.from_checkpoint);
+  }
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(CampaignRunnerTest, ManifestResumeIsBitIdentical) {
+  const std::string manifest =
+      ::testing::TempDir() + "/campaign_resume.jsonl";
+  std::remove(manifest.c_str());
+
+  CampaignOptions opts = fast_options();
+  opts.manifest_path = manifest;
+  const CampaignRunner runner(ctx(), stacked4());
+
+  const auto full = runner.run(acts4(), opts);
+  ASSERT_EQ(full.evaluated, 4u);
+
+  // Second run with the same manifest: everything restores, nothing is
+  // simulated, and the aggregates are bit-identical.
+  const auto resumed = runner.run(acts4(), opts);
+  EXPECT_EQ(resumed.resumed, 4u);
+  EXPECT_EQ(resumed.evaluated, 0u);
+  for (const auto& s : resumed.scenarios) EXPECT_TRUE(s.from_checkpoint);
+  expect_scenarios_identical(full, resumed);
+}
+
+TEST(CampaignRunnerTest, TruncatedManifestResumesTheRemainder) {
+  const std::string manifest =
+      ::testing::TempDir() + "/campaign_truncated.jsonl";
+  std::remove(manifest.c_str());
+
+  CampaignOptions opts = fast_options();
+  opts.manifest_path = manifest;
+  const CampaignRunner runner(ctx(), stacked4());
+  const auto full = runner.run(acts4(), opts);
+  ASSERT_EQ(full.evaluated, 4u);
+
+  // Simulate a crash after two scenarios: keep the header + 2 lines plus a
+  // torn (half-written) third line, which the loader must skip.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(manifest);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 scenarios
+  {
+    std::ofstream out(manifest, std::ios::trunc);
+    out << lines[0] << "\n" << lines[1] << "\n" << lines[2] << "\n";
+    out << lines[3].substr(0, lines[3].size() / 2);  // torn write
+  }
+
+  const auto resumed = runner.run(acts4(), opts);
+  EXPECT_EQ(resumed.resumed, 2u);
+  EXPECT_EQ(resumed.evaluated, 2u);
+  expect_scenarios_identical(full, resumed);
+}
+
+TEST(CampaignRunnerTest, MismatchedManifestIsRefused) {
+  const std::string manifest =
+      ::testing::TempDir() + "/campaign_mismatch.jsonl";
+  std::remove(manifest.c_str());
+
+  CampaignOptions opts = fast_options(/*seed=*/42);
+  opts.manifest_path = manifest;
+  const CampaignRunner runner(ctx(), stacked4());
+  (void)runner.run(acts4(), opts);
+
+  // A different seed is a different campaign: refusing beats silently
+  // mixing two campaigns' scenarios in one manifest.
+  CampaignOptions other = fast_options(/*seed=*/43);
+  other.manifest_path = manifest;
+  EXPECT_THROW(runner.run(acts4(), other), Error);
+}
+
+TEST(CampaignOptionsTest, ValidateRejectsBrokenShapes) {
+  CampaignOptions o = fast_options();
+  o.fault_time = o.ride_through.transient.duration;  // strikes after the end
+  EXPECT_THROW(o.validate(), Error);
+
+  o = fast_options();
+  o.max_retries = 100;  // runaway retry budget
+  EXPECT_THROW(o.validate(), Error);
+
+  o = fast_options();
+  o.retry_tolerance_relax = 0.5;  // would TIGHTEN tolerances on retry
+  EXPECT_THROW(o.validate(), Error);
+}
+
+TEST(CampaignCompareTest, SurvivabilityTableCoversBothTopologies) {
+  CampaignOptions opts = fast_options();
+  opts.contingency.trials = 2;
+  auto regular = make_regular(ctx(), 4, pdn::TsvConfig::few(), 0.25);
+  regular.grid_nx = regular.grid_ny = 8;
+  // Regular PDNs have no converters to lose; keep the conductor faults.
+  const auto table =
+      compare_survivability(ctx(), stacked4(), regular, acts4(), opts);
+  ASSERT_EQ(table.rows.size(), 2u);
+  for (const auto& row : table.rows) {
+    EXPECT_EQ(row.recovered + row.degraded + row.lost, 2u);
+  }
+  const std::string text = table.format();
+  EXPECT_NE(text.find("stacked"), std::string::npos);
+  EXPECT_NE(text.find("regular"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vstack::core

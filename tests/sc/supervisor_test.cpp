@@ -1,0 +1,200 @@
+#include "sc/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vstack::sc {
+namespace {
+
+SupervisorConfig fast_config() {
+  SupervisorConfig cfg;
+  cfg.trip_fraction = 0.10;
+  cfg.recovery_fraction = 0.05;
+  cfg.detection_latency = 20e-9;
+  cfg.sense_interval = 10e-9;
+  cfg.action_dwell = 50e-9;
+  cfg.watchdog_timeout = 1e-6;
+  return cfg;
+}
+
+/// Drive the supervisor at its sense cadence with a uniform droop on layer
+/// `hot` (zero elsewhere) from t_begin (inclusive) to t_end (exclusive);
+/// returns every action fired.
+std::vector<SupervisorAction> drive(StackSupervisor& sup, double t_begin,
+                                    double t_end, double droop,
+                                    std::size_t layers, std::size_t hot) {
+  std::vector<SupervisorAction> all;
+  const double dt = sup.config().sense_interval;
+  // Index-based tick times: accumulating t += dt drifts by ULPs over a few
+  // dozen ticks, enough to push a latency comparison one tick late.
+  for (std::size_t i = 0;; ++i) {
+    const double t = t_begin + static_cast<double>(i) * dt;
+    if (t >= t_end - 0.5 * dt) break;
+    std::vector<double> sample(layers, 0.0);
+    sample[hot] = droop;
+    for (auto& a : sup.observe(t, sample)) all.push_back(a);
+  }
+  return all;
+}
+
+TEST(SupervisorConfigTest, ValidateRejectsBrokenHysteresis) {
+  SupervisorConfig cfg = fast_config();
+  cfg.recovery_fraction = cfg.trip_fraction;  // no hysteresis band
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = fast_config();
+  cfg.watchdog_timeout = cfg.detection_latency;  // watchdog inside latency
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = fast_config();
+  cfg.frequency_boost = 1.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = fast_config();
+  cfg.max_actions = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(SupervisorTest, StaysNominalInsideTheTripBand) {
+  StackSupervisor sup(fast_config(), 4);
+  const auto fired = drive(sup, 0.0, 200e-9, 0.09, 4, 1);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(sup.state(), SupervisorState::Nominal);
+  EXPECT_LT(sup.detected_at(), 0.0);
+  EXPECT_NEAR(sup.worst_droop(), 0.09, 1e-15);
+}
+
+TEST(SupervisorTest, GlitchShorterThanLatencyDisarmsWithoutActions) {
+  StackSupervisor sup(fast_config(), 4);
+  // One 10 ns sample above trip, then clean again: latency is 20 ns, so
+  // detection never completes.
+  sup.observe(0.0, {0.0, 0.2, 0.0, 0.0});
+  EXPECT_EQ(sup.state(), SupervisorState::Armed);
+  const auto fired = drive(sup, 10e-9, 100e-9, 0.01, 4, 1);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(sup.state(), SupervisorState::Nominal);
+  EXPECT_LT(sup.detected_at(), 0.0);
+}
+
+TEST(SupervisorTest, DetectionWaitsOutTheLatencyThenFiresFirstRung) {
+  StackSupervisor sup(fast_config(), 4);
+  const auto fired = drive(sup, 0.0, 40e-9, 0.2, 4, 2);
+  // Armed at 0, latency 20 ns: the t = 20 ns tick declares the fault AND
+  // fires the first rung at the same instant.
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, SupervisorActionKind::PhaseRebalance);
+  EXPECT_EQ(fired[0].layer, 2u);
+  EXPECT_DOUBLE_EQ(fired[0].time, 20e-9);
+  EXPECT_DOUBLE_EQ(sup.detected_at(), 20e-9);
+  EXPECT_EQ(sup.state(), SupervisorState::Mitigating);
+}
+
+TEST(SupervisorTest, LadderEscalatesInOrderOneRungPerDwell) {
+  StackSupervisor sup(fast_config(), 4);
+  // Stop right after the shutdown rung: with the droop STILL high past it,
+  // the supervisor would re-arm and start a second episode.
+  const auto fired = drive(sup, 0.0, 180e-9, 0.2, 4, 1);
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_EQ(fired[0].kind, SupervisorActionKind::PhaseRebalance);
+  EXPECT_EQ(fired[1].kind, SupervisorActionKind::FrequencyRetarget);
+  EXPECT_DOUBLE_EQ(fired[1].factor, sup.config().frequency_boost);
+  EXPECT_EQ(fired[2].kind, SupervisorActionKind::BypassEngage);
+  EXPECT_EQ(fired[3].kind, SupervisorActionKind::LayerShutdown);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_GE(fired[i].time - fired[i - 1].time,
+              sup.config().action_dwell - 1e-15);
+  }
+  EXPECT_EQ(sup.state(), SupervisorState::Shutdown);
+}
+
+TEST(SupervisorTest, RecoveryInsideTheBandStopsTheLadder) {
+  StackSupervisor sup(fast_config(), 2);
+  drive(sup, 0.0, 30e-9, 0.2, 2, 0);  // detect + first rung at 20 ns
+  EXPECT_EQ(sup.state(), SupervisorState::Mitigating);
+  // Mitigation worked: droop falls inside the recovery band.
+  const auto fired = drive(sup, 30e-9, 200e-9, 0.04, 2, 0);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(sup.state(), SupervisorState::Recovered);
+  EXPECT_DOUBLE_EQ(sup.recovered_at(), 30e-9);
+  EXPECT_EQ(sup.actions().size(), 1u);
+}
+
+TEST(SupervisorTest, HysteresisHoldsBetweenRecoveryAndTrip) {
+  StackSupervisor sup(fast_config(), 2);
+  drive(sup, 0.0, 30e-9, 0.2, 2, 0);
+  drive(sup, 30e-9, 50e-9, 0.04, 2, 0);  // recovered
+  // Droop creeps back up BETWEEN the bands: no re-arm, no chatter.
+  const auto fired = drive(sup, 50e-9, 200e-9, 0.08, 2, 0);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(sup.state(), SupervisorState::Recovered);
+}
+
+TEST(SupervisorTest, ReTripAfterRecoveryContinuesTheLadder) {
+  StackSupervisor sup(fast_config(), 2);
+  drive(sup, 0.0, 30e-9, 0.2, 2, 0);     // PhaseRebalance fired
+  drive(sup, 30e-9, 50e-9, 0.04, 2, 0);  // recovered
+  // Re-trip: detection latency applies again, then the NEXT rung fires
+  // (rebalance already proved insufficient -- no point repeating it).
+  const auto fired = drive(sup, 50e-9, 120e-9, 0.2, 2, 0);
+  ASSERT_GE(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, SupervisorActionKind::FrequencyRetarget);
+  // Re-armed at 50 ns, latency 20 ns: fires on the first tick at/after
+  // 70 ns (ULP noise in the tick times may push it one tick later).
+  EXPECT_GE(fired[0].time, 70e-9 - 1e-12);
+  EXPECT_LE(fired[0].time, 80e-9 + 1e-12);
+}
+
+TEST(SupervisorTest, WatchdogJumpsStraightToShutdown) {
+  SupervisorConfig cfg = fast_config();
+  cfg.action_dwell = 10e-6;     // ladder stalls: dwell longer than the run
+  cfg.watchdog_timeout = 100e-9;
+  StackSupervisor sup(cfg, 2);
+  const auto fired = drive(sup, 0.0, 130e-9, 0.2, 2, 1);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].kind, SupervisorActionKind::PhaseRebalance);
+  EXPECT_EQ(fired[1].kind, SupervisorActionKind::LayerShutdown);
+  // Mitigating since 20 ns + 100 ns watchdog = first tick at/after 120 ns.
+  EXPECT_DOUBLE_EQ(fired[1].time, 120e-9);
+  EXPECT_EQ(sup.state(), SupervisorState::Shutdown);
+}
+
+TEST(SupervisorTest, ActionTrailBoundHoldsButWatchdogIsExempt) {
+  SupervisorConfig cfg = fast_config();
+  cfg.max_actions = 1;
+  cfg.watchdog_timeout = 150e-9;
+  StackSupervisor sup(cfg, 2);
+  const auto fired = drive(sup, 0.0, 180e-9, 0.2, 2, 0);
+  // Bound stops the ladder after one action; the watchdog shutdown still
+  // fires (and is the ONLY thing allowed past the bound).
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].kind, SupervisorActionKind::PhaseRebalance);
+  EXPECT_EQ(fired[1].kind, SupervisorActionKind::LayerShutdown);
+  EXPECT_NEAR(fired[1].time, 170e-9, 1e-12);
+}
+
+TEST(SupervisorTest, ShutdownReArmsAFreshLadderForAnotherLayer) {
+  SupervisorConfig cfg = fast_config();
+  cfg.watchdog_timeout = 100e-9;
+  cfg.action_dwell = 10e-6;  // only the watchdog escalates
+  StackSupervisor sup(cfg, 4);
+  drive(sup, 0.0, 130e-9, 0.2, 4, 1);  // rebalance + watchdog shutdown
+  ASSERT_EQ(sup.state(), SupervisorState::Shutdown);
+  // A DIFFERENT layer trips: new episode, ladder restarts at rung 0.
+  const auto fired = drive(sup, 130e-9, 200e-9, 0.2, 4, 3);
+  ASSERT_GE(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, SupervisorActionKind::PhaseRebalance);
+  EXPECT_EQ(fired[0].layer, 3u);
+}
+
+TEST(SupervisorTest, RejectsMalformedSamples) {
+  StackSupervisor sup(fast_config(), 2);
+  EXPECT_THROW(sup.observe(0.0, {0.1}), Error);  // wrong layer count
+  sup.observe(10e-9, {0.0, 0.0});
+  EXPECT_THROW(sup.observe(5e-9, {0.0, 0.0}), Error);  // time went backwards
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(sup.observe(20e-9, {nan, 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace vstack::sc

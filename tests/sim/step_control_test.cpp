@@ -233,5 +233,53 @@ TEST(PeriodicEventsTest, EmptyScheduleIsEmpty) {
   EXPECT_FALSE(PeriodicEvents(1.0, {0.25}).empty());
 }
 
+TEST(EventScheduleTest, MergesPeriodicAndOneShotTimes) {
+  EventSchedule sched(10.0);
+  sched.add_periodic(PeriodicEvents(1.0, {0.5}));
+  sched.add_time(0.7);
+  sched.add_time(2.25);
+  EXPECT_DOUBLE_EQ(sched.next_after(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(sched.next_after(0.5), 0.7);   // one-shot between edges
+  EXPECT_DOUBLE_EQ(sched.next_after(0.7), 1.5);
+  EXPECT_DOUBLE_EQ(sched.next_after(2.0), 2.25);
+  EXPECT_DOUBLE_EQ(sched.next_after(2.25), 2.5);
+}
+
+TEST(EventScheduleTest, OneShotTimesAreSortedOnInsert) {
+  EventSchedule sched(1.0);
+  sched.add_time(0.9);
+  sched.add_time(0.1);
+  sched.add_time(0.5);
+  EXPECT_DOUBLE_EQ(sched.next_after(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(sched.next_after(0.1), 0.5);
+  EXPECT_DOUBLE_EQ(sched.next_after(0.5), 0.9);
+}
+
+TEST(EventScheduleTest, SnapToleranceSkipsJustLandedOneShot) {
+  EventSchedule sched(1.0);
+  sched.add_time(0.5);
+  // Landing within the horizon-scaled tolerance of the event counts as ON
+  // it -- the controller must not be asked to hit the same instant twice.
+  EXPECT_GT(sched.next_after(0.5 + 1e-13), 1e300);
+}
+
+TEST(EventScheduleTest, NonPositiveTimesNeverReturned) {
+  EventSchedule sched(1.0);
+  sched.add_time(0.0);
+  sched.add_time(-1.0);
+  sched.add_time(0.25);
+  EXPECT_DOUBLE_EQ(sched.next_after(0.0), 0.25);
+}
+
+TEST(EventScheduleTest, EmptinessTracksBothKinds) {
+  EventSchedule sched(1.0);
+  EXPECT_TRUE(sched.empty());
+  sched.add_time(0.5);
+  EXPECT_FALSE(sched.empty());
+  EventSchedule periodic_only(1.0);
+  periodic_only.add_periodic(PeriodicEvents(1.0, {0.5}));
+  EXPECT_FALSE(periodic_only.empty());
+}
+
 }  // namespace
 }  // namespace vstack::sim

@@ -7,8 +7,16 @@
 //   vstack_cli efficiency [--layers=8] [--converters=8] [--imbalance=0.5]
 //   vstack_cli thermal    [--layers=8] [--sink=0.42]
 //   vstack_cli sweep --figure=5a|5b|6|7|8
-//   vstack_cli spice FILE
+//   vstack_cli spice FILE [--verbose]
+//   vstack_cli ride-through [--layers=8] [--fault-level=3] [--keep=32]
+//                         [--fault-time=2e-6] [--duration=4e-6] [--verbose]
+//   vstack_cli campaign   [--trials=8] [--seed=42] [--manifest=FILE]
+//                         [--compare] [--timeout=30] [--verbose]
 //   vstack_cli config     [--config=FILE]   ; echo the resolved config
+//
+// Exit codes: 0 success, 1 usage/precondition error, 2 truncated or
+// incomplete result (spice / ride-through / campaign), 3 outcome failure
+// (ride-through Lost, contingency with Infeasible cases).
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -18,10 +26,12 @@
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/table.h"
+#include "core/campaign.h"
 #include "core/contingency.h"
 #include "core/sweeps.h"
 #include "floorplan/heatmap.h"
 #include "pdn/config_io.h"
+#include "pdn/ride_through.h"
 #include "power/workload.h"
 #include "thermal/thermal_grid.h"
 
@@ -289,6 +299,167 @@ int cmd_report(const core::StudyContext& ctx) {
   return 0;
 }
 
+/// --verbose: dump a TransientReport's recovery/event trail (supervisor
+/// actions, fault applications, solver fallbacks) with timestamps.
+void print_trail(const sim::TransientReport& report) {
+  for (const auto& e : report.events) {
+    std::cout << "  [" << TextTable::num(e.time * 1e9, 3) << " ns] " << e.what
+              << "\n";
+  }
+  if (report.events_dropped > 0) {
+    std::cout << "  (+" << report.events_dropped << " more events dropped)\n";
+  }
+}
+
+/// Shared supervisor policy for the CLI's transient fault commands; the
+/// recovery band is calibrated so phase rebalance + frequency retarget can
+/// actually re-enter it on a partially-lost converter bank (see
+/// docs/fault_model.md).
+sc::SupervisorConfig cli_supervisor_policy() {
+  sc::SupervisorConfig sup;
+  sup.trip_fraction = 0.10;
+  sup.recovery_fraction = 0.08;
+  sup.sense_interval = 5e-9;
+  sup.detection_latency = 20e-9;
+  sup.action_dwell = 60e-9;
+  sup.watchdog_timeout = 1e-6;
+  return sup;
+}
+
+int cmd_ride_through(const core::StudyContext& ctx, const CliArgs& args) {
+  auto cfg = resolve_config(ctx, args);
+  if (!args.has("layers") && !args.has("config")) {
+    cfg.layer_count = 8;  // demo default: 8-layer stack, fault on rail 3
+    cfg.validate();
+  }
+  const double imbalance = args.get_double("imbalance", 0.8);
+  const auto acts =
+      power::interleaved_layer_activities(cfg.layer_count, imbalance);
+  const pdn::PdnModel model(cfg, ctx.layer_floorplan);
+
+  pdn::RideThroughOptions opt;
+  opt.transient.duration = args.get_double("duration", 4e-6);
+  opt.supervisor = cli_supervisor_policy();
+
+  // Demo scenario: most of one intermediate rail's converter bank sticks
+  // off mid-run, leaving `keep` surviving phases.
+  const std::size_t fault_level = args.get_size(
+      "fault-level", std::min<std::size_t>(3, cfg.layer_count - 1));
+  const std::size_t keep = args.get_size("keep", 32);
+  VS_REQUIRE(fault_level >= 1 && fault_level < cfg.layer_count,
+             "--fault-level must name an intermediate rail (1..layers-1)");
+  pdn::TimedFaultEvent ev;
+  ev.time = args.get_double("fault-time", 2e-6);
+  ev.label = "converter bank stuck-off";
+  std::size_t seen = 0;
+  const auto& converters = model.network().converters();
+  for (std::size_t i = 0; i < converters.size(); ++i) {
+    if (converters[i].level != fault_level) continue;
+    if (seen++ >= keep) ev.faults.converter_stuck_off(i);
+  }
+  VS_REQUIRE(seen > 0, "no converters at level " +
+                           std::to_string(fault_level) +
+                           " (regular topology? try --topology=stacked)");
+  std::cout << "fault: " << ev.faults.size() << " of " << seen
+            << " converters at level " << fault_level << " stuck off at "
+            << TextTable::num(ev.time * 1e9, 1) << " ns\n";
+  opt.transient.fault_events.push_back(std::move(ev));
+
+  const auto r = pdn::simulate_ride_through(model, ctx.core_model, acts, opt);
+  const auto& rep = r.report;
+
+  TextTable t({"Metric", "Value"});
+  t.add_row({"outcome", pdn::to_string(rep.outcome)});
+  t.add_row({"detected",
+             rep.detected_at >= 0.0
+                 ? TextTable::num(rep.detected_at * 1e9, 1) + " ns"
+                 : "never tripped"});
+  t.add_row({"recovered",
+             rep.recovered_at >= 0.0
+                 ? TextTable::num(rep.recovered_at * 1e9, 1) + " ns"
+                 : "-"});
+  t.add_row({"worst droop", TextTable::percent(rep.worst_droop, 2)});
+  t.add_row({"final droop", TextTable::percent(rep.final_droop, 2)});
+  t.add_row({"actions", std::to_string(rep.actions.size())});
+  t.print(std::cout);
+
+  if (!rep.actions.empty()) {
+    std::cout << "\nsupervisor actions:\n";
+    for (const auto& a : rep.actions) std::cout << "  " << a.describe() << "\n";
+  }
+  std::cout << "\nengine: " << rep.transient.summary() << "\n";
+  if (args.get_bool("verbose")) print_trail(rep.transient);
+
+  if (!rep.ok()) {
+    std::cout << "warning: waveform truncated (" << rep.transient.diagnostic
+              << ")\n";
+    return 2;
+  }
+  return rep.outcome == pdn::RideThroughOutcome::Lost ? 3 : 0;
+}
+
+int cmd_campaign(const core::StudyContext& ctx, const CliArgs& args) {
+  const auto cfg = resolve_config(ctx, args);
+  const double imbalance = args.get_double("imbalance", 0.8);
+  const auto acts =
+      power::interleaved_layer_activities(cfg.layer_count, imbalance);
+
+  core::CampaignOptions opt;
+  opt.contingency.trials = args.get_size("trials", 8);
+  opt.contingency.faults_per_trial = args.get_size("faults", 2);
+  opt.contingency.converter_faults_per_trial =
+      args.get_size("conv-faults", cfg.is_voltage_stacked() ? 32 : 0);
+  opt.contingency.seed = args.get_size("seed", opt.contingency.seed);
+  opt.ride_through.transient.duration = args.get_double("duration", 400e-9);
+  opt.ride_through.supervisor = cli_supervisor_policy();
+  opt.ride_through.supervisor.watchdog_timeout = 300e-9;
+  opt.fault_time = args.get_double("fault-time", 50e-9);
+  opt.scenario_timeout_s = args.get_double("timeout", opt.scenario_timeout_s);
+  opt.max_retries = args.get_size("retries", opt.max_retries);
+  opt.manifest_path = args.get_string("manifest", "");
+
+  if (args.get_bool("compare")) {
+    pdn::StackupConfig stacked = cfg;
+    stacked.topology = pdn::PdnTopology::VoltageStacked;
+    pdn::StackupConfig regular = cfg;
+    regular.topology = pdn::PdnTopology::Regular3d;
+    const auto table = core::compare_survivability(ctx, stacked, regular,
+                                                   acts, opt);
+    std::cout << "stacked vs regular-3D transient survivability ("
+              << opt.contingency.trials << " trials, seed "
+              << opt.contingency.seed << "):\n"
+              << table.format();
+    return 0;
+  }
+
+  const core::CampaignRunner runner(ctx, cfg);
+  const auto report = runner.run(acts, opt);
+
+  TextTable t({"Scenario", "Outcome", "Detected", "Worst", "Final",
+               "Attempts", "Source"});
+  for (const auto& s : report.scenarios) {
+    t.add_row({s.label, pdn::to_string(s.outcome),
+               s.detected_at >= 0.0
+                   ? TextTable::num(s.detected_at * 1e9, 1) + " ns"
+                   : "-",
+               TextTable::percent(s.worst_droop, 2),
+               TextTable::percent(s.final_droop, 2),
+               std::to_string(s.attempts),
+               s.from_checkpoint ? "manifest" : "run"});
+  }
+  t.print(std::cout);
+  std::cout << "\nsummary: " << report.summary() << "\n";
+  if (args.get_bool("verbose") && !opt.manifest_path.empty()) {
+    std::cout << "manifest: " << opt.manifest_path << " (config hash "
+              << std::hex << report.config_hash << std::dec << ")\n";
+  }
+
+  for (const auto& s : report.scenarios) {
+    if (!s.completed) return 2;  // a scenario truncated / timed out
+  }
+  return 0;
+}
+
 const char* outcome_name(core::CaseOutcome outcome) {
   switch (outcome) {
     case core::CaseOutcome::Survivable: return "survivable";
@@ -360,7 +531,7 @@ int cmd_contingency(const core::StudyContext& ctx, const CliArgs& args) {
       std::cout << "  " << c.label << ": " << c.diagnostic << "\n";
     }
   }
-  return 0;
+  return report.infeasible > 0 ? 3 : 0;
 }
 
 int cmd_spice(const CliArgs& args) {
@@ -372,6 +543,7 @@ int cmd_spice(const CliArgs& args) {
   circuit::TransientSimulator sim(circuit.netlist, circuit.clock_period);
   const auto result = sim.run(circuit.tran);
   std::cout << "transient: " << result.report.summary() << "\n";
+  if (args.get_bool("verbose")) print_trail(result.report);
   if (!result.ok()) {
     std::cout << "warning: waveform truncated; statistics cover the "
                  "simulated prefix only\n";
@@ -384,7 +556,7 @@ int cmd_spice(const CliArgs& args) {
                TextTable::num(result.average_node_voltage(node, settle), 4)});
   }
   t.print(std::cout);
-  return 0;
+  return result.ok() ? 0 : 2;
 }
 
 void usage() {
@@ -398,10 +570,17 @@ void usage() {
       "  thermal     stack temperature        (--layers --sink)\n"
       "  contingency fault-injection campaign (--top --exhaustive --mc "
       "--trials --faults --seed --budget --layers --grid --config)\n"
+      "  ride-through live fault ride-through  (--fault-level --fault-time "
+      "--keep --duration --imbalance --layers --grid --verbose)\n"
+      "  campaign    transient N-k campaign   (--trials --faults "
+      "--conv-faults --seed --manifest --compare --timeout --retries "
+      "--duration --fault-time --verbose)\n"
       "  sweep       paper figure sweeps      (--figure=5a|5b|6|7|8)\n"
       "  report      one-command reproduction of every figure\n"
-      "  spice FILE  run a SPICE-subset netlist\n"
-      "  config      echo the resolved configuration (--config ...)\n";
+      "  spice FILE  run a SPICE-subset netlist (--verbose)\n"
+      "  config      echo the resolved configuration (--config ...)\n"
+      "exit codes: 0 ok; 1 usage error; 2 truncated/incomplete result; "
+      "3 Lost/Infeasible outcome\n";
 }
 
 }  // namespace
@@ -412,11 +591,15 @@ int main(int argc, char** argv) {
                        {"config", "layers", "topology", "imbalance",
                         "converters", "map", "grid", "figure", "sink", "top",
                         "exhaustive", "mc", "trials", "faults", "seed",
-                        "budget"});
+                        "budget", "verbose", "duration", "fault-time",
+                        "fault-level", "keep", "manifest", "compare",
+                        "timeout", "retries", "conv-faults"});
     const auto ctx = core::StudyContext::paper_defaults();
     const std::string cmd = args.subcommand();
     if (cmd == "noise") return cmd_noise(ctx, args);
     if (cmd == "contingency") return cmd_contingency(ctx, args);
+    if (cmd == "ride-through") return cmd_ride_through(ctx, args);
+    if (cmd == "campaign") return cmd_campaign(ctx, args);
     if (cmd == "em") return cmd_em(ctx, args);
     if (cmd == "efficiency") return cmd_efficiency(ctx, args);
     if (cmd == "thermal") return cmd_thermal(ctx, args);
