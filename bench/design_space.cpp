@@ -2,16 +2,22 @@
 // introduction motivates -- every TSV topology x pad fraction x converter
 // count, evaluated on noise, EM lifetime, area, and efficiency, with the
 // Pareto-optimal set marked.
+//
+//   bench_design_space [--jobs=N]   ; N workers (default: auto via
+//                                     VSTACK_JOBS env / hardware); the
+//                                     table is identical for every N.
 #include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/cli.h"
 #include "common/table.h"
 #include "core/design_space.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vstack;
 
+  const CliArgs args(argc, argv, {"jobs"});
   bench::print_header("Extension",
                       "Cross-layer design-space exploration, 8 layers, "
                       "65% reference imbalance");
@@ -19,6 +25,7 @@ int main() {
   ctx.base.grid_nx = ctx.base.grid_ny = 16;
 
   core::DesignSpaceOptions opts;
+  opts.execution.jobs = args.get_size("jobs", 0);  // 0 = auto
   const auto points = core::enumerate_designs(ctx, opts);
   const auto front = core::pareto_front(points);
 

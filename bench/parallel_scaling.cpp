@@ -1,0 +1,108 @@
+// Performance bench: campaign wall-clock scaling on the shared worker pool.
+//
+// Runs the SAME transient fault campaign twice -- serial (jobs=1) and
+// parallel (jobs=N) -- and reports the wall-clock speedup plus a
+// determinism cross-check: the parallel report's summary() must equal the
+// serial one byte for byte (ordered reduction, core/task_pool.h).
+//
+//   bench_parallel_scaling [--jobs=N] [--trials=N]
+//
+// --jobs defaults to auto (VSTACK_JOBS env, else hardware concurrency);
+// --trials defaults to 16.  The issue's acceptance target is >= 3x at
+// jobs=8 on an 8-core runner; single-core hosts will report ~1x.
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "core/campaign.h"
+#include "core/study.h"
+#include "power/workload.h"
+
+namespace {
+
+using namespace vstack;
+
+core::CampaignOptions campaign_options(std::size_t trials,
+                                       std::size_t jobs) {
+  core::CampaignOptions o;
+  o.contingency.trials = trials;
+  o.contingency.faults_per_trial = 2;
+  o.contingency.converter_faults_per_trial = 8;
+  o.contingency.seed = 42;
+  o.ride_through.transient.time_step = 2e-9;
+  o.ride_through.transient.duration = 400e-9;
+  o.ride_through.supervisor.trip_fraction = 0.10;
+  o.ride_through.supervisor.recovery_fraction = 0.08;
+  o.ride_through.supervisor.sense_interval = 5e-9;
+  o.ride_through.supervisor.detection_latency = 20e-9;
+  o.ride_through.supervisor.action_dwell = 40e-9;
+  o.ride_through.supervisor.watchdog_timeout = 200e-9;
+  o.fault_time = 50e-9;
+  // No wall-clock budget: a timeout tripped only under oversubscription
+  // would fail the summary() cross-check below on slow hosts.
+  o.scenario_timeout_s = 0.0;
+  o.execution.jobs = jobs;
+  return o;
+}
+
+double timed_run(const core::CampaignRunner& runner,
+                 const std::vector<double>& acts,
+                 const core::CampaignOptions& options,
+                 core::CampaignReport& report) {
+  const auto t0 = std::chrono::steady_clock::now();
+  report = runner.run(acts, options);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vstack;
+
+  const CliArgs args(argc, argv, {"jobs", "trials"});
+  const std::size_t trials = args.get_size("trials", 16);
+  core::ExecutionPolicy parallel;
+  parallel.jobs = args.get_size("jobs", 0);  // 0 = auto
+  const std::size_t jobs = parallel.resolved_jobs();
+
+  bench::print_header(
+      "Perf", "Campaign wall-clock scaling, " + std::to_string(trials) +
+                  " trials, jobs=1 vs jobs=" + std::to_string(jobs));
+
+  const auto ctx = core::StudyContext::paper_defaults();
+  auto cfg = core::make_stacked(ctx, 4, pdn::TsvConfig::few(), 8);
+  cfg.grid_nx = cfg.grid_ny = 8;
+  const core::CampaignRunner runner(ctx, cfg);
+  const auto acts = power::interleaved_layer_activities(4, 0.8);
+
+  core::CampaignReport serial_report;
+  core::CampaignReport parallel_report;
+  const double serial_s =
+      timed_run(runner, acts, campaign_options(trials, 1), serial_report);
+  const double parallel_s =
+      timed_run(runner, acts, campaign_options(trials, jobs),
+                parallel_report);
+
+  VS_REQUIRE(serial_report.summary() == parallel_report.summary(),
+             "parallel campaign summary diverged from serial -- ordered "
+             "reduction is broken");
+
+  TextTable t({"Jobs", "Wall (s)", "Speedup"});
+  t.add_row({"1", TextTable::num(serial_s, 2), "1.00x"});
+  t.add_row({std::to_string(jobs), TextTable::num(parallel_s, 2),
+             TextTable::num(parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+                            2) +
+                 "x"});
+  t.print(std::cout);
+
+  bench::print_note("summary() cross-check passed: jobs=" +
+                    std::to_string(jobs) +
+                    " aggregates are identical to jobs=1");
+  std::cout << "\n" << parallel_report.summary() << "\n";
+  return 0;
+}

@@ -1,11 +1,15 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace vstack {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_sink_mutex;
+thread_local int t_worker_id = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,13 +23,37 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_worker_id(int id) { t_worker_id = id; }
+
+int log_worker_id() { return t_worker_id; }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::cerr << "[vstack:" << level_name(level) << "] " << message << "\n";
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Assemble the full line first so the sink mutex covers exactly one
+  // write: concurrent workers can interleave LINES, never characters.
+  std::string line;
+  line.reserve(message.size() + 24);
+  line += "[vstack:";
+  line += level_name(level);
+  if (t_worker_id >= 0) {
+    line += ":w";
+    line += std::to_string(t_worker_id);
+  }
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::cerr << line;
 }
 
 }  // namespace vstack

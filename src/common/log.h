@@ -2,6 +2,13 @@
 //
 // The solvers use this to report convergence diagnostics without polluting
 // the bench tables printed on stdout.  Off by default above `Warn`.
+//
+// Thread safety: the level is atomic and every message is assembled into a
+// single string, then written under one sink mutex -- concurrent worker
+// threads (core::TaskPool) never interleave characters within a line.
+// Workers announce themselves with set_log_worker_id(); their messages are
+// tagged "[vstack:LEVEL:w<id>]" so a parallel campaign's solver diagnostics
+// stay attributable.
 #pragma once
 
 #include <sstream>
@@ -11,11 +18,18 @@ namespace vstack {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Global threshold; messages below it are dropped.
+/// Global threshold; messages below it are dropped.  Atomic: safe to read
+/// from worker threads while another thread adjusts it.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one message (appends a newline).
+/// Tag this thread's subsequent messages with "w<id>" (id >= 0).  Pass -1
+/// (the default for every thread) to remove the tag.  Thread-local, so a
+/// pool worker's tag never leaks onto the caller's messages.
+void set_log_worker_id(int id);
+int log_worker_id();
+
+/// Emit one message (appends a newline).  One atomic line write.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

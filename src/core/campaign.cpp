@@ -99,6 +99,9 @@ std::uint64_t campaign_config_hash(const pdn::StackupConfig& config,
   fnv_double(h, options.fault_time);
   fnv_u64(h, options.max_retries);
   fnv_double(h, options.retry_tolerance_relax);
+  // options.execution is deliberately NOT hashed: scheduling does not
+  // change results, so a manifest written at jobs=1 must resume at jobs=8
+  // and vice versa.
   return h;
 }
 
@@ -398,39 +401,58 @@ CampaignReport CampaignRunner::run(
     }
   }
 
-  for (const PlannedScenario& scenario : plan) {
-    const std::uint64_t expect = scenario_hash(scenario, options.fault_time);
-    CampaignScenarioResult result;
-    const auto it = finished.find(scenario.index);
-    if (it != finished.end()) {
-      VS_REQUIRE(it->second.scenario_hash == expect,
-                 "campaign manifest entry for " + scenario.label +
-                     " does not match the planned scenario (corrupt "
-                     "manifest?)");
-      result = it->second;
-      ++report.resumed;
-    } else {
-      result = evaluate_scenario(scenario, layer_activities, options);
-      ++report.evaluated;
-      if (manifest.is_open()) {
-        // Append + flush per scenario: killing the process loses at most
-        // the in-flight scenario.
-        manifest << scenario_line(result) << '\n';
-        manifest.flush();
-      }
-    }
+  // Evaluate on the worker pool, commit in trial-index order.  Workers
+  // only fill their own results slot (restored scenarios are copied, the
+  // rest simulated on a fresh PdnModel); everything order-sensitive --
+  // manifest appends, aggregate accumulation, mismatch checks -- happens
+  // in the commit callback on this thread, serialized by the pool.
+  std::vector<CampaignScenarioResult> results(plan.size());
+  const TaskPool pool(options.execution);
+  pool.run_ordered(
+      plan.size(),
+      [&](std::size_t i) {
+        const auto it = finished.find(plan[i].index);
+        if (it != finished.end()) {
+          results[i] = it->second;  // hash-verified at commit
+        } else {
+          results[i] = evaluate_scenario(plan[i], layer_activities, options);
+        }
+      },
+      [&](std::size_t i) {
+        const PlannedScenario& scenario = plan[i];
+        const std::uint64_t expect =
+            scenario_hash(scenario, options.fault_time);
+        CampaignScenarioResult& result = results[i];
+        if (result.from_checkpoint) {
+          VS_REQUIRE(result.scenario_hash == expect,
+                     "campaign manifest entry for " + scenario.label +
+                         " does not match the planned scenario (corrupt "
+                         "manifest?)");
+          ++report.resumed;
+        } else {
+          ++report.evaluated;
+          if (manifest.is_open()) {
+            // Append + flush per committed scenario: killing the process
+            // loses the in-flight scenarios, and the manifest stays a
+            // contiguous trial prefix even when workers finish out of
+            // order.
+            manifest << scenario_line(result) << '\n';
+            manifest.flush();
+          }
+        }
 
-    switch (result.outcome) {
-      case pdn::RideThroughOutcome::Recovered: ++report.recovered; break;
-      case pdn::RideThroughOutcome::Degraded:  ++report.degraded;  break;
-      case pdn::RideThroughOutcome::Lost:      ++report.lost;      break;
-    }
-    if (result.timed_out) ++report.timed_out;
-    if (result.completed) {
-      report.worst_droop = std::max(report.worst_droop, result.worst_droop);
-    }
-    report.scenarios.push_back(std::move(result));
-  }
+        switch (result.outcome) {
+          case pdn::RideThroughOutcome::Recovered: ++report.recovered; break;
+          case pdn::RideThroughOutcome::Degraded:  ++report.degraded;  break;
+          case pdn::RideThroughOutcome::Lost:      ++report.lost;      break;
+        }
+        if (result.timed_out) ++report.timed_out;
+        if (result.completed) {
+          report.worst_droop =
+              std::max(report.worst_droop, result.worst_droop);
+        }
+        report.scenarios.push_back(std::move(result));
+      });
   return report;
 }
 

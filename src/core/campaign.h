@@ -28,6 +28,14 @@
 // consumes the seeded RNG entirely up front -- the trial fault sets match
 // run_monte_carlo's for the same seed, so the DC and transient views of a
 // campaign are directly comparable.
+//
+// Scenarios are independent (fresh PdnModel each), so campaigns run on the
+// shared worker pool (core/task_pool.h) when options.execution asks for
+// jobs > 1.  The pool's ordered reduction commits results in trial-index
+// order on the calling thread: aggregates and the manifest are
+// bit-identical to a serial run, and the manifest keeps its prefix
+// property (entries are exactly trials [0, k)), so serial and parallel
+// runs resume each other's manifests freely.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "core/contingency.h"
+#include "core/task_pool.h"
 #include "pdn/ride_through.h"
 
 namespace vstack::core {
@@ -66,6 +75,17 @@ struct CampaignOptions {
   /// existing manifest must match this campaign's seed/trials/config hash
   /// (else the runner refuses rather than silently mixing campaigns).
   std::string manifest_path;
+
+  /// Scenario scheduling (core/task_pool.h).  Defaults to serial; with
+  /// jobs > 1 scenarios evaluate concurrently but results commit in
+  /// trial-index order, so aggregates, summary(), and the manifest bytes
+  /// are identical to a serial run (wall_seconds aside, which measures
+  /// real time).  Manifests are interchangeable between serial and
+  /// parallel runs in both directions.  Caveat: scenario_timeout_s
+  /// couples results to machine speed -- an oversubscribed run can trip a
+  /// timeout serial would not; set it to 0 when bit-reproducibility
+  /// matters more than a hang guard.
+  ExecutionPolicy execution;
 
   void validate() const;
 };

@@ -202,17 +202,26 @@ ContingencyReport ContingencyEngine::run_n_minus_1(
   const std::size_t cases =
       options.exhaustive ? report.ranking.size()
                          : std::min(options.top_k, report.ranking.size());
-  for (std::size_t k = 0; k < cases; ++k) {
-    const EmRiskEntry& entry = report.ranking[k];
-    pdn::FaultSet faults;
-    faults.open_conductor(entry.conductor_index);
-    std::ostringstream label;
-    label << "N-1 open[" << pdn::conductor_kind_name(entry.kind) << "#"
-          << entry.conductor_index << " x" << entry.count << "]";
-    classify_and_append(
-        report,
-        evaluate_case(faults, layer_activities, options, label.str()));
-  }
+  // Each case solves its own freshly built, freshly damaged model, so the
+  // sweep fans out on the worker pool; the ordered commit keeps the report
+  // identical to a serial sweep.
+  std::vector<ContingencyCase> evaluated(cases);
+  const TaskPool pool(options.execution);
+  pool.run_ordered(
+      cases,
+      [&](std::size_t k) {
+        const EmRiskEntry& entry = report.ranking[k];
+        pdn::FaultSet faults;
+        faults.open_conductor(entry.conductor_index);
+        std::ostringstream label;
+        label << "N-1 open[" << pdn::conductor_kind_name(entry.kind) << "#"
+              << entry.conductor_index << " x" << entry.count << "]";
+        evaluated[k] =
+            evaluate_case(faults, layer_activities, options, label.str());
+      },
+      [&](std::size_t k) {
+        classify_and_append(report, std::move(evaluated[k]));
+      });
   return report;
 }
 
@@ -300,11 +309,19 @@ ContingencyReport ContingencyEngine::run_monte_carlo(
   const auto plan =
       sample_trials(report.ranking, probe.network().converters().size(),
                     probe.network().node_count(), options);
-  for (const PlannedScenario& scenario : plan) {
-    classify_and_append(report,
-                        evaluate_case(scenario.faults, layer_activities,
-                                      options, scenario.label));
-  }
+  // All RNG consumption happened in sample_trials; evaluation is pure, so
+  // trials fan out on the worker pool and commit in trial order.
+  std::vector<ContingencyCase> evaluated(plan.size());
+  const TaskPool pool(options.execution);
+  pool.run_ordered(
+      plan.size(),
+      [&](std::size_t i) {
+        evaluated[i] = evaluate_case(plan[i].faults, layer_activities,
+                                     options, plan[i].label);
+      },
+      [&](std::size_t i) {
+        classify_and_append(report, std::move(evaluated[i]));
+      });
   return report;
 }
 

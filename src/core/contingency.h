@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/study.h"
+#include "core/task_pool.h"
 #include "pdn/fault.h"
 
 namespace vstack::core {
@@ -60,6 +61,14 @@ struct ContingencyOptions {
   std::uint64_t seed = 42;
 
   pdn::PdnSolveOptions solve;
+
+  /// Case scheduling (core/task_pool.h).  Defaults to serial; with
+  /// jobs > 1 the independent cases (each on a fresh PdnModel) evaluate
+  /// concurrently while the report is reduced in case order, so the
+  /// outcome counts, case list, and worst-deviation aggregate are
+  /// bit-identical to a serial run.  Planning (RNG sampling, EM ranking,
+  /// baseline solve) always stays serial so seeds reproduce exactly.
+  ExecutionPolicy execution;
 };
 
 /// One sampled Monte Carlo scenario, fully determined before any evaluation.

@@ -57,24 +57,32 @@ std::vector<DesignPoint> enumerate_designs(const StudyContext& ctx,
       ctx, make_stacked(ctx, 2, ctx.base.tsv, ctx.base.converters_per_core),
       std::vector<double>(2, 1.0));
 
-  std::vector<DesignPoint> points;
+  // Enumerate the candidate grid first (cheap), then evaluate each point's
+  // models on the worker pool; points keep their enumeration order.
+  std::vector<std::pair<pdn::StackupConfig, std::string>> candidates;
   for (const auto& tsv : pdn::TsvConfig::paper_configs()) {
     for (const double fraction : options.regular_c4_fractions) {
-      const auto cfg = make_regular(ctx, options.layers, tsv, fraction);
-      points.push_back(evaluate_point(
-          ctx, options, cfg,
+      candidates.emplace_back(
+          make_regular(ctx, options.layers, tsv, fraction),
           "Reg/" + tsv.name + "/" +
-              std::to_string(static_cast<int>(fraction * 100)) + "%C4",
-          baseline));
+              std::to_string(static_cast<int>(fraction * 100)) + "%C4");
     }
     for (const std::size_t conv : options.stacked_converter_counts) {
-      const auto cfg = make_stacked(ctx, options.layers, tsv, conv);
-      points.push_back(evaluate_point(
-          ctx, options, cfg,
-          "V-S/" + tsv.name + "/" + std::to_string(conv) + "conv",
-          baseline));
+      candidates.emplace_back(
+          make_stacked(ctx, options.layers, tsv, conv),
+          "V-S/" + tsv.name + "/" + std::to_string(conv) + "conv");
     }
   }
+
+  std::vector<DesignPoint> points(candidates.size());
+  const TaskPool pool(options.execution);
+  pool.run_ordered(
+      candidates.size(),
+      [&](std::size_t i) {
+        points[i] = evaluate_point(ctx, options, candidates[i].first,
+                                   candidates[i].second, baseline);
+      },
+      [](std::size_t) {});
   return points;
 }
 

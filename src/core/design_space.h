@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/study.h"
+#include "core/task_pool.h"
 
 namespace vstack::core {
 
@@ -37,6 +38,11 @@ struct DesignSpaceOptions {
   double reference_imbalance = 0.65;
   std::vector<double> regular_c4_fractions{0.25, 0.5, 1.0};
   std::vector<std::size_t> stacked_converter_counts{2, 4, 6, 8};
+
+  /// Candidate scheduling (core/task_pool.h): each design point solves its
+  /// own models, so the grid fans out on the worker pool; points land in
+  /// enumeration order regardless of jobs.
+  ExecutionPolicy execution;
 };
 
 /// Evaluate the full candidate grid: every TSV topology for both PDN

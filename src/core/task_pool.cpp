@@ -1,0 +1,160 @@
+#include "core/task_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vstack::core {
+
+std::size_t ExecutionPolicy::default_jobs() {
+  if (const char* env = std::getenv("VSTACK_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end && *end == '\0' && v > 0 && v <= 4096) {
+      return static_cast<std::size_t>(v);
+    }
+    VS_LOG_WARN("ignoring malformed VSTACK_JOBS='" << env
+                                                   << "' (want 1..4096)");
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::size_t ExecutionPolicy::resolved_jobs() const {
+  return jobs == 0 ? default_jobs() : jobs;
+}
+
+void ExecutionPolicy::validate() const {
+  VS_REQUIRE(chunk >= 1, "ExecutionPolicy.chunk must be >= 1");
+  VS_REQUIRE(jobs <= 4096, "ExecutionPolicy.jobs is bounded (<= 4096)");
+}
+
+TaskPool::TaskPool(ExecutionPolicy policy) : policy_(policy) {
+  policy_.validate();
+}
+
+namespace {
+
+/// Per-index lifecycle, guarded by the pool mutex.  Skipped marks indices a
+/// worker claimed but abandoned after cancellation; indices never claimed
+/// stay Pending and are recognized once every worker has exited.
+enum class Slot : unsigned char { Pending, Done, Failed, Skipped };
+
+}  // namespace
+
+void TaskPool::run_ordered(std::size_t count, const Work& work,
+                           const Commit& commit) const {
+  if (count == 0) return;
+  const std::size_t jobs = std::min(policy_.resolved_jobs(), count);
+  if (jobs <= 1) {
+    // Serial fast path: caller's thread, no synchronization -- the exact
+    // historical behavior of every scenario loop.
+    for (std::size_t i = 0; i < count; ++i) {
+      work(i);
+      commit(i);
+    }
+    return;
+  }
+
+  const std::size_t chunk = policy_.chunk;
+  std::mutex mu;
+  std::condition_variable ready_cv;
+  std::vector<Slot> slots(count, Slot::Pending);
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> cancelled{false};
+  std::size_t live_workers = jobs;  // guarded by mu
+
+  auto worker_main = [&](std::size_t wid) {
+    set_log_worker_id(static_cast<int>(wid));
+    for (;;) {
+      if (cancelled.load(std::memory_order_acquire)) break;
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      const std::size_t end = std::min(count, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        Slot outcome = Slot::Skipped;
+        std::exception_ptr error;
+        if (!cancelled.load(std::memory_order_acquire)) {
+          try {
+            work(i);
+            outcome = Slot::Done;
+          } catch (...) {
+            outcome = Slot::Failed;
+            error = std::current_exception();
+            if (policy_.cancel_on_error) {
+              cancelled.store(true, std::memory_order_release);
+            }
+          }
+        }
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          slots[i] = outcome;
+          errors[i] = std::move(error);
+        }
+        ready_cv.notify_all();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      --live_workers;
+    }
+    ready_cv.notify_all();
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) workers.emplace_back(worker_main, w);
+
+  // Ordered reduction on the calling thread: commit strictly by index, so
+  // aggregates and checkpoint manifests are bit-identical to a serial run
+  // no matter in what order the workers finish.
+  std::exception_ptr first_error;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < count; ++i) {
+      ready_cv.wait(lock, [&] {
+        return slots[i] != Slot::Pending || live_workers == 0;
+      });
+      if (slots[i] == Slot::Pending || slots[i] == Slot::Skipped) break;
+      if (slots[i] == Slot::Failed) {
+        if (!first_error) first_error = errors[i];
+        if (policy_.cancel_on_error) break;
+        continue;  // keep committing survivors; rethrow at the end
+      }
+      lock.unlock();
+      try {
+        commit(i);
+      } catch (...) {
+        first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_release);
+        lock.lock();
+        break;
+      }
+      lock.lock();
+    }
+  }
+  if (first_error) cancelled.store(true, std::memory_order_release);
+  for (std::thread& t : workers) t.join();
+  if (!first_error) {
+    // Cancellation can skip an index BELOW the failing one (claimed but not
+    // yet started when the flag went up), stopping the commit scan before
+    // it reaches the failure.  Recover the lowest-index error here; the
+    // workers are joined, so the error array is stable.
+    for (std::size_t i = 0; i < count && !first_error; ++i) {
+      if (errors[i]) first_error = errors[i];
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vstack::core

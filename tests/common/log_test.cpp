@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace vstack {
 namespace {
 
@@ -39,6 +44,63 @@ TEST_F(LogTest, OffSilencesEverything) {
   ::testing::internal::CaptureStderr();
   VS_LOG_ERROR("even errors");
   EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LogTest, WorkerIdTagsTheLine) {
+  set_log_level(LogLevel::Warn);
+  set_log_worker_id(3);
+  ::testing::internal::CaptureStderr();
+  VS_LOG_WARN("from a worker");
+  const std::string tagged = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(tagged.find("[vstack:WARN:w3] from a worker"),
+            std::string::npos);
+
+  // Resetting to -1 (the pool does this implicitly: tags are
+  // thread_local and worker threads die with the pool) drops the tag.
+  set_log_worker_id(-1);
+  EXPECT_EQ(log_worker_id(), -1);
+  ::testing::internal::CaptureStderr();
+  VS_LOG_WARN("from the caller");
+  const std::string untagged = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(untagged.find("[vstack:WARN] from the caller"),
+            std::string::npos);
+  EXPECT_EQ(untagged.find(":w"), std::string::npos);
+}
+
+// The thread-safety contract: concurrent writers may interleave LINES but
+// never characters -- every captured line must be one intact message.
+TEST_F(LogTest, ConcurrentWritersNeverInterleaveCharacters) {
+  set_log_level(LogLevel::Info);
+  constexpr int kThreads = 8;
+  constexpr int kMessages = 50;
+
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      set_log_worker_id(t);
+      for (int m = 0; m < kMessages; ++m) {
+        VS_LOG_INFO("worker " << t << " message " << m << " payload "
+                              << "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::string out = ::testing::internal::GetCapturedStderr();
+
+  std::istringstream lines(out);
+  std::string line;
+  int intact = 0;
+  while (std::getline(lines, line)) {
+    // Each line: "[vstack:INFO:wT] worker T message M payload xxx...x"
+    EXPECT_EQ(line.rfind("[vstack:INFO:w", 0), 0u) << line;
+    EXPECT_NE(line.find("] worker "), std::string::npos) << line;
+    ASSERT_GE(line.size(), 32u) << line;
+    EXPECT_EQ(line.substr(line.size() - 32), std::string(32, 'x')) << line;
+    ++intact;
+  }
+  EXPECT_EQ(intact, kThreads * kMessages);
 }
 
 }  // namespace

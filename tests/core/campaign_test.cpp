@@ -46,6 +46,11 @@ CampaignOptions fast_options(std::uint64_t seed = 42) {
   o.ride_through.supervisor.action_dwell = 40e-9;
   o.ride_through.supervisor.watchdog_timeout = 120e-9;
   o.fault_time = 50e-9;
+  // Wall-clock budgets couple results to machine speed: an oversubscribed
+  // parallel run (or a TSan build) can trip a timeout serial would not and
+  // diverge via the relaxed-tolerance retry.  Determinism tests must not
+  // depend on how fast the host is.
+  o.scenario_timeout_s = 0.0;
   return o;
 }
 
@@ -203,6 +208,102 @@ TEST(CampaignOptionsTest, ValidateRejectsBrokenShapes) {
   o = fast_options();
   o.retry_tolerance_relax = 0.5;  // would TIGHTEN tolerances on retry
   EXPECT_THROW(o.validate(), Error);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+/// Blank out every "wall_seconds" value: it is the one measured (therefore
+/// run-dependent) manifest field; everything else must match byte for byte.
+std::string mask_wall_seconds(const std::string& text) {
+  const std::string key = "\"wall_seconds\":";
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = text.find(key, pos);
+    if (hit == std::string::npos) {
+      out.append(text, pos, std::string::npos);
+      return out;
+    }
+    const std::size_t start = hit + key.size();
+    std::size_t end = start;
+    while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+    out.append(text, pos, start - pos);
+    out += 'X';
+    pos = end;
+  }
+}
+
+// The ordered-reduction guarantee, end to end: a jobs=4 campaign produces
+// the same scenarios, the same summary() text, and (wall_seconds aside)
+// the same manifest BYTES as jobs=1.
+TEST(CampaignParallelTest, ParallelRunMatchesSerialBitIdentical) {
+  const std::string serial_manifest =
+      ::testing::TempDir() + "/campaign_par_serial.jsonl";
+  const std::string parallel_manifest =
+      ::testing::TempDir() + "/campaign_par_parallel.jsonl";
+  std::remove(serial_manifest.c_str());
+  std::remove(parallel_manifest.c_str());
+
+  const CampaignRunner runner(ctx(), stacked4());
+
+  CampaignOptions serial_opts = fast_options();
+  serial_opts.manifest_path = serial_manifest;
+  const auto serial = runner.run(acts4(), serial_opts);
+
+  CampaignOptions parallel_opts = fast_options();
+  parallel_opts.manifest_path = parallel_manifest;
+  parallel_opts.execution.jobs = 4;
+  const auto parallel = runner.run(acts4(), parallel_opts);
+
+  EXPECT_EQ(parallel.evaluated, 4u);
+  expect_scenarios_identical(serial, parallel);
+  EXPECT_EQ(serial.summary(), parallel.summary());
+  EXPECT_EQ(mask_wall_seconds(read_file(serial_manifest)),
+            mask_wall_seconds(read_file(parallel_manifest)));
+}
+
+// Manifests are interchangeable across policies in BOTH directions: the
+// prefix property holds no matter which mode wrote the file.
+TEST(CampaignParallelTest, SerialManifestResumesUnderParallelAndViceVersa) {
+  const CampaignRunner runner(ctx(), stacked4());
+
+  const auto truncate_to_two = [](const std::string& manifest) {
+    std::vector<std::string> lines;
+    std::ifstream in(manifest);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 5u);  // header + 4 scenarios
+    std::ofstream out(manifest, std::ios::trunc);
+    out << lines[0] << "\n" << lines[1] << "\n" << lines[2] << "\n";
+  };
+
+  for (const bool serial_writes : {true, false}) {
+    const std::string manifest = ::testing::TempDir() +
+                                 "/campaign_cross_resume_" +
+                                 (serial_writes ? "s2p" : "p2s") + ".jsonl";
+    std::remove(manifest.c_str());
+
+    CampaignOptions writer = fast_options();
+    writer.manifest_path = manifest;
+    writer.execution.jobs = serial_writes ? 1 : 4;
+    const auto full = runner.run(acts4(), writer);
+    ASSERT_EQ(full.evaluated, 4u);
+
+    truncate_to_two(manifest);
+
+    CampaignOptions resumer = writer;
+    resumer.execution.jobs = serial_writes ? 4 : 1;
+    const auto resumed = runner.run(acts4(), resumer);
+    EXPECT_EQ(resumed.resumed, 2u) << (serial_writes ? "s2p" : "p2s");
+    EXPECT_EQ(resumed.evaluated, 2u);
+    expect_scenarios_identical(full, resumed);
+  }
 }
 
 TEST(CampaignCompareTest, SurvivabilityTableCoversBothTopologies) {

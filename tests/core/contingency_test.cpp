@@ -166,6 +166,58 @@ TEST(ContingencyMonteCarloTest, SeededCampaignIsBitReproducible) {
   EXPECT_TRUE(any_difference);
 }
 
+void expect_reports_identical(const ContingencyReport& a,
+                              const ContingencyReport& b) {
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  EXPECT_EQ(a.survivable, b.survivable);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  // Bitwise: both runs solve identical systems in identical order.
+  EXPECT_EQ(a.worst_post_fault_deviation, b.worst_post_fault_deviation);
+  EXPECT_EQ(a.base_max_node_deviation_fraction,
+            b.base_max_node_deviation_fraction);
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    EXPECT_EQ(a.cases[i].label, b.cases[i].label);
+    EXPECT_EQ(a.cases[i].outcome, b.cases[i].outcome);
+    EXPECT_EQ(a.cases[i].solved, b.cases[i].solved);
+    EXPECT_EQ(a.cases[i].max_node_deviation_fraction,
+              b.cases[i].max_node_deviation_fraction) << "case " << i;
+    EXPECT_EQ(a.cases[i].tsv_current_sum, b.cases[i].tsv_current_sum)
+        << "case " << i;
+  }
+}
+
+// Worker-pool determinism: the parallel sweeps commit cases in plan order,
+// so jobs=4 must be bitwise identical to jobs=1 (same doubles, not just
+// close ones).
+TEST(ContingencyParallelTest, MonteCarloParallelMatchesSerialBitwise) {
+  const ContingencyEngine engine(ctx(), stacked4());
+  ContingencyOptions opts;
+  opts.trials = 6;
+  opts.faults_per_trial = 2;
+  opts.converter_faults_per_trial = 1;
+  opts.leakage_faults_per_trial = 1;
+  opts.seed = 2015;
+
+  const auto serial = engine.run_monte_carlo(acts4(), opts);
+  ContingencyOptions par = opts;
+  par.execution.jobs = 4;
+  const auto parallel = engine.run_monte_carlo(acts4(), par);
+  expect_reports_identical(serial, parallel);
+}
+
+TEST(ContingencyParallelTest, N1ParallelMatchesSerialBitwise) {
+  const ContingencyEngine engine(ctx(), stacked4());
+  ContingencyOptions opts;
+  opts.top_k = 6;
+
+  const auto serial = engine.run_n_minus_1(acts4(), opts);
+  ContingencyOptions par = opts;
+  par.execution.jobs = 4;
+  const auto parallel = engine.run_n_minus_1(acts4(), par);
+  expect_reports_identical(serial, parallel);
+}
+
 // The ISSUE acceptance property: N-1 over EVERY TSV (recycling TSVs and
 // through-via chains) of the default 4-layer stacked configuration.  Each
 // case must come back classified -- converged with an attempt trail, or a

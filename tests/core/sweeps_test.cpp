@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
+
 namespace vstack::core {
 namespace {
 
@@ -114,6 +116,72 @@ TEST(Fig8SweepTest, ReproducesPaperShape) {
 
   // V-S beats the regular-with-SC baseline at moderate imbalance.
   EXPECT_GT(*result.rows[1].vs_efficiency[1], result.rows[1].regular_sc);
+}
+
+// Worker-pool determinism: figure rows land in sweep order, so jobs=4
+// output is bitwise identical to the serial run.
+TEST(SweepParallelTest, Fig5aParallelMatchesSerialBitwise) {
+  const auto serial = run_fig5a(ctx(), {2, 4, 8});
+  const auto parallel =
+      run_fig5a(ctx(), {2, 4, 8}, ExecutionPolicy::parallel(4));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].layers, parallel[i].layers);
+    EXPECT_EQ(serial[i].reg_dense, parallel[i].reg_dense);
+    EXPECT_EQ(serial[i].reg_sparse, parallel[i].reg_sparse);
+    EXPECT_EQ(serial[i].reg_few, parallel[i].reg_few);
+    EXPECT_EQ(serial[i].vs_few, parallel[i].vs_few);
+  }
+}
+
+TEST(SweepParallelTest, Fig6ParallelMatchesSerialBitwise) {
+  const auto serial = run_fig6(ctx(), 8, {2, 8}, {0.0, 0.5, 1.0});
+  const auto parallel = run_fig6(ctx(), 8, {2, 8}, {0.0, 0.5, 1.0},
+                                 ExecutionPolicy::parallel(4));
+  EXPECT_EQ(serial.reg_dense, parallel.reg_dense);
+  EXPECT_EQ(serial.reg_sparse, parallel.reg_sparse);
+  EXPECT_EQ(serial.reg_few, parallel.reg_few);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t r = 0; r < serial.rows.size(); ++r) {
+    EXPECT_EQ(serial.rows[r].imbalance, parallel.rows[r].imbalance);
+    ASSERT_EQ(serial.rows[r].vs_noise.size(),
+              parallel.rows[r].vs_noise.size());
+    for (std::size_t c = 0; c < serial.rows[r].vs_noise.size(); ++c) {
+      EXPECT_EQ(serial.rows[r].vs_noise[c].has_value(),
+                parallel.rows[r].vs_noise[c].has_value());
+      if (serial.rows[r].vs_noise[c]) {
+        EXPECT_EQ(*serial.rows[r].vs_noise[c], *parallel.rows[r].vs_noise[c]);
+      }
+    }
+  }
+}
+
+// The facade must be a pure re-plumbing of the free functions: same rows,
+// no behavior of its own.
+TEST(SweepRunnerTest, FacadeMatchesFreeFunctions) {
+  SweepOptions opts;
+  opts.layer_counts = {2, 8};
+  opts.execution.jobs = 2;
+  const SweepRunner runner(ctx(), opts);
+
+  const auto direct = run_fig5a(ctx(), {2, 8});
+  const auto via_facade = runner.fig5a();
+  ASSERT_EQ(via_facade.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_facade[i].layers, direct[i].layers);
+    EXPECT_EQ(via_facade[i].vs_few, direct[i].vs_few);
+    EXPECT_EQ(via_facade[i].reg_few, direct[i].reg_few);
+  }
+}
+
+TEST(SweepRunnerTest, RejectsEmptyAxesAndBadPolicy) {
+  SweepOptions opts;
+  opts.layer_counts.clear();
+  EXPECT_THROW(SweepRunner(ctx(), opts), Error);
+
+  SweepOptions bad_policy;
+  bad_policy.execution.chunk = 0;
+  EXPECT_THROW(SweepRunner(ctx(), bad_policy), Error);
 }
 
 }  // namespace

@@ -47,6 +47,16 @@ std::string read_file(const std::string& path) {
   return oss.str();
 }
 
+/// Scenario scheduling from --jobs: N worker threads, or auto (VSTACK_JOBS
+/// env override, else hardware concurrency) when the flag is absent.
+/// Results are reduced in scenario order, so output and manifests do not
+/// depend on the job count (docs/parallel_execution.md).
+core::ExecutionPolicy resolve_execution(const CliArgs& args) {
+  core::ExecutionPolicy policy;
+  policy.jobs = args.get_size("jobs", 0);  // 0 = auto
+  return policy;
+}
+
 /// Resolve a StackupConfig from --config plus individual flag overrides.
 pdn::StackupConfig resolve_config(const core::StudyContext& ctx,
                                   const CliArgs& args) {
@@ -169,9 +179,12 @@ int cmd_thermal(const core::StudyContext& ctx, const CliArgs& args) {
 int cmd_sweep(const core::StudyContext& ctx, const CliArgs& args) {
   const std::string figure = args.get_string("figure", "");
   VS_REQUIRE(!figure.empty(), "sweep requires --figure=5a|5b|6|7|8");
+  core::SweepOptions sweep_options;
+  sweep_options.execution = resolve_execution(args);
+  const core::SweepRunner sweeps(ctx, sweep_options);
   if (figure == "5a") {
     TextTable t({"Layers", "Reg Dense", "Reg Sparse", "Reg Few", "V-S Few"});
-    for (const auto& r : core::run_fig5a(ctx, {2, 4, 6, 8})) {
+    for (const auto& r : sweeps.fig5a()) {
       t.add_row({std::to_string(r.layers), TextTable::num(r.reg_dense, 3),
                  TextTable::num(r.reg_sparse, 3),
                  TextTable::num(r.reg_few, 3), TextTable::num(r.vs_few, 3)});
@@ -179,15 +192,14 @@ int cmd_sweep(const core::StudyContext& ctx, const CliArgs& args) {
     t.print(std::cout);
   } else if (figure == "5b") {
     TextTable t({"Layers", "25%", "50%", "75%", "100%", "V-S"});
-    for (const auto& r : core::run_fig5b(ctx, {2, 4, 6, 8})) {
+    for (const auto& r : sweeps.fig5b()) {
       t.add_row({std::to_string(r.layers), TextTable::num(r.reg_25, 3),
                  TextTable::num(r.reg_50, 3), TextTable::num(r.reg_75, 3),
                  TextTable::num(r.reg_100, 3), TextTable::num(r.vs, 3)});
     }
     t.print(std::cout);
   } else if (figure == "6") {
-    const auto result =
-        core::run_fig6(ctx, 8, {2, 4, 6, 8}, {0.0, 0.25, 0.5, 0.75, 1.0});
+    const auto result = sweeps.fig6({0.0, 0.25, 0.5, 0.75, 1.0});
     TextTable t({"Imbalance", "2/core", "4/core", "6/core", "8/core"});
     for (const auto& row : result.rows) {
       std::vector<std::string> cells{TextTable::percent(row.imbalance, 0)};
@@ -199,14 +211,13 @@ int cmd_sweep(const core::StudyContext& ctx, const CliArgs& args) {
     t.print(std::cout);
   } else if (figure == "7") {
     TextTable t({"Application", "Median (W)", "Max Imbalance"});
-    for (const auto& app : core::run_fig7(ctx, 1000, 2015)) {
+    for (const auto& app : sweeps.fig7()) {
       t.add_row({app.name, TextTable::num(app.power.median, 3),
                  TextTable::percent(app.max_imbalance, 1)});
     }
     t.print(std::cout);
   } else if (figure == "8") {
-    const auto result =
-        core::run_fig8(ctx, 8, {2, 4, 6, 8}, {0.1, 0.3, 0.5, 0.7, 0.9});
+    const auto result = sweeps.fig8({0.1, 0.3, 0.5, 0.7, 0.9});
     TextTable t({"Imbalance", "2/core", "4/core", "6/core", "8/core",
                  "Reg+SC"});
     for (const auto& row : result.rows) {
@@ -224,13 +235,16 @@ int cmd_sweep(const core::StudyContext& ctx, const CliArgs& args) {
   return 0;
 }
 
-int cmd_report(const core::StudyContext& ctx) {
+int cmd_report(const core::StudyContext& ctx, const CliArgs& args) {
   // One-command reproduction: all figure sweeps back to back.
+  core::SweepOptions sweep_options;
+  sweep_options.execution = resolve_execution(args);
+  const core::SweepRunner sweeps(ctx, sweep_options);
   std::cout << "# vstack reproduction report\n";
   std::cout << "\n## Fig 5a -- TSV EM lifetime (normalized to 2-layer V-S)\n";
   {
     TextTable t({"Layers", "Reg Dense", "Reg Sparse", "Reg Few", "V-S Few"});
-    for (const auto& r : core::run_fig5a(ctx, {2, 4, 6, 8})) {
+    for (const auto& r : sweeps.fig5a()) {
       t.add_row({std::to_string(r.layers), TextTable::num(r.reg_dense, 3),
                  TextTable::num(r.reg_sparse, 3),
                  TextTable::num(r.reg_few, 3), TextTable::num(r.vs_few, 3)});
@@ -240,7 +254,7 @@ int cmd_report(const core::StudyContext& ctx) {
   std::cout << "\n## Fig 5b -- C4 EM lifetime\n";
   {
     TextTable t({"Layers", "25%", "50%", "75%", "100%", "V-S"});
-    for (const auto& r : core::run_fig5b(ctx, {2, 4, 6, 8})) {
+    for (const auto& r : sweeps.fig5b()) {
       t.add_row({std::to_string(r.layers), TextTable::num(r.reg_25, 3),
                  TextTable::num(r.reg_50, 3), TextTable::num(r.reg_75, 3),
                  TextTable::num(r.reg_100, 3), TextTable::num(r.vs, 3)});
@@ -251,7 +265,7 @@ int cmd_report(const core::StudyContext& ctx) {
   {
     std::vector<double> imbalances;
     for (int x = 0; x <= 100; x += 10) imbalances.push_back(x / 100.0);
-    const auto result = core::run_fig6(ctx, 8, {2, 4, 6, 8}, imbalances);
+    const auto result = sweeps.fig6(imbalances);
     TextTable t({"Imbalance", "2/core", "4/core", "6/core", "8/core"});
     for (const auto& row : result.rows) {
       std::vector<std::string> cells{TextTable::percent(row.imbalance, 0)};
@@ -267,7 +281,7 @@ int cmd_report(const core::StudyContext& ctx) {
   }
   std::cout << "\n## Fig 7 -- PARSEC workload imbalance\n";
   {
-    const auto campaign = core::run_fig7(ctx, 1000, 2015);
+    const auto campaign = sweeps.fig7();
     TextTable t({"Application", "Median (W)", "Max Imbalance"});
     for (const auto& app : campaign) {
       t.add_row({app.name, TextTable::num(app.power.median, 3),
@@ -282,7 +296,7 @@ int cmd_report(const core::StudyContext& ctx) {
   {
     std::vector<double> imbalances;
     for (int x = 10; x <= 100; x += 10) imbalances.push_back(x / 100.0);
-    const auto result = core::run_fig8(ctx, 8, {2, 4, 6, 8}, imbalances);
+    const auto result = sweeps.fig8(imbalances);
     TextTable t({"Imbalance", "2/core", "4/core", "6/core", "8/core",
                  "Reg+SC"});
     for (const auto& row : result.rows) {
@@ -365,6 +379,11 @@ int cmd_ride_through(const core::StudyContext& ctx, const CliArgs& args) {
             << TextTable::num(ev.time * 1e9, 1) << " ns\n";
   opt.transient.fault_events.push_back(std::move(ev));
 
+  if (args.get_size("jobs", 1) > 1) {
+    std::cout << "note: ride-through is a single scenario; --jobs only "
+                 "affects multi-scenario commands (campaign, contingency, "
+                 "sweep, report)\n";
+  }
   const auto r = pdn::simulate_ride_through(model, ctx.core_model, acts, opt);
   const auto& rep = r.report;
 
@@ -417,6 +436,7 @@ int cmd_campaign(const core::StudyContext& ctx, const CliArgs& args) {
   opt.scenario_timeout_s = args.get_double("timeout", opt.scenario_timeout_s);
   opt.max_retries = args.get_size("retries", opt.max_retries);
   opt.manifest_path = args.get_string("manifest", "");
+  opt.execution = resolve_execution(args);
 
   if (args.get_bool("compare")) {
     pdn::StackupConfig stacked = cfg;
@@ -483,6 +503,7 @@ int cmd_contingency(const core::StudyContext& ctx, const CliArgs& args) {
   opts.trials = args.get_size("trials", opts.trials);
   opts.faults_per_trial = args.get_size("faults", opts.faults_per_trial);
   opts.seed = args.get_size("seed", opts.seed);
+  opts.execution = resolve_execution(args);
 
   const core::ContingencyEngine engine(ctx, cfg);
   const bool monte_carlo = args.get_bool("mc");
@@ -569,18 +590,21 @@ void usage() {
       "--imbalance)\n"
       "  thermal     stack temperature        (--layers --sink)\n"
       "  contingency fault-injection campaign (--top --exhaustive --mc "
-      "--trials --faults --seed --budget --layers --grid --config)\n"
+      "--trials --faults --seed --budget --layers --grid --config --jobs)\n"
       "  ride-through live fault ride-through  (--fault-level --fault-time "
       "--keep --duration --imbalance --layers --grid --verbose)\n"
       "  campaign    transient N-k campaign   (--trials --faults "
       "--conv-faults --seed --manifest --compare --timeout --retries "
-      "--duration --fault-time --verbose)\n"
-      "  sweep       paper figure sweeps      (--figure=5a|5b|6|7|8)\n"
-      "  report      one-command reproduction of every figure\n"
+      "--duration --fault-time --verbose --jobs)\n"
+      "  sweep       paper figure sweeps      (--figure=5a|5b|6|7|8 --jobs)\n"
+      "  report      one-command reproduction of every figure (--jobs)\n"
       "  spice FILE  run a SPICE-subset netlist (--verbose)\n"
       "  config      echo the resolved configuration (--config ...)\n"
       "exit codes: 0 ok; 1 usage error; 2 truncated/incomplete result; "
-      "3 Lost/Infeasible outcome\n";
+      "3 Lost/Infeasible outcome\n"
+      "--jobs=N sets worker threads for multi-scenario commands (default: "
+      "auto via VSTACK_JOBS env or hardware concurrency; results are "
+      "independent of N)\n";
 }
 
 }  // namespace
@@ -593,7 +617,7 @@ int main(int argc, char** argv) {
                         "exhaustive", "mc", "trials", "faults", "seed",
                         "budget", "verbose", "duration", "fault-time",
                         "fault-level", "keep", "manifest", "compare",
-                        "timeout", "retries", "conv-faults"});
+                        "timeout", "retries", "conv-faults", "jobs"});
     const auto ctx = core::StudyContext::paper_defaults();
     const std::string cmd = args.subcommand();
     if (cmd == "noise") return cmd_noise(ctx, args);
@@ -604,7 +628,7 @@ int main(int argc, char** argv) {
     if (cmd == "efficiency") return cmd_efficiency(ctx, args);
     if (cmd == "thermal") return cmd_thermal(ctx, args);
     if (cmd == "sweep") return cmd_sweep(ctx, args);
-    if (cmd == "report") return cmd_report(ctx);
+    if (cmd == "report") return cmd_report(ctx, args);
     if (cmd == "spice") return cmd_spice(args);
     if (cmd == "config") {
       std::cout << pdn::write_stackup_config(resolve_config(ctx, args));
