@@ -13,6 +13,7 @@
 #include "sc/area.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_capacitor_technology");
   using namespace vstack;
 
   bench::print_header("Ablation",

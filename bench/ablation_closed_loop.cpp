@@ -11,6 +11,7 @@
 #include "core/study.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_closed_loop");
   using namespace vstack;
 
   bench::print_header("Ablation",

@@ -11,6 +11,7 @@
 #include "sc/compact_model.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_converter_ratio");
   using namespace vstack;
 
   bench::print_header("Extension",

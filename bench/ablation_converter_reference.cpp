@@ -16,6 +16,7 @@
 #include "power/workload.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_converter_reference");
   using namespace vstack;
 
   bench::print_header("Ablation",

@@ -12,6 +12,7 @@
 #include "pdn/decap_optimizer.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_decap_allocation");
   using namespace vstack;
 
   bench::print_header("Extension",

@@ -112,6 +112,7 @@ ComboResult run_combo(const core::StudyContext& ctx,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const vstack::bench::BenchReport bench_report("ablation_fault_ride_through");
   using namespace vstack;
 
   const CliArgs args(argc, argv, {"jobs"});

@@ -12,6 +12,7 @@
 #include "power/workload.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_grid_resolution");
   using namespace vstack;
 
   bench::print_header("Ablation",

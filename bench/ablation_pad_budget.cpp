@@ -12,6 +12,7 @@
 #include "core/pad_optimizer.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_pad_budget");
   using namespace vstack;
 
   bench::print_header("Extension",

@@ -13,6 +13,7 @@
 #include "sc/linear_regulator.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_regulator_type");
   using namespace vstack;
 
   bench::print_header("Ablation",

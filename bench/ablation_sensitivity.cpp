@@ -40,6 +40,7 @@ Metrics evaluate(const core::StudyContext& ctx) {
 }  // namespace
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_sensitivity");
   bench::print_header("Ablation",
                       "Parameter sensitivity (+/-25%) of the 8-layer "
                       "headline metrics");

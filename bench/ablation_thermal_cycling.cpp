@@ -13,6 +13,7 @@
 #include "em/thermal_cycling.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_thermal_cycling");
   using namespace vstack;
 
   bench::print_header("Extension",

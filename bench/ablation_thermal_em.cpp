@@ -13,6 +13,7 @@
 #include "core/study.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_thermal_em");
   using namespace vstack;
 
   bench::print_header("Extension",

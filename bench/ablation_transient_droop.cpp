@@ -13,6 +13,7 @@
 #include "pdn/transient.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_transient_droop");
   using namespace vstack;
 
   bench::print_header("Extension",

@@ -11,6 +11,7 @@
 #include "core/sweeps.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("ablation_vs_pad_allocation");
   using namespace vstack;
 
   bench::print_header("Ablation",

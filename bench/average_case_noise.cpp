@@ -12,6 +12,7 @@
 #include "core/workload_noise.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("average_case_noise");
   using namespace vstack;
 
   bench::print_header("Extension",

@@ -1,8 +1,15 @@
 // Shared output helpers for the reproduction benches.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
+
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::bench {
 
@@ -19,5 +26,54 @@ inline void print_note(const std::string& note) {
 inline std::string opt_cell(bool present, const std::string& value) {
   return present ? value : "-";
 }
+
+/// RAII bench artifact: declare one at the top of a bench's main() and a
+/// machine-readable `BENCH_<name>.json` lands next to the binary's cwd (or
+/// in $VSTACK_BENCH_DIR) when main returns -- wall time, build provenance,
+/// and the full telemetry metrics snapshot (solver iterations, step-solver
+/// cache hit rates, pool chunk timings).  CI uploads these as artifacts.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)),
+        start_s_(telemetry::monotonic_seconds()) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    try {
+      write();
+    } catch (const std::exception& e) {
+      std::cerr << "warning: bench artifact for '" << name_
+                << "' not written: " << e.what() << "\n";
+    }
+  }
+
+ private:
+  void write() const {
+    const double wall = telemetry::monotonic_seconds() - start_s_;
+    std::string dir = ".";
+    if (const char* env = std::getenv("VSTACK_BENCH_DIR")) {
+      if (*env != '\0') dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot open '" << path << "'\n";
+      return;
+    }
+    std::string metrics = telemetry::metrics_json();
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    char wall_buf[40];
+    std::snprintf(wall_buf, sizeof(wall_buf), "%.6f", wall);
+    out << "{\"kind\":\"vstack-bench\",\"version\":1,\"bench\":\"" << name_
+        << "\",\"wall_seconds\":" << wall_buf << ",\"metrics\":" << metrics
+        << "}\n";
+  }
+
+  std::string name_;
+  double start_s_ = 0.0;
+};
 
 }  // namespace vstack::bench

@@ -15,6 +15,7 @@
 #include "core/design_space.h"
 
 int main(int argc, char** argv) {
+  const vstack::bench::BenchReport bench_report("design_space");
   using namespace vstack;
 
   const CliArgs args(argc, argv, {"jobs"});

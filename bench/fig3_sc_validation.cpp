@@ -65,6 +65,7 @@ void run_policy(sc::ControlPolicy policy, const std::vector<double>& loads_ma,
 }  // namespace
 
 int main() {
+  const vstack::bench::BenchReport bench_report("fig3_sc_validation");
   run_policy(vstack::sc::ControlPolicy::ClosedLoop,
              {1.6, 3.1, 6.3, 12.5, 25.0, 50.0, 100.0}, "Fig 3a",
              "SC model validation, closed-loop control (efficiency vs load)");

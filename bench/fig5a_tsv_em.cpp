@@ -9,6 +9,7 @@
 #include "core/sweeps.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("fig5a_tsv_em");
   using namespace vstack;
 
   bench::print_header("Fig 5a",

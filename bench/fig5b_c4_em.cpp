@@ -8,6 +8,7 @@
 #include "core/sweeps.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("fig5b_c4_em");
   using namespace vstack;
 
   bench::print_header("Fig 5b",

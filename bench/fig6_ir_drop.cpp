@@ -10,6 +10,7 @@
 #include "core/sweeps.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("fig6_ir_drop");
   using namespace vstack;
 
   bench::print_header("Fig 6",

@@ -8,6 +8,7 @@
 #include "core/sweeps.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("fig7_workload_imbalance");
   using namespace vstack;
 
   bench::print_header("Fig 7",

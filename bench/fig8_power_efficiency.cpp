@@ -9,6 +9,7 @@
 #include "core/sweeps.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("fig8_power_efficiency");
   using namespace vstack;
 
   bench::print_header("Fig 8",

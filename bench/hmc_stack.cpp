@@ -14,6 +14,7 @@
 #include "sc/ladder.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("hmc_stack");
   using namespace vstack;
 
   bench::print_header("Extension",

@@ -62,6 +62,7 @@ double timed_run(const core::CampaignRunner& runner,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const vstack::bench::BenchReport bench_report("parallel_scaling");
   using namespace vstack;
 
   const CliArgs args(argc, argv, {"jobs", "trials"});

@@ -2,6 +2,8 @@
 // systems: CG vs BiCGSTAB, Jacobi vs ILU(0), and a full PDN solve.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/study.h"
 #include "la/skyline_cholesky.h"
 #include "la/solve.h"
@@ -102,4 +104,12 @@ BENCHMARK(BM_FullPdnSolve)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the BenchReport artifact wraps the run.
+int main(int argc, char** argv) {
+  const vstack::bench::BenchReport bench_report("perf_solvers");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

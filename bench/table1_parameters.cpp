@@ -7,6 +7,7 @@
 #include "pdn/params.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("table1_parameters");
   using namespace vstack;
   using namespace vstack::units;
 

@@ -7,6 +7,7 @@
 #include "core/study.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("table2_tsv_configs");
   using namespace vstack;
   using namespace vstack::units;
 

@@ -10,6 +10,7 @@
 #include "sc/area.h"
 
 int main() {
+  const vstack::bench::BenchReport bench_report("table_sc_area");
   using namespace vstack;
 
   bench::print_header("Sec 3.1", "SC converter area by capacitor technology");

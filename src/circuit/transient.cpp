@@ -1,6 +1,5 @@
 #include "circuit/transient.h"
 
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -8,19 +7,16 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::circuit {
 
 namespace {
 
+using telemetry::monotonic_seconds;
+
 /// Fractional part in [0, 1).
 double frac(double x) { return x - std::floor(x); }
-
-double monotonic_seconds() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
 
 /// Windowed trapezoidal integral of samples[k] over time[k] >= from_time,
 /// divided by the window span (exact time-average for non-uniform steps).
@@ -401,6 +397,7 @@ TransientResult TransientSimulator::run_fixed(const TransientOptions& options) {
   report.max_dt = report.min_dt;
   report.last_dt = report.min_dt;
   report.wall_seconds = monotonic_seconds() - wall_start;
+  sim::record_transient_telemetry(report, wall_start);
   return eng.result;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "pdn/config_io.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::core {
 
@@ -319,6 +320,10 @@ CampaignScenarioResult CampaignRunner::evaluate_scenario(
     const PlannedScenario& scenario,
     const std::vector<double>& layer_activities,
     const CampaignOptions& options) const {
+  VS_SPAN("core.campaign.scenario");
+  static const telemetry::Counter t_scenarios("core.campaign.scenarios");
+  static const telemetry::Counter t_retries("core.campaign.retries");
+  t_scenarios.add();
   // Fresh model per scenario (same idiom as ContingencyEngine::evaluate_case):
   // PdnModel keeps a warm-start cache across solves, so sharing one model
   // would make each scenario's DC init depend on evaluation ORDER -- fatal
@@ -355,6 +360,7 @@ CampaignScenarioResult CampaignRunner::evaluate_scenario(
     rt.transient.control.abs_tol *= options.retry_tolerance_relax;
   }
 
+  if (attempt > 1) t_retries.add(static_cast<double>(attempt - 1));
   result.attempts = attempt;
   result.completed = run.report.ok();
   result.timed_out =
@@ -372,6 +378,7 @@ CampaignScenarioResult CampaignRunner::evaluate_scenario(
 CampaignReport CampaignRunner::run(
     const std::vector<double>& layer_activities,
     const CampaignOptions& options) const {
+  VS_SPAN("core.campaign.run");
   options.validate();
 
   const ContingencyEngine engine(ctx_, config_);

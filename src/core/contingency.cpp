@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::core {
 
@@ -122,6 +123,9 @@ ContingencyCase ContingencyEngine::evaluate_case(
     const pdn::FaultSet& faults,
     const std::vector<double>& layer_activities,
     const ContingencyOptions& options, const std::string& label) const {
+  VS_SPAN("core.contingency.case");
+  static const telemetry::Counter t_cases("core.contingency.cases");
+  t_cases.add();
   pdn::PdnModel model(config_, ctx_.layer_floorplan);
   ContingencyCase result;
   result.faults = faults;
@@ -195,6 +199,7 @@ void ContingencyEngine::classify_and_append(ContingencyReport& report,
 ContingencyReport ContingencyEngine::run_n_minus_1(
     const std::vector<double>& layer_activities,
     const ContingencyOptions& options) const {
+  VS_SPAN("core.contingency.n_minus_1");
   ContingencyReport report =
       make_baseline_report(layer_activities, options);
   report.ranking = rank_by_em_risk(layer_activities, options);
@@ -300,6 +305,7 @@ std::vector<PlannedScenario> ContingencyEngine::plan_monte_carlo(
 ContingencyReport ContingencyEngine::run_monte_carlo(
     const std::vector<double>& layer_activities,
     const ContingencyOptions& options) const {
+  VS_SPAN("core.contingency.monte_carlo");
   ContingencyReport report =
       make_baseline_report(layer_activities, options);
   report.ranking = rank_by_em_risk(layer_activities, options);

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::core {
 
@@ -23,6 +24,7 @@ ScenarioResult vs_baseline(const StudyContext& ctx) {
 std::vector<Fig5aRow> run_fig5a(const StudyContext& ctx,
                                 const std::vector<std::size_t>& layer_counts,
                                 const ExecutionPolicy& execution) {
+  VS_SPAN("core.sweep.fig5a");
   const ScenarioResult baseline = vs_baseline(ctx);
   VS_REQUIRE(baseline.tsv_mttf > 0.0, "baseline TSV MTTF must be positive");
 
@@ -73,6 +75,7 @@ std::vector<Fig5aRow> run_fig5a(const StudyContext& ctx,
 std::vector<Fig5bRow> run_fig5b(const StudyContext& ctx,
                                 const std::vector<std::size_t>& layer_counts,
                                 const ExecutionPolicy& execution) {
+  VS_SPAN("core.sweep.fig5b");
   const ScenarioResult baseline = vs_baseline(ctx);
   VS_REQUIRE(baseline.c4_mttf > 0.0, "baseline C4 MTTF must be positive");
 
@@ -112,6 +115,7 @@ Fig6Result run_fig6(const StudyContext& ctx, std::size_t layers,
                     const std::vector<std::size_t>& converter_counts,
                     const std::vector<double>& imbalances,
                     const ExecutionPolicy& execution) {
+  VS_SPAN("core.sweep.fig6");
   Fig6Result result;
   result.converter_counts = converter_counts;
 
@@ -159,6 +163,7 @@ Fig6Result run_fig6(const StudyContext& ctx, std::size_t layers,
 std::vector<power::ApplicationPowerSummary> run_fig7(const StudyContext& ctx,
                                                      std::size_t samples,
                                                      std::uint64_t seed) {
+  VS_SPAN("core.sweep.fig7");
   // One shared Rng drives the whole campaign: inherently serial.
   Rng rng(seed);
   return power::run_sampling_campaign(ctx.core_model, samples, rng);
@@ -168,6 +173,7 @@ Fig8Result run_fig8(const StudyContext& ctx, std::size_t layers,
                     const std::vector<std::size_t>& converter_counts,
                     const std::vector<double>& imbalances,
                     const ExecutionPolicy& execution) {
+  VS_SPAN("core.sweep.fig8");
   Fig8Result result;
   result.converter_counts = converter_counts;
   result.rows.resize(imbalances.size());

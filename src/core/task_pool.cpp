@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -11,18 +12,33 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::core {
 
 std::size_t ExecutionPolicy::default_jobs() {
+  // VSTACK_JOBS handling is explicit about every malformed shape instead of
+  // silently falling through strtoul's wrap-around behavior:
+  //   zero / negative  -> warn, ignore (hardware concurrency)
+  //   non-numeric junk -> warn, ignore
+  //   huge / overflow  -> warn, clamp to the 4096 policy bound
   if (const char* env = std::getenv("VSTACK_JOBS")) {
     char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end && *end == '\0' && v > 0 && v <= 4096) {
+    errno = 0;
+    const long long v = std::strtoll(env, &end, 10);
+    const bool parsed = end != env && end != nullptr && *end == '\0';
+    if (!parsed) {
+      VS_LOG_WARN("ignoring non-numeric VSTACK_JOBS='" << env
+                                                       << "' (want 1..4096)");
+    } else if (v <= 0) {
+      VS_LOG_WARN("ignoring VSTACK_JOBS=" << env
+                                          << " (must be positive, 1..4096)");
+    } else if (errno == ERANGE || v > 4096) {
+      VS_LOG_WARN("clamping VSTACK_JOBS=" << env << " to the 4096 bound");
+      return 4096;
+    } else {
       return static_cast<std::size_t>(v);
     }
-    VS_LOG_WARN("ignoring malformed VSTACK_JOBS='" << env
-                                                   << "' (want 1..4096)");
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
@@ -48,12 +64,28 @@ namespace {
 /// stay Pending and are recognized once every worker has exited.
 enum class Slot : unsigned char { Pending, Done, Failed, Skipped };
 
+// Pool telemetry (observation only; the scheduling and the ordered
+// reduction are untouched, so parallel/serial bit-identity holds).
+const telemetry::Counter t_tasks("core.task_pool.tasks");
+const telemetry::Counter t_runs("core.task_pool.runs");
+const telemetry::Gauge t_jobs("core.task_pool.jobs");
+const telemetry::Histogram t_chunk_seconds(
+    "core.task_pool.chunk_seconds",
+    {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 2.0, 10.0});
+const telemetry::Histogram t_commit_wait_seconds(
+    "core.task_pool.commit_wait_seconds",
+    {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
+
 }  // namespace
 
 void TaskPool::run_ordered(std::size_t count, const Work& work,
                            const Commit& commit) const {
   if (count == 0) return;
+  VS_SPAN("core.task_pool.run");
+  t_runs.add();
+  t_tasks.add(static_cast<double>(count));
   const std::size_t jobs = std::min(policy_.resolved_jobs(), count);
+  t_jobs.set(static_cast<double>(jobs));
   if (jobs <= 1) {
     // Serial fast path: caller's thread, no synchronization -- the exact
     // historical behavior of every scenario loop.
@@ -81,6 +113,8 @@ void TaskPool::run_ordered(std::size_t count, const Work& work,
           cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= count) break;
       const std::size_t end = std::min(count, begin + chunk);
+      VS_SPAN("core.task_pool.chunk");
+      const double chunk_start = telemetry::monotonic_seconds();
       for (std::size_t i = begin; i < end; ++i) {
         Slot outcome = Slot::Skipped;
         std::exception_ptr error;
@@ -103,6 +137,7 @@ void TaskPool::run_ordered(std::size_t count, const Work& work,
         }
         ready_cv.notify_all();
       }
+      t_chunk_seconds.record(telemetry::monotonic_seconds() - chunk_start);
     }
     {
       const std::lock_guard<std::mutex> lock(mu);
@@ -122,9 +157,12 @@ void TaskPool::run_ordered(std::size_t count, const Work& work,
   {
     std::unique_lock<std::mutex> lock(mu);
     for (std::size_t i = 0; i < count; ++i) {
+      const double wait_start = telemetry::monotonic_seconds();
       ready_cv.wait(lock, [&] {
         return slots[i] != Slot::Pending || live_workers == 0;
       });
+      t_commit_wait_seconds.record(telemetry::monotonic_seconds() -
+                                   wait_start);
       if (slots[i] == Slot::Pending || slots[i] == Slot::Skipped) break;
       if (slots[i] == Slot::Failed) {
         if (!first_error) first_error = errors[i];

@@ -4,12 +4,17 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::la {
 
 SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
                      const Preconditioner& precond,
                      const IterativeOptions& options) {
+  VS_SPAN("la.bicgstab.solve");
+  static const telemetry::Counter t_calls("la.bicgstab.calls");
+  static const telemetry::Counter t_iters("la.bicgstab.iterations");
+  t_calls.add();
   const std::size_t n = a.size();
   VS_REQUIRE(b.size() == n, "bicgstab: rhs size mismatch");
   if (x.size() != n) x.assign(n, 0.0);
@@ -57,6 +62,7 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
       axpy(alpha, y, x);
       report.residual_norm = norm2(s) / b_norm;
       report.converged = true;
+      t_iters.add(static_cast<double>(report.iterations));
       return report;
     }
 
@@ -81,6 +87,7 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
     }
     if (res < options.relative_tolerance) {
       report.converged = true;
+      t_iters.add(static_cast<double>(report.iterations));
       return report;
     }
     if (std::abs(omega) < 1e-300) {
@@ -101,6 +108,7 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
 
   report.residual_norm = norm2(subtract(b, a.multiply(x))) / b_norm;
   report.converged = report.residual_norm < options.relative_tolerance;
+  t_iters.add(static_cast<double>(report.iterations));
   return report;
 }
 

@@ -4,12 +4,17 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::la {
 
 SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
                                const Preconditioner& precond,
                                const IterativeOptions& options) {
+  VS_SPAN("la.cg.solve");
+  static const telemetry::Counter t_calls("la.cg.calls");
+  static const telemetry::Counter t_iters("la.cg.iterations");
+  t_calls.add();
   const std::size_t n = a.size();
   VS_REQUIRE(b.size() == n, "cg: rhs size mismatch");
   if (x.size() != n) x.assign(n, 0.0);
@@ -54,6 +59,7 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
     }
     if (res < options.relative_tolerance) {
       report.converged = true;
+      t_iters.add(static_cast<double>(report.iterations));
       return report;
     }
     if (options.stagnation_window > 0) {
@@ -76,6 +82,7 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
 
   report.residual_norm = norm2(subtract(b, a.multiply(x))) / b_norm;
   report.converged = report.residual_norm < options.relative_tolerance;
+  t_iters.add(static_cast<double>(report.iterations));
   return report;
 }
 

@@ -7,10 +7,24 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "la/dense_lu.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::la {
 
 namespace {
+
+// Escalation-ladder telemetry: one attempt == one rung executed, so
+// attempts - calls counts how often the first rung was not enough.
+const telemetry::Counter t_calls("la.solve.calls");
+const telemetry::Counter t_attempts("la.solve.attempts");
+const telemetry::Counter t_attempts_failed("la.solve.attempts_failed");
+const telemetry::Counter t_iterations("la.solve.iterations");
+const telemetry::Counter t_converged("la.solve.converged");
+const telemetry::Counter t_failed("la.solve.failed");
+const telemetry::Gauge t_last_residual("la.solve.last_residual");
+const telemetry::Histogram t_attempt_iters(
+    "la.solve.attempt_iterations",
+    {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0});
 
 bool all_finite(const Vector& v) {
   for (const double d : v) {
@@ -96,7 +110,10 @@ class EscalationChain {
   }
 
   SolveReport finish(const std::string& failure_diagnostic) {
-    if (!report_.converged) {
+    if (report_.converged) {
+      t_converged.add();
+    } else {
+      t_failed.add();
       x_ = x0_;  // never hand back a diverged/NaN iterate
       report_.diagnostic = failure_diagnostic;
     }
@@ -108,6 +125,11 @@ class EscalationChain {
  private:
   bool record(const std::string& method, bool ok, std::size_t iterations,
               double residual) {
+    t_attempts.add();
+    if (!ok) t_attempts_failed.add();
+    t_iterations.add(static_cast<double>(iterations));
+    t_attempt_iters.record(static_cast<double>(iterations));
+    t_last_residual.set(residual);
     report_.attempts.push_back({method, ok, iterations, residual});
     report_.iterations = iterations;
     report_.residual_norm = residual;
@@ -126,6 +148,8 @@ class EscalationChain {
 
 SolveReport solve(const CsrMatrix& a, const Vector& b, Vector& x,
                   const SolveOptions& options) {
+  VS_SPAN("la.solve");
+  t_calls.add();
   VS_REQUIRE(b.size() == a.size(), "solve: rhs size mismatch");
   if (x.size() != a.size()) x.assign(a.size(), 0.0);
 

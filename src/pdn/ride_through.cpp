@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "pdn/transient_core.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::pdn {
 
@@ -211,6 +212,9 @@ RideThroughResult simulate_ride_through(
     const PdnModel& model, const power::CorePowerModel& core_model,
     const std::vector<double>& activities,
     const RideThroughOptions& options) {
+  VS_SPAN("pdn.ride_through.run");
+  static const telemetry::Counter t_runs("pdn.ride_through.runs");
+  t_runs.add();
   options.validate();
   const StackupConfig& cfg = model.config();
   VS_REQUIRE(activities.size() == cfg.layer_count,

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "pdn/fault.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::pdn {
 
@@ -32,6 +33,9 @@ PdnModel::PdnModel(const StackupConfig& config,
 
 PdnSolution PdnModel::solve(const std::vector<LoadInjection>& loads,
                             const PdnSolveOptions& options) const {
+  VS_SPAN("pdn.dc.solve");
+  static const telemetry::Counter t_dc_solves("pdn.dc.solves");
+  t_dc_solves.add();
   const auto& cfg = config();
   std::vector<double> r_series(network_.converters().size());
   for (std::size_t c = 0; c < r_series.size(); ++c) {

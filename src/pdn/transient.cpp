@@ -1,7 +1,6 @@
 #include "pdn/transient.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -9,16 +8,13 @@
 
 #include "common/error.h"
 #include "pdn/transient_core.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::pdn {
 
 namespace {
 
-double monotonic_seconds() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
+using telemetry::monotonic_seconds;
 
 /// One pending one-shot event on the run's timeline: the built-in load step
 /// or an injected TimedFaultEvent (with its loads pre-built).
@@ -51,6 +47,7 @@ PdnTransientResult simulate_load_step(
     const std::vector<double>& activities_before,
     const std::vector<double>& activities_after,
     const PdnTransientOptions& options) {
+  VS_SPAN("pdn.transient.load_step");
   options.validate();
   const StackupConfig& cfg = model.config();
 
@@ -205,6 +202,7 @@ PdnTransientResult simulate_load_step(
     report.max_dt = report.min_dt;
     report.last_dt = report.min_dt;
     report.wall_seconds = monotonic_seconds() - wall_start;
+    sim::record_transient_telemetry(report, wall_start);
   } else {
     // --- Adaptive LTE-controlled stepping; the load-step instant and every
     // fault event are schedule entries the controller lands on exactly. ----

@@ -7,10 +7,18 @@
 #include "common/error.h"
 #include "la/cg.h"
 #include "la/solve.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::pdn::detail {
 
 namespace {
+
+const telemetry::Counter t_cache_hits("pdn.step_solver.cache.hits");
+const telemetry::Counter t_cache_misses("pdn.step_solver.cache.misses");
+const telemetry::Counter t_cache_evictions("pdn.step_solver.cache.evictions");
+const telemetry::Counter t_cache_epoch_invalidations(
+    "pdn.step_solver.cache.epoch_invalidations");
+const telemetry::Counter t_rebuilds("pdn.topology.rebuilds");
 
 bool is_fixed(std::size_t node) {
   return node == kFixedSupply || node == kFixedGround;
@@ -80,9 +88,21 @@ StepSolver::Cached& StepSolver::cached(double h, bool backward_euler, double t,
   // FaultSet bumps the network's topology epoch, rebuild_topology() stamps it
   // into the split system, and every pre-fault factorization silently misses.
   const Key key{bits_of(h), backward_euler, sys_.epoch};
+  if (last_seen_epoch_ != static_cast<std::size_t>(-1) &&
+      sys_.epoch != last_seen_epoch_) {
+    t_cache_epoch_invalidations.add();
+  }
+  last_seen_epoch_ = sys_.epoch;
   auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  if (cache_.size() > 16) cache_.clear();  // bound adaptive-dt / epoch growth
+  if (it != cache_.end()) {
+    t_cache_hits.add();
+    return it->second;
+  }
+  t_cache_misses.add();
+  if (cache_.size() > 16) {  // bound adaptive-dt / epoch growth
+    t_cache_evictions.add(static_cast<double>(cache_.size()));
+    cache_.clear();
+  }
 
   Cached c;
   c.matrix = sys_.assemble(h, backward_euler);
@@ -132,6 +152,7 @@ TransientWorkspace::TransientWorkspace(const PdnNetwork& net,
 }
 
 void TransientWorkspace::rebuild_topology() {
+  t_rebuilds.add();
   const StackupConfig& cfg = net_.config();
 
   // Two extra unknowns split the package resistors so the loop inductance

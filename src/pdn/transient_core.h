@@ -92,6 +92,9 @@ class StepSolver {
   const SplitSystem& sys_;
   const PdnTransientOptions& options_;
   std::map<Key, Cached> cache_;
+  // Last epoch a lookup saw; a change means a topology mutation invalidated
+  // every cached factorization (telemetry: pdn.step_solver.cache.*).
+  std::size_t last_seen_epoch_ = static_cast<std::size_t>(-1);
 };
 
 /// Companion-state workspace shared by the load-step and ride-through

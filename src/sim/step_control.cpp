@@ -1,23 +1,15 @@
 #include "sim/step_control.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <sstream>
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::sim {
 
-namespace {
-
-double monotonic_seconds() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
+using telemetry::monotonic_seconds;
 
 const char* to_string(TransientStatus status) {
   switch (status) {
@@ -207,6 +199,35 @@ void StepController::finalize() {
     report_.status = TransientStatus::SolverFailure;
     report_.diagnostic = "run ended before the stop time";
   }
+  record_transient_telemetry(report_, wall_start_s_);
+}
+
+void record_transient_telemetry(const TransientReport& report,
+                                double wall_start_seconds) {
+  static const telemetry::Counter t_runs("sim.transient.runs");
+  static const telemetry::Counter t_truncated("sim.transient.runs_truncated");
+  static const telemetry::Counter t_accepted("sim.transient.accepted_steps");
+  static const telemetry::Counter t_rejected("sim.transient.rejected_steps");
+  static const telemetry::Counter t_lte("sim.transient.lte_rejections");
+  static const telemetry::Counter t_guard("sim.transient.guard_rejections");
+  static const telemetry::Counter t_solver("sim.transient.solver_rejections");
+  static const telemetry::Counter t_recovery("sim.transient.recovery_events");
+  static const telemetry::Histogram t_wall(
+      "sim.transient.run_seconds",
+      {1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0});
+
+  t_runs.add();
+  if (!report.ok()) t_truncated.add();
+  t_accepted.add(static_cast<double>(report.accepted_steps));
+  t_rejected.add(static_cast<double>(report.rejected_steps));
+  t_lte.add(static_cast<double>(report.lte_rejections));
+  t_guard.add(static_cast<double>(report.guard_rejections));
+  t_solver.add(static_cast<double>(report.solver_rejections));
+  t_recovery.add(static_cast<double>(report.events.size() +
+                                     report.events_dropped));
+  t_wall.record(report.wall_seconds);
+  telemetry::record_span("sim.transient.run", wall_start_seconds,
+                         wall_start_seconds + report.wall_seconds);
 }
 
 double error_norm(const std::vector<double>& value,

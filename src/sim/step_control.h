@@ -76,6 +76,15 @@ struct TransientReport {
   std::string summary() const;
 };
 
+/// Record a finished transient run into the telemetry registry: step and
+/// rejection counters, recovery events, and a "sim.transient.run" span from
+/// `wall_start_seconds` (a telemetry::monotonic_seconds() stamp) to now.
+/// StepController::finalize() calls this; fixed-loop engines that fill a
+/// TransientReport by hand call it themselves so both modes report
+/// identically.
+void record_transient_telemetry(const TransientReport& report,
+                                double wall_start_seconds);
+
 struct StepControlOptions {
   /// LTE acceptance: a step passes when the predictor-corrector error,
   /// normalized per state entry by (abs_tol + rel_tol * |value|), is <= 1.

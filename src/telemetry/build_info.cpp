@@ -1,0 +1,27 @@
+#include <sstream>
+
+#include "telemetry/telemetry.h"
+#include "vstack_build_info.h"  // generated into the build tree
+
+namespace vstack::telemetry {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      VSTACK_BUILD_GIT_DESCRIBE,
+      VSTACK_BUILD_TYPE,
+      VSTACK_BUILD_SANITIZER,
+      VSTACK_TELEMETRY_ENABLED != 0,
+  };
+  return info;
+}
+
+std::string build_summary() {
+  const BuildInfo& info = build_info();
+  std::ostringstream oss;
+  oss << "vstack " << info.version << " (" << info.build_type
+      << ", sanitizer=" << info.sanitizer << ", telemetry="
+      << (info.telemetry_enabled ? "on" : "off") << ")";
+  return oss.str();
+}
+
+}  // namespace vstack::telemetry

@@ -1,0 +1,140 @@
+#include "telemetry/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vstack::telemetry {
+
+namespace {
+
+/// %.17g round-trips doubles exactly; non-finite values (legal histogram
+/// min/max before any sample) are emitted as 0 to keep the JSON parseable.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Metric names are `layer.component.event` identifiers, but escape the
+/// JSON specials anyway so a stray name cannot corrupt the artifact.
+std::string quoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_build_block(std::ostream& out) {
+  const BuildInfo& info = build_info();
+  out << "{\"version\":" << quoted(info.version) << ",\"build_type\":"
+      << quoted(info.build_type) << ",\"sanitizer\":"
+      << quoted(info.sanitizer)
+      << ",\"telemetry\":" << (info.telemetry_enabled ? 1 : 0) << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
+  out << "{\"kind\":\"vstack-metrics\",\"version\":1,\"build\":";
+  write_build_block(out);
+  out << ",\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << quoted(snap.counters[i].name) << ":" << num(snap.counters[i].value);
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << quoted(snap.gauges[i].name) << ":" << num(snap.gauges[i].value);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    if (i > 0) out << ",";
+    out << quoted(h.name) << ":{\"count\":" << h.count
+        << ",\"sum\":" << num(h.sum) << ",\"min\":" << num(h.min)
+        << ",\"max\":" << num(h.max) << ",\"p50\":" << num(h.quantile(0.5))
+        << ",\"p95\":" << num(h.quantile(0.95)) << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out << ",";
+      out << "{\"le\":";
+      if (b < h.upper_bounds.size()) {
+        out << num(h.upper_bounds[b]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ",\"count\":" << h.counts[b] << "}";
+    }
+    out << "]}";
+  }
+  out << "}}\n";
+}
+
+std::string metrics_json() {
+  std::ostringstream oss;
+  write_metrics_json(oss, snapshot());
+  return oss.str();
+}
+
+void write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  VS_REQUIRE(static_cast<bool>(out),
+             "cannot open metrics file '" + path + "' for writing");
+  write_metrics_json(out, snapshot());
+  VS_REQUIRE(static_cast<bool>(out),
+             "failed writing metrics file '" + path + "'");
+}
+
+void write_trace_json(std::ostream& out, const std::vector<TraceEvent>& events,
+                      std::size_t dropped) {
+  out << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"build\":";
+  write_build_block(out);
+  out << ",\"dropped_events\":" << dropped << "},\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    // Category = leading name segment ("la.cg.solve" -> "la") so Perfetto
+    // can filter by subsystem.
+    const auto dot = e.name.find('.');
+    const std::string cat =
+        dot == std::string::npos ? e.name : e.name.substr(0, dot);
+    if (i > 0) out << ",";
+    out << "{\"name\":" << quoted(e.name) << ",\"cat\":" << quoted(cat)
+        << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << num(e.ts_us) << ",\"dur\":" << num(e.dur_us) << "}";
+  }
+  out << "]}\n";
+}
+
+std::string trace_json() {
+  std::ostringstream oss;
+  write_trace_json(oss, collect_trace(), trace_dropped());
+  return oss.str();
+}
+
+void write_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  VS_REQUIRE(static_cast<bool>(out),
+             "cannot open trace file '" + path + "' for writing");
+  write_trace_json(out, collect_trace(), trace_dropped());
+  VS_REQUIRE(static_cast<bool>(out),
+             "failed writing trace file '" + path + "'");
+}
+
+}  // namespace vstack::telemetry

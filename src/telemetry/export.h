@@ -1,0 +1,41 @@
+// JSON sinks for the telemetry registry: a metrics snapshot
+// (`metrics.json`) and a Chrome trace_event file (`trace.json`, open in
+// Perfetto or about://tracing).  Both embed the BuildInfo block so
+// artifacts stay attributable to an exact build.  Wired through
+// `vstack_cli --metrics=PATH --trace=PATH` and bench/bench_util.h.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace vstack::telemetry {
+
+/// Serialize a snapshot as a single JSON object:
+///   {"kind":"vstack-metrics","version":1,"build":{...},
+///    "counters":{...},"gauges":{...},"histograms":{...}}
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Snapshot the global registry now and serialize it.
+std::string metrics_json();
+
+/// Snapshot and write to `path`; throws vstack::Error when the file cannot
+/// be opened.
+void write_metrics_file(const std::string& path);
+
+/// Serialize spans in Chrome trace_event format ("X" complete events with
+/// microsecond timestamps):
+///   {"displayTimeUnit":"ns","otherData":{...},"traceEvents":[...]}
+void write_trace_json(std::ostream& out, const std::vector<TraceEvent>& events,
+                      std::size_t dropped);
+
+/// Collect the global trace buffer now and serialize it.
+std::string trace_json();
+
+/// Collect and write to `path`; throws vstack::Error when the file cannot
+/// be opened.
+void write_trace_file(const std::string& path);
+
+}  // namespace vstack::telemetry

@@ -1,0 +1,417 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace vstack::telemetry {
+
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+#if VSTACK_TELEMETRY_ENABLED
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+namespace detail {
+
+struct MetricDef {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  std::vector<double> bounds;  // histogram upper edges
+  std::size_t id = 0;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::MetricDef;
+
+constexpr std::size_t kMaxTraceEventsPerShard = 1 << 16;
+
+/// Per-(metric, shard) storage.  Guarded by the owning shard's mutex.
+struct Cell {
+  double counter = 0.0;
+  double gauge = 0.0;
+  std::uint64_t gauge_seq = 0;  // global sequence at last set(); 0 = never
+  std::vector<std::uint64_t> hist_counts;
+  std::uint64_t hist_count = 0;
+  double hist_sum = 0.0;
+  double hist_min = std::numeric_limits<double>::infinity();
+  double hist_max = -std::numeric_limits<double>::infinity();
+
+  void reset() { *this = Cell{}; }
+};
+
+struct TraceRecord {
+  const char* name = nullptr;  // string literal at every call site
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// One thread's private slice of the registry.  The owning thread locks the
+/// mutex on every record -- uncontended in steady state; snapshot() is the
+/// only other locker.
+struct Shard {
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::vector<Cell> cells;  // indexed by MetricDef::id, grown on demand
+  std::vector<TraceRecord> trace;
+  std::size_t trace_dropped = 0;
+};
+
+class Registry {
+ public:
+  /// Leaked singleton: worker threads may outlive static destruction, so
+  /// the registry is never torn down.
+  static Registry& instance() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  Registry() : origin_s_(monotonic_seconds()) {}
+
+  const MetricDef* define(const char* name, MetricKind kind,
+                          std::vector<double> bounds) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) {
+      VS_REQUIRE(it->second->kind == kind,
+                 std::string("telemetry metric '") + name +
+                     "' re-registered with a different kind");
+      return it->second;
+    }
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      VS_REQUIRE(bounds[i] > bounds[i - 1],
+                 std::string("telemetry histogram '") + name +
+                     "' bounds must be strictly increasing");
+    }
+    defs_.push_back(MetricDef{name, kind, std::move(bounds), defs_.size()});
+    MetricDef* def = &defs_.back();  // deque: stable address
+    by_name_.emplace(def->name, def);
+    return def;
+  }
+
+  /// This thread's shard, creating or recycling one on first use.
+  Shard& shard();
+  void release(Shard* s) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(s);
+  }
+
+  MetricsSnapshot take_snapshot();
+  std::vector<TraceEvent> take_trace();
+  std::size_t dropped_total();
+  void reset();
+
+  std::atomic<bool> tracing{false};
+  std::atomic<std::uint64_t> gauge_seq{1};
+
+  double origin_s() const { return origin_s_; }
+
+ private:
+  const double origin_s_;
+  std::mutex mu_;  // guards defs_/by_name_/shards_/free_ (never a shard mu)
+  std::deque<MetricDef> defs_;
+  std::map<std::string, MetricDef*> by_name_;
+  std::deque<Shard> shards_;  // stable addresses; never shrinks
+  std::vector<Shard*> free_;  // shards whose owner thread exited
+};
+
+/// Returns this thread's shard to the free list at thread exit so pools do
+/// not leak one shard per spawned worker.  Recycled shards keep their data
+/// (metrics are cumulative), they just change owner.
+struct ShardLease {
+  Shard* shard = nullptr;
+  ~ShardLease() {
+    if (shard != nullptr) Registry::instance().release(shard);
+  }
+};
+
+thread_local ShardLease t_lease;
+
+Shard& Registry::shard() {
+  if (t_lease.shard != nullptr) return *t_lease.shard;
+  const std::lock_guard<std::mutex> lock(mu_);
+  Shard* s = nullptr;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    shards_.emplace_back();
+    s = &shards_.back();
+    s->tid = static_cast<std::uint32_t>(shards_.size() - 1);
+  }
+  t_lease.shard = s;
+  return *s;
+}
+
+Cell& cell_of(Shard& s, const MetricDef* def) {
+  if (s.cells.size() <= def->id) s.cells.resize(def->id + 1);
+  return s.cells[def->id];
+}
+
+MetricsSnapshot Registry::take_snapshot() {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricDef& def : defs_) {
+    double counter = 0.0;
+    double gauge = 0.0;
+    std::uint64_t best_seq = 0;
+    HistogramSnapshot hist;
+    hist.name = def.name;
+    hist.upper_bounds = def.bounds;
+    hist.counts.assign(def.bounds.size() + 1, 0);
+    bool any = false;
+    for (Shard& s : shards_) {
+      const std::lock_guard<std::mutex> shard_lock(s.mu);
+      if (s.cells.size() <= def.id) continue;
+      const Cell& c = s.cells[def.id];
+      counter += c.counter;
+      if (c.gauge_seq > best_seq) {
+        best_seq = c.gauge_seq;
+        gauge = c.gauge;
+      }
+      if (c.hist_count > 0) {
+        if (!any) {
+          hist.min = c.hist_min;
+          hist.max = c.hist_max;
+        } else {
+          hist.min = std::min(hist.min, c.hist_min);
+          hist.max = std::max(hist.max, c.hist_max);
+        }
+        any = true;
+        hist.count += c.hist_count;
+        hist.sum += c.hist_sum;
+        for (std::size_t b = 0;
+             b < c.hist_counts.size() && b < hist.counts.size(); ++b) {
+          hist.counts[b] += c.hist_counts[b];
+        }
+      }
+    }
+    switch (def.kind) {
+      case MetricKind::Counter:
+        snap.counters.push_back({def.name, counter});
+        break;
+      case MetricKind::Gauge:
+        if (best_seq > 0) snap.gauges.push_back({def.name, gauge});
+        break;
+      case MetricKind::Histogram:
+        if (!any) {
+          hist.min = 0.0;
+          hist.max = 0.0;
+        }
+        snap.histograms.push_back(std::move(hist));
+        break;
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::vector<TraceEvent> Registry::take_trace() {
+  std::vector<TraceEvent> events;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(s.mu);
+    for (const TraceRecord& r : s.trace) {
+      TraceEvent e;
+      e.name = r.name;
+      e.tid = s.tid;
+      e.ts_us = (r.start_s - origin_s_) * 1e6;
+      e.dur_us = (r.end_s - r.start_s) * 1e6;
+      events.push_back(std::move(e));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return events;
+}
+
+std::size_t Registry::dropped_total() {
+  std::size_t total = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(s.mu);
+    total += s.trace_dropped;
+  }
+  return total;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(s.mu);
+    for (Cell& c : s.cells) c.reset();
+    s.trace.clear();
+    s.trace_dropped = 0;
+  }
+  gauge_seq.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Counter::Counter(const char* name)
+    : def_(Registry::instance().define(name, MetricKind::Counter, {})) {}
+
+void Counter::add(double delta) const {
+  Shard& s = Registry::instance().shard();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  cell_of(s, def_).counter += delta;
+}
+
+Gauge::Gauge(const char* name)
+    : def_(Registry::instance().define(name, MetricKind::Gauge, {})) {}
+
+void Gauge::set(double value) const {
+  Registry& reg = Registry::instance();
+  const std::uint64_t seq =
+      reg.gauge_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& s = reg.shard();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  Cell& c = cell_of(s, def_);
+  c.gauge = value;
+  c.gauge_seq = seq;
+}
+
+Histogram::Histogram(const char* name, std::vector<double> upper_bounds)
+    : def_(Registry::instance().define(name, MetricKind::Histogram,
+                                       std::move(upper_bounds))) {}
+
+void Histogram::record(double value) const {
+  Shard& s = Registry::instance().shard();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  Cell& c = cell_of(s, def_);
+  if (c.hist_counts.size() != def_->bounds.size() + 1) {
+    c.hist_counts.assign(def_->bounds.size() + 1, 0);
+  }
+  const auto it =
+      std::lower_bound(def_->bounds.begin(), def_->bounds.end(), value);
+  ++c.hist_counts[static_cast<std::size_t>(it - def_->bounds.begin())];
+  ++c.hist_count;
+  c.hist_sum += value;
+  c.hist_min = std::min(c.hist_min, value);
+  c.hist_max = std::max(c.hist_max, value);
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!Registry::instance().tracing.load(std::memory_order_relaxed)) return;
+  active_ = true;
+  start_s_ = monotonic_seconds();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  record_span(name_, start_s_, monotonic_seconds());
+}
+
+void record_span(const char* name, double start_seconds, double end_seconds) {
+  Registry& reg = Registry::instance();
+  if (!reg.tracing.load(std::memory_order_relaxed)) return;
+  Shard& s = reg.shard();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.trace.size() >= kMaxTraceEventsPerShard) {
+    ++s.trace_dropped;
+    return;
+  }
+  s.trace.push_back({name, start_seconds, end_seconds});
+}
+
+void set_tracing_enabled(bool on) {
+  Registry::instance().tracing.store(on, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() {
+  return Registry::instance().tracing.load(std::memory_order_relaxed);
+}
+
+MetricsSnapshot snapshot() { return Registry::instance().take_snapshot(); }
+
+std::vector<TraceEvent> collect_trace() {
+  return Registry::instance().take_trace();
+}
+
+std::size_t trace_dropped() { return Registry::instance().dropped_total(); }
+
+void reset_for_tests() { Registry::instance().reset(); }
+
+#else  // !VSTACK_TELEMETRY_ENABLED -- observation API returns empties
+
+void record_span(const char*, double, double) {}
+void set_tracing_enabled(bool) {}
+bool tracing_enabled() { return false; }
+MetricsSnapshot snapshot() { return {}; }
+std::vector<TraceEvent> collect_trace() { return {}; }
+std::size_t trace_dropped() { return 0; }
+void reset_for_tests() {}
+
+#endif  // VSTACK_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// Snapshot helpers (live in both build modes).
+
+const CounterSnapshot* MetricsSnapshot::counter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::counter_value(const std::string& name,
+                                      double fallback) const {
+  const CounterSnapshot* c = counter(name);
+  return c != nullptr ? c->value : fallback;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double next = static_cast<double>(cumulative + counts[b]);
+    if (target <= next) {
+      // Interpolate inside bucket b, clamped to the observed range.
+      double lo = b == 0 ? min : upper_bounds[b - 1];
+      double hi = b < upper_bounds.size() ? upper_bounds[b] : max;
+      lo = std::max(lo, min);
+      hi = std::min(std::max(hi, lo), max);
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(counts[b]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative += counts[b];
+  }
+  return max;
+}
+
+}  // namespace vstack::telemetry

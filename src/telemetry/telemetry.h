@@ -1,0 +1,241 @@
+// Cross-cutting observability for the whole stack: named counters, gauges,
+// and fixed-bucket histograms in a process-global Registry, plus an RAII
+// span tracer that exports Chrome trace_event JSON (open in Perfetto or
+// about://tracing).
+//
+// Design constraints (docs/telemetry.md):
+//
+//   * Lock-cheap recording.  Every thread records into its own shard (an
+//     uncontended per-thread mutex), and shards are merged only on
+//     snapshot().  core::TaskPool workers therefore record without
+//     contention; when a worker thread exits its shard is recycled for the
+//     next pool, so long campaigns do not grow the shard list.
+//
+//   * Observation only.  Nothing here feeds back into the numerics: with
+//     telemetry compiled out (CMake -DVSTACK_TELEMETRY=OFF, which turns
+//     every handle and VS_SPAN into a no-op) results are bit-identical to a
+//     telemetry-on build, wall_seconds aside.
+//
+//   * Bounded memory.  Trace buffers cap at a fixed per-thread event count
+//     (overflow is counted, not stored); metric cells are one slot per
+//     (metric, thread).
+//
+// Naming convention: `layer.component.event`, lower-case, dot-separated --
+// e.g. "la.solve.iterations", "pdn.step_solver.cache.hits",
+// "core.task_pool.chunk_seconds".  The first segment is the owning library
+// and becomes the span's trace category.
+//
+// Typical use:
+//
+//   static const telemetry::Counter c_iters("la.cg.iterations");
+//   c_iters.add(report.iterations);
+//
+//   void hot_path() {
+//     VS_SPAN("la.cg.solve");   // RAII scope; records only while tracing
+//     ...
+//   }
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef VSTACK_TELEMETRY_ENABLED
+#define VSTACK_TELEMETRY_ENABLED 1
+#endif
+
+namespace vstack::telemetry {
+
+/// Monotonic wall clock [s] (steady_clock).  The single source of every
+/// wall_seconds in the repo -- engines must not roll their own.
+double monotonic_seconds();
+
+/// Build provenance embedded at CMake configure time, so every metrics /
+/// trace / bench artifact is attributable to an exact build.
+struct BuildInfo {
+  std::string version;     // git describe (or the project version fallback)
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::string sanitizer;   // "none", "asan+ubsan", or "tsan"
+  bool telemetry_enabled = false;
+};
+const BuildInfo& build_info();
+
+/// One-line human-readable digest: "vstack <version> (<type>, sanitizer=..,
+/// telemetry=on|off)".
+std::string build_summary();
+
+namespace detail {
+struct MetricDef;  // opaque registry entry behind every handle
+}
+
+#if VSTACK_TELEMETRY_ENABLED
+
+/// Monotonically increasing sum.  Handles are cheap to copy and safe to
+/// share across threads; construct once (function-local static) and add()
+/// from anywhere.
+class Counter {
+ public:
+  explicit Counter(const char* name);
+  void add(double delta = 1.0) const;
+
+ private:
+  const detail::MetricDef* def_;
+};
+
+/// Last-written value (global last-writer-wins across threads).
+class Gauge {
+ public:
+  explicit Gauge(const char* name);
+  void set(double value) const;
+
+ private:
+  const detail::MetricDef* def_;
+};
+
+/// Fixed-bucket histogram.  `upper_bounds` are the inclusive upper edges of
+/// the finite buckets (a value lands in the first bucket whose bound is
+/// >= value); one implicit overflow bucket catches the rest.  Bounds must
+/// be strictly increasing and are fixed by the FIRST registration of a
+/// name.
+class Histogram {
+ public:
+  Histogram(const char* name, std::vector<double> upper_bounds);
+  void record(double value) const;
+
+ private:
+  const detail::MetricDef* def_;
+};
+
+/// RAII trace span: records a Chrome "complete" event (name, thread, start,
+/// duration) when it goes out of scope.  No-op unless tracing_enabled();
+/// nesting works naturally (inner scopes close first).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_s_ = 0.0;
+  bool active_ = false;
+};
+
+#else  // telemetry compiled out: every handle collapses to a no-op
+
+class Counter {
+ public:
+  explicit Counter(const char*) {}
+  void add(double = 1.0) const {}
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const char*) {}
+  void set(double) const {}
+};
+
+class Histogram {
+ public:
+  Histogram(const char*, std::vector<double>) {}
+  void record(double) const {}
+};
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // VSTACK_TELEMETRY_ENABLED
+
+/// Record a span whose lifetime does not fit an RAII scope (e.g. a
+/// StepController's construction-to-finalize window).  Times are
+/// monotonic_seconds() values; no-op unless tracing is enabled.
+void record_span(const char* name, double start_seconds, double end_seconds);
+
+/// Runtime master switch for the span tracer (counters are always live).
+/// Off by default; the CLI enables it when --trace=PATH is given.
+void set_tracing_enabled(bool on);
+bool tracing_enabled();
+
+// ---------------------------------------------------------------------------
+// Snapshots (always available; empty when telemetry is compiled out).
+
+struct CounterSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;    // finite bucket edges (inclusive)
+  std::vector<std::uint64_t> counts;   // upper_bounds.size() + 1 (overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: walks the
+  /// cumulative counts and interpolates linearly inside the containing
+  /// bucket, clamped to the observed [min, max].  Exact at q=0 / q=1.
+  double quantile(double q) const;
+};
+
+/// Merged view over every shard, taken at one instant.  Entries are sorted
+/// by name.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const CounterSnapshot* counter(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+  /// Counter value by name, `fallback` when absent.
+  double counter_value(const std::string& name, double fallback = 0.0) const;
+};
+
+MetricsSnapshot snapshot();
+
+/// One finished span, merged across threads and sorted by start time.
+/// Timestamps are microseconds since the process's trace origin (Chrome
+/// trace_event convention).
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+std::vector<TraceEvent> collect_trace();
+
+/// Spans discarded because a thread's trace buffer was full.
+std::size_t trace_dropped();
+
+/// Zero every metric cell and trace buffer (definitions and shards stay
+/// registered).  Test isolation only -- not thread-safe against concurrent
+/// recorders.
+void reset_for_tests();
+
+}  // namespace vstack::telemetry
+
+// RAII span macro; the variable name is line-unique so scopes can nest in
+// one function.  Collapses to nothing when telemetry is compiled out.
+#if VSTACK_TELEMETRY_ENABLED
+#define VS_SPAN_CONCAT_INNER(a, b) a##b
+#define VS_SPAN_CONCAT(a, b) VS_SPAN_CONCAT_INNER(a, b)
+#define VS_SPAN(name) \
+  const ::vstack::telemetry::Span VS_SPAN_CONCAT(vs_span_, __LINE__)(name)
+#else
+#define VS_SPAN(name) \
+  do {                \
+  } while (false)
+#endif

@@ -12,6 +12,7 @@
 
 #include "common/error.h"
 #include "power/workload.h"
+#include "telemetry/telemetry.h"
 
 namespace vstack::core {
 namespace {
@@ -266,6 +267,50 @@ TEST(CampaignParallelTest, ParallelRunMatchesSerialBitIdentical) {
   EXPECT_EQ(serial.summary(), parallel.summary());
   EXPECT_EQ(mask_wall_seconds(read_file(serial_manifest)),
             mask_wall_seconds(read_file(parallel_manifest)));
+}
+
+// Telemetry is observation-only: a campaign run with the span tracer live
+// writes the same manifest BYTES (wall_seconds aside) as one with tracing
+// off.  The compile-time half of this guarantee -- a -DVSTACK_TELEMETRY=OFF
+// build matching an ON build -- is exercised by the telemetry-off CI job.
+TEST(CampaignParallelTest, TracingDoesNotPerturbManifest) {
+  const std::string quiet_manifest =
+      ::testing::TempDir() + "/campaign_tel_quiet.jsonl";
+  const std::string traced_manifest =
+      ::testing::TempDir() + "/campaign_tel_traced.jsonl";
+  std::remove(quiet_manifest.c_str());
+  std::remove(traced_manifest.c_str());
+
+  const CampaignRunner runner(ctx(), stacked4());
+
+  telemetry::set_tracing_enabled(false);
+  CampaignOptions quiet_opts = fast_options();
+  quiet_opts.manifest_path = quiet_manifest;
+  quiet_opts.execution.jobs = 4;
+  const auto quiet = runner.run(acts4(), quiet_opts);
+
+  telemetry::set_tracing_enabled(true);
+  CampaignOptions traced_opts = fast_options();
+  traced_opts.manifest_path = traced_manifest;
+  traced_opts.execution.jobs = 4;
+  const auto traced = runner.run(acts4(), traced_opts);
+  const auto events = telemetry::collect_trace();
+  telemetry::set_tracing_enabled(false);
+
+  expect_scenarios_identical(quiet, traced);
+  EXPECT_EQ(mask_wall_seconds(read_file(quiet_manifest)),
+            mask_wall_seconds(read_file(traced_manifest)));
+#if VSTACK_TELEMETRY_ENABLED
+  // The traced run must actually have recorded campaign spans, or the
+  // comparison above is vacuous.
+  bool saw_campaign_span = false;
+  for (const auto& e : events) {
+    if (e.name == "core.campaign.scenario") saw_campaign_span = true;
+  }
+  EXPECT_TRUE(saw_campaign_span);
+#else
+  EXPECT_TRUE(events.empty());
+#endif
 }
 
 // Manifests are interchangeable across policies in BOTH directions: the

@@ -62,6 +62,47 @@ TEST(ExecutionPolicyTest, DefaultJobsHonorsEnvOverride) {
   }
 }
 
+TEST(ExecutionPolicyTest, DefaultJobsRejectsAndClampsBadEnvValues) {
+  const char* saved = std::getenv("VSTACK_JOBS");
+  const std::string saved_value = saved ? saved : "";
+  const std::size_t fallback = [] {
+    unsetenv("VSTACK_JOBS");
+    return ExecutionPolicy::default_jobs();
+  }();
+
+  // Zero and negative values are ignored (warn + hardware fallback).
+  ASSERT_EQ(setenv("VSTACK_JOBS", "0", 1), 0);
+  EXPECT_EQ(ExecutionPolicy::default_jobs(), fallback);
+  ASSERT_EQ(setenv("VSTACK_JOBS", "-3", 1), 0);
+  EXPECT_EQ(ExecutionPolicy::default_jobs(), fallback);
+
+  // Non-numeric (including trailing junk) is ignored too.
+  ASSERT_EQ(setenv("VSTACK_JOBS", "abc", 1), 0);
+  EXPECT_EQ(ExecutionPolicy::default_jobs(), fallback);
+  ASSERT_EQ(setenv("VSTACK_JOBS", "4banana", 1), 0);
+  EXPECT_EQ(ExecutionPolicy::default_jobs(), fallback);
+  ASSERT_EQ(setenv("VSTACK_JOBS", "", 1), 0);
+  EXPECT_EQ(ExecutionPolicy::default_jobs(), fallback);
+
+  // Huge values clamp to the 4096 pool bound instead of exploding --
+  // including values past the long long range.
+  ASSERT_EQ(setenv("VSTACK_JOBS", "100000", 1), 0);
+  EXPECT_EQ(ExecutionPolicy::default_jobs(), 4096u);
+  ASSERT_EQ(setenv("VSTACK_JOBS", "99999999999999999999", 1), 0);
+  EXPECT_EQ(ExecutionPolicy::default_jobs(), 4096u);
+
+  // The clamped result must still be a constructible pool size.
+  ExecutionPolicy p;
+  p.jobs = ExecutionPolicy::default_jobs();
+  EXPECT_NO_THROW(TaskPool{p});
+
+  if (saved) {
+    setenv("VSTACK_JOBS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("VSTACK_JOBS");
+  }
+}
+
 TEST(TaskPoolTest, ZeroCountIsANoop) {
   const TaskPool pool(policy(4));
   pool.run_ordered(

@@ -1,0 +1,362 @@
+// Telemetry registry, histogram, tracer, and JSON sink tests, including a
+// 16-worker TaskPool stress for the shard-merge path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/task_pool.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+
+namespace vstack::telemetry {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_for_tests();
+    set_tracing_enabled(false);
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    reset_for_tests();
+  }
+};
+
+#if VSTACK_TELEMETRY_ENABLED
+
+TEST_F(TelemetryTest, CounterAccumulatesAcrossHandlesAndThreads) {
+  const Counter a("test.counter.shared");
+  const Counter b("test.counter.shared");  // same metric, second handle
+  a.add();
+  b.add(2.0);
+
+  constexpr std::size_t kThreads = 16;
+  constexpr std::size_t kAddsPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (std::size_t k = 0; k < kAddsPerThread; ++k) a.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto snap = snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter_value("test.counter.shared"),
+                   3.0 + static_cast<double>(kThreads * kAddsPerThread));
+}
+
+TEST_F(TelemetryTest, GaugeKeepsTheLastWrite) {
+  const Gauge g("test.gauge.last");
+  g.set(1.5);
+  g.set(-7.25);
+  const auto snap = snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "test.gauge.last");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, -7.25);
+}
+
+TEST_F(TelemetryTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  const Histogram h("test.hist.edges", {1.0, 2.0, 4.0});
+  // A value equal to a bound lands in that bound's bucket (le semantics).
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) h.record(v);
+
+  const auto snap = snapshot();
+  const HistogramSnapshot* hist = snap.histogram("test.hist.edges");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->counts.size(), 4u);  // 3 finite buckets + overflow
+  EXPECT_EQ(hist->counts[0], 2u);      // 0.5, 1.0
+  EXPECT_EQ(hist->counts[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(hist->counts[2], 1u);      // 4.0
+  EXPECT_EQ(hist->counts[3], 1u);      // 5.0 overflows
+  EXPECT_EQ(hist->count, 6u);
+  EXPECT_DOUBLE_EQ(hist->sum, 14.0);
+  EXPECT_DOUBLE_EQ(hist->min, 0.5);
+  EXPECT_DOUBLE_EQ(hist->max, 5.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantilesInterpolateAndClamp) {
+  const Histogram h("test.hist.quantiles", {10.0, 20.0, 40.0});
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i % 40) + 1.0);
+
+  const auto snap = snapshot();
+  const HistogramSnapshot* hist = snap.histogram("test.hist.quantiles");
+  ASSERT_NE(hist, nullptr);
+  // Exact at the extremes, monotone in between, clamped to [min, max].
+  EXPECT_DOUBLE_EQ(hist->quantile(0.0), hist->min);
+  EXPECT_DOUBLE_EQ(hist->quantile(1.0), hist->max);
+  const double p25 = hist->quantile(0.25);
+  const double p50 = hist->quantile(0.5);
+  const double p95 = hist->quantile(0.95);
+  EXPECT_LE(hist->min, p25);
+  EXPECT_LE(p25, p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, hist->max);
+}
+
+TEST_F(TelemetryTest, HistogramKindAndBoundsMismatchesThrow) {
+  const Counter c("test.kind.clash");
+  (void)c;
+  EXPECT_THROW(Histogram("test.kind.clash", {1.0}), Error);
+  EXPECT_THROW(Histogram("test.hist.unsorted", {2.0, 1.0}), Error);
+}
+
+TEST_F(TelemetryTest, TaskPoolWorkersMergeShardsExactly) {
+  // 16 workers hammer one counter and one histogram from pool threads; the
+  // merged snapshot must account for every record exactly once even though
+  // worker threads exit (and their shards are recycled) between runs.
+  const Counter c("test.pool.tasks");
+  const Histogram h("test.pool.values", {0.25, 0.5, 0.75});
+  constexpr std::size_t kTasks = 4096;
+
+  core::ExecutionPolicy policy;
+  policy.jobs = 16;
+  const core::TaskPool pool(policy);
+  for (int run = 0; run < 2; ++run) {
+    std::atomic<std::size_t> committed{0};
+    pool.run_ordered(
+        kTasks,
+        [&](std::size_t i) {
+          c.add();
+          h.record(static_cast<double>(i % 100) / 100.0);
+        },
+        [&](std::size_t) { committed.fetch_add(1); });
+    EXPECT_EQ(committed.load(), kTasks);
+  }
+
+  const auto snap = snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter_value("test.pool.tasks"), 2.0 * kTasks);
+  const HistogramSnapshot* hist = snap.histogram("test.pool.values");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u * kTasks);
+}
+
+TEST_F(TelemetryTest, SpansRecordOnlyWhileTracingIsEnabled) {
+  { VS_SPAN("test.span.disabled"); }
+  EXPECT_TRUE(collect_trace().empty());
+
+  set_tracing_enabled(true);
+  {
+    VS_SPAN("test.span.outer");
+    { VS_SPAN("test.span.inner"); }
+  }
+  record_span("test.span.manual", 1.0, 2.0);
+  set_tracing_enabled(false);
+
+  const auto events = collect_trace();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by start time: outer opened before inner.
+  bool saw_outer = false, saw_inner = false, saw_manual = false;
+  double outer_ts = 0.0, outer_end = 0.0, inner_ts = 0.0, inner_end = 0.0;
+  for (const auto& e : events) {
+    if (e.name == "test.span.outer") {
+      saw_outer = true;
+      outer_ts = e.ts_us;
+      outer_end = e.ts_us + e.dur_us;
+    } else if (e.name == "test.span.inner") {
+      saw_inner = true;
+      inner_ts = e.ts_us;
+      inner_end = e.ts_us + e.dur_us;
+    } else if (e.name == "test.span.manual") {
+      saw_manual = true;
+      EXPECT_NEAR(e.dur_us, 1e6, 1.0);  // 1 s in microseconds
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_manual);
+  // Nesting: the inner span lies within the outer one.
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_LE(inner_end, outer_end + 1e-6);
+}
+
+#else  // telemetry compiled out
+
+TEST_F(TelemetryTest, DisabledBuildYieldsEmptySnapshots) {
+  const Counter c("test.disabled.counter");
+  c.add(5.0);
+  const Histogram h("test.disabled.hist", {1.0});
+  h.record(0.5);
+  set_tracing_enabled(true);
+  { VS_SPAN("test.disabled.span"); }
+
+  const auto snap = snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(collect_trace().empty());
+}
+
+#endif  // VSTACK_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// JSON sink well-formedness.  The exporters hand-serialize, so the tests
+// parse their output back with a strict little recursive-descent JSON
+// reader -- if this accepts, Perfetto and python json.load will too.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST_F(TelemetryTest, MetricsJsonParsesBack) {
+  const Counter c("test.json.counter");
+  c.add(3.0);
+  const Gauge g("test.json.gauge");
+  g.set(0.5);
+  const Histogram h("test.json.hist", {1.0, 2.0});
+  h.record(1.5);
+  h.record(9.0);
+
+  const std::string json = metrics_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"kind\":\"vstack-metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"build\":"), std::string::npos);
+#if VSTACK_TELEMETRY_ENABLED
+  EXPECT_NE(json.find("\"test.json.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos);
+#endif
+}
+
+TEST_F(TelemetryTest, TraceJsonParsesBack) {
+  set_tracing_enabled(true);
+  {
+    VS_SPAN("test.json.outer");
+    { VS_SPAN("test.json.inner"); }
+  }
+  set_tracing_enabled(false);
+
+  const std::string json = trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+#if VSTACK_TELEMETRY_ENABLED
+  EXPECT_NE(json.find("\"name\":\"test.json.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Category is the leading name segment.
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+#endif
+}
+
+TEST_F(TelemetryTest, BuildInfoIsPopulated) {
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_EQ(info.telemetry_enabled, VSTACK_TELEMETRY_ENABLED != 0);
+  const std::string summary = build_summary();
+  EXPECT_NE(summary.find(info.version), std::string::npos);
+}
+
+TEST_F(TelemetryTest, MonotonicSecondsAdvances) {
+  const double a = monotonic_seconds();
+  const double b = monotonic_seconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace vstack::telemetry

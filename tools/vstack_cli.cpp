@@ -33,6 +33,8 @@
 #include "pdn/config_io.h"
 #include "pdn/ride_through.h"
 #include "power/workload.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 #include "thermal/thermal_grid.h"
 
 namespace {
@@ -580,6 +582,17 @@ int cmd_spice(const CliArgs& args) {
   return result.ok() ? 0 : 2;
 }
 
+int cmd_version() {
+  const auto& info = telemetry::build_info();
+  std::cout << telemetry::build_summary() << "\n"
+            << "  version:    " << info.version << "\n"
+            << "  build type: " << info.build_type << "\n"
+            << "  sanitizer:  " << info.sanitizer << "\n"
+            << "  telemetry:  " << (info.telemetry_enabled ? "on" : "off")
+            << "\n";
+  return 0;
+}
+
 void usage() {
   std::cout <<
       "usage: vstack_cli <command> [options]\n"
@@ -600,11 +613,31 @@ void usage() {
       "  report      one-command reproduction of every figure (--jobs)\n"
       "  spice FILE  run a SPICE-subset netlist (--verbose)\n"
       "  config      echo the resolved configuration (--config ...)\n"
+      "  version     print build provenance (git describe, build type, "
+      "sanitizer, telemetry)\n"
       "exit codes: 0 ok; 1 usage error; 2 truncated/incomplete result; "
       "3 Lost/Infeasible outcome\n"
       "--jobs=N sets worker threads for multi-scenario commands (default: "
       "auto via VSTACK_JOBS env or hardware concurrency; results are "
-      "independent of N)\n";
+      "independent of N)\n"
+      "--metrics=PATH writes a telemetry metrics snapshot (counters, "
+      "histograms) after the command; --trace=PATH writes Chrome "
+      "trace_event JSON (open in Perfetto).  See docs/telemetry.md\n";
+}
+
+/// Write --metrics / --trace artifacts after the command ran.  Failures
+/// here must not rewrite a successful analysis into exit code 1.
+void write_telemetry_sinks(const CliArgs& args) {
+  try {
+    if (args.has("metrics")) {
+      telemetry::write_metrics_file(args.get_string("metrics", ""));
+    }
+    if (args.has("trace")) {
+      telemetry::write_trace_file(args.get_string("trace", ""));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "warning: telemetry export failed: " << e.what() << "\n";
+  }
 }
 
 }  // namespace
@@ -617,25 +650,34 @@ int main(int argc, char** argv) {
                         "exhaustive", "mc", "trials", "faults", "seed",
                         "budget", "verbose", "duration", "fault-time",
                         "fault-level", "keep", "manifest", "compare",
-                        "timeout", "retries", "conv-faults", "jobs"});
+                        "timeout", "retries", "conv-faults", "jobs",
+                        "metrics", "trace", "version"});
     const auto ctx = core::StudyContext::paper_defaults();
     const std::string cmd = args.subcommand();
-    if (cmd == "noise") return cmd_noise(ctx, args);
-    if (cmd == "contingency") return cmd_contingency(ctx, args);
-    if (cmd == "ride-through") return cmd_ride_through(ctx, args);
-    if (cmd == "campaign") return cmd_campaign(ctx, args);
-    if (cmd == "em") return cmd_em(ctx, args);
-    if (cmd == "efficiency") return cmd_efficiency(ctx, args);
-    if (cmd == "thermal") return cmd_thermal(ctx, args);
-    if (cmd == "sweep") return cmd_sweep(ctx, args);
-    if (cmd == "report") return cmd_report(ctx, args);
-    if (cmd == "spice") return cmd_spice(args);
-    if (cmd == "config") {
+    if (cmd == "version" || args.get_bool("version")) return cmd_version();
+    // Span recording costs a little per scope, so the tracer only runs when
+    // a trace sink was requested; counters are always on.
+    if (args.has("trace")) telemetry::set_tracing_enabled(true);
+    int code = 1;
+    if (cmd == "noise") code = cmd_noise(ctx, args);
+    else if (cmd == "contingency") code = cmd_contingency(ctx, args);
+    else if (cmd == "ride-through") code = cmd_ride_through(ctx, args);
+    else if (cmd == "campaign") code = cmd_campaign(ctx, args);
+    else if (cmd == "em") code = cmd_em(ctx, args);
+    else if (cmd == "efficiency") code = cmd_efficiency(ctx, args);
+    else if (cmd == "thermal") code = cmd_thermal(ctx, args);
+    else if (cmd == "sweep") code = cmd_sweep(ctx, args);
+    else if (cmd == "report") code = cmd_report(ctx, args);
+    else if (cmd == "spice") code = cmd_spice(args);
+    else if (cmd == "config") {
       std::cout << pdn::write_stackup_config(resolve_config(ctx, args));
-      return 0;
+      code = 0;
+    } else {
+      usage();
+      return cmd.empty() ? 0 : 1;
     }
-    usage();
-    return cmd.empty() ? 0 : 1;
+    write_telemetry_sinks(args);
+    return code;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
