@@ -1,0 +1,75 @@
+#include "common/deadline.h"
+
+#include <chrono>
+#include <limits>
+
+namespace vstack {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Deadline Deadline::cancellable() {
+  Deadline d;
+  d.state_ = std::make_shared<State>();
+  d.state_->deadline_s = kInf;
+  return d;
+}
+
+Deadline Deadline::after(double seconds) {
+  Deadline d = cancellable();
+  d.state_->deadline_s = steady_seconds() + seconds;
+  return d;
+}
+
+Deadline Deadline::limited_by(const Deadline& parent, double seconds) {
+  Deadline d = seconds > 0.0 ? after(seconds) : cancellable();
+  d.state_->parent = parent.state_;
+  return d;
+}
+
+void Deadline::cancel() const {
+  if (state_) state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool Deadline::cancelled() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
+
+bool Deadline::state_expired(const State& s) {
+  if (s.cancelled.load(std::memory_order_acquire)) return true;
+  if (s.deadline_s != kInf && steady_seconds() > s.deadline_s) return true;
+  return false;
+}
+
+bool Deadline::expired() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (state_expired(*s)) return true;
+  }
+  return false;
+}
+
+double Deadline::remaining_seconds() const {
+  double remaining = kInf;
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) return 0.0;
+    if (s->deadline_s != kInf) {
+      const double r = s->deadline_s - steady_seconds();
+      remaining = r < remaining ? r : remaining;
+    }
+  }
+  return remaining < 0.0 ? 0.0 : remaining;
+}
+
+}  // namespace vstack

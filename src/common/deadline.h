@@ -1,0 +1,85 @@
+// Cooperative cancellation + wall-clock deadline token, shared by every
+// layer that can run away: the la Krylov/dense solvers, the sim step
+// controller, the core TaskPool, and the service request executor.
+//
+// A Deadline is a cheap value type: copies share one state block, so a token
+// handed to CampaignOptions.execution propagates by plain options copying
+// down into every solver iteration loop.  Checking costs one atomic load
+// (plus a steady_clock read when a time limit is armed); cancel() is an
+// atomic store and therefore safe to call from a signal handler (the
+// shutdown path in common/shutdown.h relies on this).
+//
+// Three shapes:
+//   Deadline()                 -- unlimited: never expires, cancel() no-op.
+//   Deadline::cancellable()    -- no time limit, but cancel() fires it.
+//   Deadline::after(s)         -- expires `s` seconds from now (and is also
+//                                 cancellable).
+//   Deadline::limited_by(d, s) -- after(s), but ALSO expired whenever the
+//                                 parent `d` is (service stop token + per-
+//                                 request deadline composition).
+//
+// Time base: std::chrono::steady_clock, read directly.  This is a
+// control-plane check, not a reported measurement -- every wall_seconds in
+// results still comes from telemetry::monotonic_seconds() (which common
+// cannot link against; telemetry sits above it).
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace vstack {
+
+class Deadline {
+ public:
+  /// Unlimited token: expired() is always false, cancel() does nothing.
+  /// This is the default everywhere, so existing call sites pay one null
+  /// check and nothing else.
+  Deadline() = default;
+
+  /// No time limit, but cancel() (from any thread or a signal handler)
+  /// expires it.
+  static Deadline cancellable();
+
+  /// Expires `seconds` from now (steady clock); also cancellable.
+  /// `seconds` <= 0 creates an already-expired token.
+  static Deadline after(double seconds);
+
+  /// after(seconds) that is additionally expired whenever `parent` is:
+  /// the sooner of the two.  `seconds` <= 0 means "no own time limit" --
+  /// the result simply mirrors the parent.
+  static Deadline limited_by(const Deadline& parent, double seconds);
+
+  /// Fire the token.  No-op on an unlimited (default) token.
+  void cancel() const;
+
+  /// True when cancel() was called (directly or on the parent chain).
+  bool cancelled() const;
+
+  /// True when cancelled or past the time limit.  The hot-path check.
+  bool expired() const;
+
+  /// Seconds until the time limit: +inf when unlimited, 0 when expired.
+  double remaining_seconds() const;
+
+  /// True for the default-constructed token (no state, never expires).
+  bool unlimited() const { return state_ == nullptr; }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    double deadline_s = 0.0;  // steady-clock stamp; infinity = no limit
+    std::shared_ptr<const State> parent;  // expired when the parent is
+  };
+
+  static bool state_expired(const State& s);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace vstack
+
+namespace vstack::core {
+// The runner layer talks about core::Deadline (it rides ExecutionPolicy);
+// the token itself lives in common so la/sim can check it too.
+using ::vstack::Deadline;
+}  // namespace vstack::core

@@ -1,0 +1,137 @@
+#include "common/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace vstack {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Directory part of `path` ("." when there is none); used to fsync the
+/// directory entry after a rename so the new name itself is durable.
+std::string directory_of(const std::string& path) {
+  const auto slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void write_all(int fd, const char* data, std::size_t n,
+               const std::string& path) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      VS_FAIL("write to '" + path + "' failed: " + errno_text());
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+DurableAppender::~DurableAppender() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+DurableAppender::DurableAppender(DurableAppender&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+DurableAppender& DurableAppender::operator=(DurableAppender&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::fsync(fd_);
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+void DurableAppender::open(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  VS_REQUIRE(fd_ >= 0,
+             "cannot open '" + path + "' for appending: " + errno_text());
+  path_ = path;
+}
+
+void DurableAppender::append_line(const std::string& line) {
+  VS_REQUIRE(fd_ >= 0, "DurableAppender: append_line on a closed file");
+  // One write(2) for payload + newline: O_APPEND makes the offset atomic,
+  // and a single syscall minimizes the torn-line window to the kernel's
+  // own copy (which the read side tolerates on the final line).
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf += line;
+  buf += '\n';
+  write_all(fd_, buf.data(), buf.size(), path_);
+  VS_REQUIRE(::fsync(fd_) == 0,
+             "fsync of '" + path_ + "' failed: " + errno_text());
+}
+
+void DurableAppender::sync() {
+  if (fd_ >= 0) {
+    VS_REQUIRE(::fsync(fd_) == 0,
+               "fsync of '" + path_ + "' failed: " + errno_text());
+  }
+}
+
+void DurableAppender::close() {
+  if (fd_ < 0) return;
+  ::fsync(fd_);
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  VS_REQUIRE(rc == 0, "close of '" + path_ + "' failed: " + errno_text());
+}
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  VS_REQUIRE(fd >= 0, "cannot create '" + tmp + "': " + errno_text());
+  try {
+    write_all(fd, content.data(), content.size(), tmp);
+    VS_REQUIRE(::fsync(fd) == 0, "fsync of '" + tmp + "' failed: " +
+                                     errno_text());
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  VS_REQUIRE(::close(fd) == 0, "close of '" + tmp + "' failed: " +
+                                   errno_text());
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp.c_str());
+    VS_FAIL("rename '" + tmp + "' -> '" + path + "' failed: " + why);
+  }
+  fsync_directory(directory_of(path));
+}
+
+}  // namespace vstack

@@ -1,0 +1,61 @@
+// Durable file primitives for the crash-safe JSONL protocols (campaign
+// manifests, service responses, health snapshots).
+//
+// Two guarantees a plain std::ofstream cannot give:
+//
+//   * DurableAppender writes each line (payload + '\n') in a SINGLE write(2)
+//     call and fsyncs before returning, so a committed line survives both a
+//     kill -9 and a power cut.  Only the line in flight at the instant of
+//     death can be torn -- exactly the case the read side already tolerates.
+//
+//   * atomic_write_file publishes whole-file content via temp file + fsync +
+//     rename(2) (+ directory fsync), so readers -- and a restarted process --
+//     see either the complete old content or the complete new content, never
+//     a torn prefix.  Campaign manifests create their HEADER this way: a
+//     torn header would make resume refuse the whole manifest, which is the
+//     one torn line the tolerance on scenario lines cannot absorb.
+#pragma once
+
+#include <string>
+
+namespace vstack {
+
+class DurableAppender {
+ public:
+  DurableAppender() = default;
+  ~DurableAppender();
+
+  DurableAppender(const DurableAppender&) = delete;
+  DurableAppender& operator=(const DurableAppender&) = delete;
+  DurableAppender(DurableAppender&& other) noexcept;
+  DurableAppender& operator=(DurableAppender&& other) noexcept;
+
+  /// Open `path` for appending (created if absent).  Throws vstack::Error
+  /// when the file cannot be opened.
+  void open(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Append `line` + '\n' in one write(2), then fsync.  Throws on short
+  /// writes or I/O errors.
+  void append_line(const std::string& line);
+
+  /// fsync without writing; no-op when closed.
+  void sync();
+
+  /// fsync + close; no-op when already closed.  Called by the destructor
+  /// (which swallows errors -- call close() yourself when they matter).
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Replace `path` with `content` atomically: write to `path.tmp.<pid>` in
+/// the same directory, fsync, rename over `path`, fsync the directory.
+/// Throws vstack::Error on any I/O failure (the temp file is removed).
+void atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace vstack

@@ -1,0 +1,44 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+namespace vstack {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+bool g_installed = false;
+
+// The token lives in a leaked heap slot so the signal handler can reach it
+// through a plain pointer load at any point of process teardown (a
+// function-local static could already be destroyed).
+Deadline* g_token = new Deadline(Deadline::cancellable());
+
+extern "C" void vstack_shutdown_handler(int sig) {
+  g_signal.store(sig, std::memory_order_release);
+  g_token->cancel();  // atomic store; async-signal-safe
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  if (g_installed) return;
+  g_installed = true;
+  std::signal(SIGINT, vstack_shutdown_handler);
+  std::signal(SIGTERM, vstack_shutdown_handler);
+}
+
+Deadline shutdown_token() { return *g_token; }
+
+bool shutdown_requested() {
+  return g_signal.load(std::memory_order_acquire) != 0;
+}
+
+int shutdown_signal() { return g_signal.load(std::memory_order_acquire); }
+
+void reset_shutdown_for_tests() {
+  g_signal.store(0, std::memory_order_release);
+  *g_token = Deadline::cancellable();
+}
+
+}  // namespace vstack

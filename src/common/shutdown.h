@@ -1,0 +1,42 @@
+// Process-wide graceful-shutdown plumbing for the CLI tools and the
+// service daemon.
+//
+// install_shutdown_handlers() registers SIGINT/SIGTERM handlers that do the
+// only async-signal-safe thing possible: cancel the process-wide shutdown
+// token (an atomic store).  Everything cooperative then unwinds on its own
+// -- TaskPool stops claiming chunks, the step controller truncates the
+// in-flight transient, the campaign manifest keeps its committed prefix --
+// and the command exits with kInterruptExitCode instead of dying mid-write.
+//
+// The handlers are installed at most once per process; calling
+// install_shutdown_handlers() again is a no-op.
+#pragma once
+
+#include "common/deadline.h"
+
+namespace vstack {
+
+/// Exit code for a batch command interrupted by SIGINT/SIGTERM (0 ok,
+/// 1 usage, 2 truncated, 3 bad outcome are already taken by vstack_cli).
+inline constexpr int kInterruptExitCode = 4;
+
+/// Register SIGINT/SIGTERM handlers that cancel shutdown_token().
+/// Idempotent; safe to call from multiple subcommands.
+void install_shutdown_handlers();
+
+/// The process-wide cancellation token the handlers fire.  Valid (and the
+/// same token) whether or not handlers were installed, so runners can take
+/// it unconditionally.
+Deadline shutdown_token();
+
+/// True once a shutdown signal arrived.
+bool shutdown_requested();
+
+/// The signal that arrived (SIGINT/SIGTERM), or 0.
+int shutdown_signal();
+
+/// Re-arm with a fresh token and clear the recorded signal.  Test isolation
+/// only -- not safe against a concurrently delivered signal.
+void reset_shutdown_for_tests();
+
+}  // namespace vstack

@@ -7,6 +7,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/durable_file.h"
 #include "common/error.h"
 #include "pdn/config_io.h"
 #include "telemetry/telemetry.h"
@@ -307,6 +308,10 @@ std::string CampaignReport::summary() const {
   if (resumed > 0) {
     oss << "; resumed " << resumed << ", evaluated " << evaluated;
   }
+  if (cancelled) {
+    oss << "; CANCELLED after " << scenarios.size() << "/" << planned
+        << " trials (deadline)";
+  }
   return oss.str();
 }
 
@@ -344,6 +349,11 @@ CampaignScenarioResult CampaignRunner::evaluate_scenario(
   if (options.scenario_timeout_s > 0.0) {
     rt.transient.control.wall_clock_budget_s = options.scenario_timeout_s;
   }
+  // Cancellation reaches INSIDE a scenario: the step controller aborts at
+  // the next step boundary and the linear solver at the next iteration
+  // poll, so a stuck post-fault solve cannot outlive the deadline.
+  rt.transient.control.deadline = options.execution.deadline;
+  rt.transient.iterative.deadline = options.execution.deadline;
 
   pdn::RideThroughResult run;
   std::size_t attempt = 0;
@@ -353,6 +363,9 @@ CampaignScenarioResult CampaignRunner::evaluate_scenario(
                                      rt);
     result.wall_seconds += run.report.transient.wall_seconds;
     if (run.report.ok() || attempt > options.max_retries) break;
+    // A deadline truncation is not a numerical failure; retrying with
+    // relaxed tolerances would just burn the drain window.
+    if (options.execution.deadline.expired()) break;
     // Bounded retry: relax the LTE tolerances and go again.  The wall-clock
     // budget is per attempt, so a timeout cannot compound past
     // (1 + max_retries) * scenario_timeout_s.
@@ -361,6 +374,11 @@ CampaignScenarioResult CampaignRunner::evaluate_scenario(
   }
 
   if (attempt > 1) t_retries.add(static_cast<double>(attempt - 1));
+  // An incomplete run with the deadline expired is a truncation artifact,
+  // not a verdict; a concurrent genuine failure is indistinguishable here,
+  // and dropping it is still sound -- the trial just re-runs on resume.
+  result.deadline_truncated =
+      !run.report.ok() && options.execution.deadline.expired();
   result.attempts = attempt;
   result.completed = run.report.ok();
   result.timed_out =
@@ -390,22 +408,22 @@ CampaignReport CampaignRunner::run(
       campaign_config_hash(config_, layer_activities, options);
 
   std::map<std::size_t, CampaignScenarioResult> finished;
-  std::ofstream manifest;
+  DurableAppender manifest;
   if (!options.manifest_path.empty()) {
     const bool resumed = load_manifest(
         options.manifest_path, options.contingency.seed,
         options.contingency.trials, report.config_hash, finished);
-    manifest.open(options.manifest_path,
-                  resumed ? (std::ios::out | std::ios::app)
-                          : (std::ios::out | std::ios::trunc));
-    VS_REQUIRE(manifest.good(), "cannot open campaign manifest '" +
-                                    options.manifest_path + "' for writing");
     if (!resumed) {
-      manifest << header_line(options.contingency.seed,
-                              options.contingency.trials, report.config_hash)
-               << '\n';
-      manifest.flush();
+      // Publish the header atomically (temp + rename): a torn header is the
+      // one torn line resume cannot tolerate -- load_manifest refuses the
+      // whole manifest -- so the file must never exist with half of one.
+      atomic_write_file(options.manifest_path,
+                        header_line(options.contingency.seed,
+                                    options.contingency.trials,
+                                    report.config_hash) +
+                            "\n");
     }
+    manifest.open(options.manifest_path);
   }
 
   // Evaluate on the worker pool, commit in trial-index order.  Workers
@@ -414,6 +432,8 @@ CampaignReport CampaignRunner::run(
   // manifest appends, aggregate accumulation, mismatch checks -- happens
   // in the commit callback on this thread, serialized by the pool.
   std::vector<CampaignScenarioResult> results(plan.size());
+  report.planned = plan.size();
+  bool truncated = false;
   const TaskPool pool(options.execution);
   pool.run_ordered(
       plan.size(),
@@ -426,10 +446,17 @@ CampaignReport CampaignRunner::run(
         }
       },
       [&](std::size_t i) {
+        CampaignScenarioResult& result = results[i];
+        // Once one trial is dropped, everything after it drops too:
+        // committing trial k+1 without k would break the contiguous-prefix
+        // contract the manifest (and resume) depend on.
+        if (truncated || result.deadline_truncated) {
+          truncated = true;
+          return;
+        }
         const PlannedScenario& scenario = plan[i];
         const std::uint64_t expect =
             scenario_hash(scenario, options.fault_time);
-        CampaignScenarioResult& result = results[i];
         if (result.from_checkpoint) {
           VS_REQUIRE(result.scenario_hash == expect,
                      "campaign manifest entry for " + scenario.label +
@@ -439,12 +466,11 @@ CampaignReport CampaignRunner::run(
         } else {
           ++report.evaluated;
           if (manifest.is_open()) {
-            // Append + flush per committed scenario: killing the process
-            // loses the in-flight scenarios, and the manifest stays a
-            // contiguous trial prefix even when workers finish out of
-            // order.
-            manifest << scenario_line(result) << '\n';
-            manifest.flush();
+            // One write(2) + fsync per committed scenario: kill -9 loses at
+            // most the in-flight line (which the read side skips), and the
+            // manifest stays a contiguous trial prefix even when workers
+            // finish out of order.
+            manifest.append_line(scenario_line(result));
           }
         }
 
@@ -460,6 +486,7 @@ CampaignReport CampaignRunner::run(
         }
         report.scenarios.push_back(std::move(result));
       });
+  report.cancelled = report.scenarios.size() < plan.size();
   return report;
 }
 

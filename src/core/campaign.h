@@ -110,6 +110,14 @@ struct CampaignScenarioResult {
   double wall_seconds = 0.0;  // summed over attempts
 
   bool from_checkpoint = false;  // restored from the manifest, not re-run
+
+  /// The final attempt was cut short by options.execution.deadline, not by
+  /// physics or numerics.  Never serialized: the commit path discards the
+  /// result -- and everything after it, keeping the committed prefix
+  /// contiguous -- so manifests only ever hold trials that ran to a real
+  /// verdict, and a resume re-runs the trial instead of inheriting a
+  /// truncated waveform.
+  bool deadline_truncated = false;
 };
 
 struct CampaignReport {
@@ -124,6 +132,15 @@ struct CampaignReport {
   std::size_t resumed = 0;    // restored from the manifest
   std::size_t evaluated = 0;  // actually simulated this run
   std::uint64_t config_hash = 0;
+
+  /// Trials the plan called for; scenarios.size() < planned only when the
+  /// run was cancelled.
+  std::size_t planned = 0;
+  /// True when options.execution.deadline fired before every trial
+  /// committed.  `scenarios` (and the manifest, when enabled) hold a
+  /// contiguous trial prefix; re-running with the same manifest and an
+  /// unexpired deadline finishes the campaign with identical aggregates.
+  bool cancelled = false;
 
   /// Multi-line human-readable digest (counts + worst droop).
   std::string summary() const;

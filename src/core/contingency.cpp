@@ -133,10 +133,19 @@ ContingencyCase ContingencyEngine::evaluate_case(
       label.empty() ? faults.describe(model.network()) : label;
 
   faults.apply_to(model.network_mutable());
+  // The deadline rides the solve options so an ill-conditioned post-fault
+  // system aborts at the next Krylov iteration poll instead of stalling the
+  // whole sweep.
+  pdn::PdnSolveOptions solve = options.solve;
+  solve.iterative.deadline = options.execution.deadline;
   const auto sol =
-      model.solve_activities(ctx_.core_model, layer_activities, options.solve);
+      model.solve_activities(ctx_.core_model, layer_activities, solve);
 
   result.solved = sol.solve_ok;
+  // A concurrent genuine failure is indistinguishable from a timeout here;
+  // dropping it is still sound -- the case re-runs on the next submission.
+  result.deadline_truncated =
+      !sol.solve_ok && options.execution.deadline.expired();
   result.solve_attempts = std::max<std::size_t>(1, sol.report.attempts.size());
   result.floating_islands = sol.floating_island_count;
   result.diagnostic = sol.diagnostic;
@@ -211,6 +220,8 @@ ContingencyReport ContingencyEngine::run_n_minus_1(
   // sweep fans out on the worker pool; the ordered commit keeps the report
   // identical to a serial sweep.
   std::vector<ContingencyCase> evaluated(cases);
+  report.planned = cases;
+  bool truncated = false;
   const TaskPool pool(options.execution);
   pool.run_ordered(
       cases,
@@ -225,8 +236,15 @@ ContingencyReport ContingencyEngine::run_n_minus_1(
             evaluate_case(faults, layer_activities, options, label.str());
       },
       [&](std::size_t k) {
+        // Drop deadline-truncated cases and everything after them: the
+        // committed cases stay a contiguous prefix of real verdicts.
+        if (truncated || evaluated[k].deadline_truncated) {
+          truncated = true;
+          return;
+        }
         classify_and_append(report, std::move(evaluated[k]));
       });
+  report.cancelled = report.cases.size() < cases;
   return report;
 }
 
@@ -318,6 +336,8 @@ ContingencyReport ContingencyEngine::run_monte_carlo(
   // All RNG consumption happened in sample_trials; evaluation is pure, so
   // trials fan out on the worker pool and commit in trial order.
   std::vector<ContingencyCase> evaluated(plan.size());
+  report.planned = plan.size();
+  bool truncated = false;
   const TaskPool pool(options.execution);
   pool.run_ordered(
       plan.size(),
@@ -326,8 +346,13 @@ ContingencyReport ContingencyEngine::run_monte_carlo(
                                      options, plan[i].label);
       },
       [&](std::size_t i) {
+        if (truncated || evaluated[i].deadline_truncated) {
+          truncated = true;
+          return;
+        }
         classify_and_append(report, std::move(evaluated[i]));
       });
+  report.cancelled = report.cases.size() < plan.size();
   return report;
 }
 

@@ -103,6 +103,11 @@ struct ContingencyCase {
   /// conductor's current actually redistributed to survivors.
   double tsv_current_sum = 0.0;
   std::string diagnostic;
+
+  /// The solve was cut short by options.execution.deadline.  Not evidence
+  /// of infeasibility: the commit path discards the case (and everything
+  /// after it) instead of counting a timeout artifact as Infeasible.
+  bool deadline_truncated = false;
 };
 
 struct ContingencyReport {
@@ -120,6 +125,12 @@ struct ContingencyReport {
   std::size_t degraded = 0;
   std::size_t infeasible = 0;
   double worst_post_fault_deviation = 0.0;  // over solved cases
+
+  /// Cases the sweep/campaign planned to evaluate; cases.size() < planned
+  /// only when `cancelled` (options.execution.deadline fired mid-run --
+  /// `cases` hold the contiguous committed prefix).
+  std::size_t planned = 0;
+  bool cancelled = false;
 };
 
 class ContingencyEngine {

@@ -78,22 +78,24 @@ const telemetry::Histogram t_commit_wait_seconds(
 
 }  // namespace
 
-void TaskPool::run_ordered(std::size_t count, const Work& work,
-                           const Commit& commit) const {
-  if (count == 0) return;
+std::size_t TaskPool::run_ordered(std::size_t count, const Work& work,
+                                  const Commit& commit) const {
+  if (count == 0) return 0;
   VS_SPAN("core.task_pool.run");
   t_runs.add();
   t_tasks.add(static_cast<double>(count));
+  const Deadline& deadline = policy_.deadline;
   const std::size_t jobs = std::min(policy_.resolved_jobs(), count);
   t_jobs.set(static_cast<double>(jobs));
   if (jobs <= 1) {
     // Serial fast path: caller's thread, no synchronization -- the exact
     // historical behavior of every scenario loop.
     for (std::size_t i = 0; i < count; ++i) {
+      if (deadline.expired()) return i;
       work(i);
       commit(i);
     }
-    return;
+    return count;
   }
 
   const std::size_t chunk = policy_.chunk;
@@ -108,7 +110,11 @@ void TaskPool::run_ordered(std::size_t count, const Work& work,
   auto worker_main = [&](std::size_t wid) {
     set_log_worker_id(static_cast<int>(wid));
     for (;;) {
-      if (cancelled.load(std::memory_order_acquire)) break;
+      // Deadline check only at chunk boundaries: in-flight scenarios drain
+      // (their inner loops poll the same token), new ones never start.
+      if (cancelled.load(std::memory_order_acquire) || deadline.expired()) {
+        break;
+      }
       const std::size_t begin =
           cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= count) break;
@@ -118,7 +124,8 @@ void TaskPool::run_ordered(std::size_t count, const Work& work,
       for (std::size_t i = begin; i < end; ++i) {
         Slot outcome = Slot::Skipped;
         std::exception_ptr error;
-        if (!cancelled.load(std::memory_order_acquire)) {
+        if (!cancelled.load(std::memory_order_acquire) &&
+            !deadline.expired()) {
           try {
             work(i);
             outcome = Slot::Done;
@@ -152,8 +159,10 @@ void TaskPool::run_ordered(std::size_t count, const Work& work,
 
   // Ordered reduction on the calling thread: commit strictly by index, so
   // aggregates and checkpoint manifests are bit-identical to a serial run
-  // no matter in what order the workers finish.
+  // no matter in what order the workers finish.  `committed` stays a
+  // contiguous prefix: the scan halts at the first slot that is not Done.
   std::exception_ptr first_error;
+  std::size_t committed = 0;
   {
     std::unique_lock<std::mutex> lock(mu);
     for (std::size_t i = 0; i < count; ++i) {
@@ -172,6 +181,7 @@ void TaskPool::run_ordered(std::size_t count, const Work& work,
       lock.unlock();
       try {
         commit(i);
+        ++committed;
       } catch (...) {
         first_error = std::current_exception();
         cancelled.store(true, std::memory_order_release);
@@ -193,6 +203,7 @@ void TaskPool::run_ordered(std::size_t count, const Work& work,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  return committed;
 }
 
 }  // namespace vstack::core

@@ -23,6 +23,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/deadline.h"
+
 namespace vstack::core {
 
 /// How a multi-scenario run is executed.  The default is serial (jobs = 1),
@@ -42,6 +44,14 @@ struct ExecutionPolicy {
   /// Stop claiming new work after the first work/commit exception (the
   /// error is rethrown either way, after in-flight scenarios drain).
   bool cancel_on_error = true;
+
+  /// Cooperative cancellation / wall-clock deadline.  Checked at every
+  /// chunk-claim boundary (and before each serial task): once it fires no
+  /// new work starts, in-flight scenarios drain, and run_ordered returns
+  /// the contiguous committed prefix.  Expiry is NOT an error -- nothing is
+  /// thrown; callers compare the returned count against `count` and consult
+  /// deadline.expired() to label the truncation.  Default: unlimited.
+  Deadline deadline{};
 
   void validate() const;
 
@@ -79,8 +89,12 @@ class TaskPool {
   /// index in order on this thread.  Throws the lowest-index work error
   /// once workers drain (cancelling per policy); a commit error cancels
   /// and rethrows.  Workers are tagged for logging (set_log_worker_id).
-  void run_ordered(std::size_t count, const Work& work,
-                   const Commit& commit) const;
+  ///
+  /// Returns the number of indices committed -- always a contiguous prefix
+  /// [0, returned).  Less than `count` only when the policy deadline fired
+  /// (see ExecutionPolicy::deadline); all other early exits throw.
+  std::size_t run_ordered(std::size_t count, const Work& work,
+                          const Commit& commit) const;
 
  private:
   ExecutionPolicy policy_;

@@ -36,6 +36,12 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
   std::size_t since_best = 0;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // Deadline poll every 8 iterations (same cadence as CG).
+    if ((it & 7u) == 0u && options.deadline.expired()) {
+      VS_LOG_WARN("BiCGSTAB: deadline expired at iteration " << it);
+      report.deadline_expired = true;
+      break;
+    }
     const double rho_new = dot(r_hat, r);
     if (std::abs(rho_new) < 1e-300) {
       VS_LOG_WARN("BiCGSTAB: rho breakdown at iteration " << it);

@@ -38,6 +38,13 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   std::size_t since_best = 0;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // Deadline poll every 8 iterations: the expired() clock read is noise
+    // next to a large SpMV but not next to a tiny one.
+    if ((it & 7u) == 0u && options.deadline.expired()) {
+      VS_LOG_WARN("CG: deadline expired at iteration " << it);
+      report.deadline_expired = true;
+      break;
+    }
     a.multiply(p, ap);
     const double pap = dot(p, ap);
     if (!(pap > 0.0)) {

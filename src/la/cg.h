@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "la/preconditioner.h"
 #include "la/sparse.h"
 
@@ -28,6 +29,10 @@ struct SolveReport {
   double residual_norm = 0.0;  // final ||b - Ax|| / ||b||
   std::vector<SolveAttempt> attempts;
   std::string diagnostic;      // nonempty when converged == false
+  /// True when the run stopped because IterativeOptions.deadline fired
+  /// (cancellation or wall-clock expiry), not because of numerics.  Callers
+  /// mapping failures onto TIMEOUT-vs-FAILED responses branch on this.
+  bool deadline_expired = false;
 };
 
 struct IterativeOptions {
@@ -40,6 +45,12 @@ struct IterativeOptions {
   /// stalled Krylov run hands over to the next method promptly).
   std::size_t stagnation_window = 0;
   double stagnation_factor = 0.99;
+  /// Cooperative cancellation / wall-clock deadline, checked every few
+  /// iterations.  When it fires mid-solve the report comes back with
+  /// converged == false and deadline_expired == true; x holds the iterate
+  /// reached so far (la::solve restores the caller's initial guess on top).
+  /// Default: unlimited (one null check per poll).
+  Deadline deadline{};
 };
 
 /// Solve A x = b with preconditioned CG.  `x` is used as the initial guess

@@ -42,12 +42,17 @@ Vector DenseMatrix::multiply(const Vector& x) const {
   return y;
 }
 
-DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+DenseLu::DenseLu(DenseMatrix a, const Deadline& deadline)
+    : lu_(std::move(a)), perm_(lu_.rows()) {
   VS_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
   const std::size_t n = lu_.rows();
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
   for (std::size_t k = 0; k < n; ++k) {
+    // One elimination step is O((n-k)^2); poll every 16 to keep the clock
+    // read off the critical path for the tiny switched-cap matrices.
+    VS_REQUIRE((k & 15u) != 0u || !deadline.expired(),
+               "LU: deadline expired during factorization");
     // Partial pivoting.
     std::size_t pivot_row = k;
     double pivot_val = std::abs(lu_(k, k));

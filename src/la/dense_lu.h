@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/deadline.h"
 #include "la/sparse.h"
 #include "la/vector_ops.h"
 
@@ -37,10 +38,12 @@ class DenseMatrix {
 };
 
 /// LU factorization with partial pivoting; throws vstack::Error on a
-/// numerically singular matrix.
+/// numerically singular matrix, or when `deadline` fires mid-factorization
+/// (the O(n^3) elimination is the one dense step long enough to need a
+/// cooperative abort -- see la/solve.cpp's escalation ladder).
 class DenseLu {
  public:
-  explicit DenseLu(DenseMatrix a);
+  explicit DenseLu(DenseMatrix a, const Deadline& deadline = {});
 
   /// Solve A x = b for one right-hand side.
   Vector solve(const Vector& b) const;

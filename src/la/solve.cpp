@@ -90,13 +90,14 @@ class EscalationChain {
         kind == SolverKind::Cg
             ? conjugate_gradient(a_, b_, x_, precond, options)
             : bicgstab(a_, b_, x_, precond, options);
+    if (r.deadline_expired) report_.deadline_expired = true;
     return record(method, r.converged && all_finite(x_), r.iterations,
                   r.residual_norm);
   }
 
-  bool run_dense(double accept_tolerance) {
+  bool run_dense(double accept_tolerance, const Deadline& deadline) {
     try {
-      const DenseLu lu(DenseMatrix::from_csr(a_));
+      const DenseLu lu(DenseMatrix::from_csr(a_), deadline);
       Vector sol = lu.solve(b_);
       const double res = relative_residual(a_, b_, sol);
       const bool ok =
@@ -104,8 +105,12 @@ class EscalationChain {
       if (ok) x_ = std::move(sol);
       return record("dense-lu", ok, 1, res);
     } catch (const Error&) {
-      return record("dense-lu(singular)", false, 0,
-                    std::numeric_limits<double>::infinity());
+      // A deadline firing mid-factorization also surfaces as Error; tell the
+      // two apart so TIMEOUT is never misreported as a singular system.
+      const bool aborted = deadline.expired();
+      if (aborted) report_.deadline_expired = true;
+      return record(aborted ? "dense-lu(aborted)" : "dense-lu(singular)",
+                    false, 0, std::numeric_limits<double>::infinity());
     }
   }
 
@@ -168,11 +173,14 @@ SolveReport solve(const CsrMatrix& a, const Vector& b, Vector& x,
   const double dense_accept =
       std::max(1e-8, 100.0 * options.iterative.relative_tolerance);
 
+  const Deadline& deadline = options.iterative.deadline;
   EscalationChain chain(a, b, x);
 
   if (kind == SolverKind::DenseLu) {
-    chain.run_dense(dense_accept);
-    return chain.finish("dense LU failed: numerically singular matrix");
+    chain.run_dense(dense_accept, deadline);
+    return chain.finish(chain.report().deadline_expired
+                            ? "dense LU aborted: deadline expired"
+                            : "dense LU failed: numerically singular matrix");
   }
 
   std::string precond_label;
@@ -187,12 +195,22 @@ SolveReport solve(const CsrMatrix& a, const Vector& b, Vector& x,
     }
   }
 
+  // Between rungs: an expired deadline means the caller wants out, not a
+  // harder solver.  Skip the rest of the ladder and report the truncation.
+  if (!done && deadline.expired()) {
+    return chain.finish("solve aborted: deadline expired");
+  }
+
   if (!done) {
     done = chain.run_iterative("bicgstab+" + precond_label,
                                SolverKind::BiCgStab, *precond, per_attempt);
     if (!done && !options.escalate) {
       return chain.finish("BiCGSTAB did not converge");
     }
+  }
+
+  if (!done && deadline.expired()) {
+    return chain.finish("solve aborted: deadline expired");
   }
 
   if (!done) {
@@ -210,18 +228,27 @@ SolveReport solve(const CsrMatrix& a, const Vector& b, Vector& x,
     }
   }
 
+  if (!done && deadline.expired()) {
+    return chain.finish("solve aborted: deadline expired");
+  }
+
   if (!done && a.size() <= options.dense_fallback_max_size) {
     VS_LOG_WARN("iterative ladder exhausted; retrying with dense LU");
-    done = chain.run_dense(dense_accept);
+    done = chain.run_dense(dense_accept, deadline);
   }
 
   std::ostringstream diag;
   if (!done) {
-    diag << "no solver converged after " << chain.report().attempts.size()
-         << " attempt(s) (last residual " << chain.report().residual_norm
-         << "); system is likely singular or structurally infeasible";
-    if (a.size() > options.dense_fallback_max_size) {
-      diag << " (dense fallback skipped: " << a.size() << " unknowns)";
+    if (chain.report().deadline_expired) {
+      diag << "solve aborted: deadline expired after "
+           << chain.report().attempts.size() << " attempt(s)";
+    } else {
+      diag << "no solver converged after " << chain.report().attempts.size()
+           << " attempt(s) (last residual " << chain.report().residual_norm
+           << "); system is likely singular or structurally infeasible";
+      if (a.size() > options.dense_fallback_max_size) {
+        diag << " (dense fallback skipped: " << a.size() << " unknowns)";
+      }
     }
   }
   return chain.finish(diag.str());

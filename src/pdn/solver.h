@@ -77,7 +77,8 @@ struct PdnSolution {
 };
 
 struct PdnSolveOptions {
-  la::IterativeOptions iterative{20000, 1e-9};
+  la::IterativeOptions iterative{.max_iterations = 20000,
+                                 .relative_tolerance = 1e-9};
   /// Fixed-point refinements of the per-converter series resistance for
   /// closed-loop converter control (ignored for open loop).
   std::size_t control_iterations = 3;

@@ -91,7 +91,8 @@ struct PdnTransientOptions {
   /// Tolerances, budgets and guard thresholds for the shared controller.
   sim::StepControlOptions control;
 
-  la::IterativeOptions iterative{20000, 1e-8};
+  la::IterativeOptions iterative{.max_iterations = 20000,
+                                 .relative_tolerance = 1e-8};
 
   /// Systems at or below this many unknowns are factorized per distinct
   /// timestep with the RCM-reordered skyline Cholesky and back-substituted

@@ -1,0 +1,78 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vstack::service {
+
+void AdmissionOptions::validate() const {
+  VS_REQUIRE(max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  VS_REQUIRE(max_request_bytes >= 1 << 20,
+             "max_request_bytes must be at least 1 MiB");
+  VS_REQUIRE(degrade_depth_fraction > 0.0 && degrade_depth_fraction <= 1.0,
+             "degrade_depth_fraction must lie in (0, 1]");
+  VS_REQUIRE(degrade_trial_divisor >= 1,
+             "degrade_trial_divisor must be >= 1");
+}
+
+std::size_t AdmissionOptions::degrade_threshold() const {
+  const double raw =
+      std::ceil(degrade_depth_fraction * static_cast<double>(max_queue_depth));
+  return std::max<std::size_t>(1, static_cast<std::size_t>(raw));
+}
+
+const char* to_string(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::Accept: return "accept";
+    case AdmissionDecision::Degrade: return "degrade";
+    case AdmissionDecision::Reject: return "reject";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+AdmissionVerdict AdmissionController::decide(
+    std::size_t queue_depth, std::size_t estimated_bytes) const {
+  AdmissionVerdict verdict;
+  if (estimated_bytes > options_.max_request_bytes) {
+    std::ostringstream oss;
+    oss << "estimated working set " << (estimated_bytes >> 20)
+        << " MiB exceeds the " << (options_.max_request_bytes >> 20)
+        << " MiB admission bound";
+    verdict.decision = AdmissionDecision::Reject;
+    verdict.reason = oss.str();
+    return verdict;
+  }
+  if (queue_depth > options_.max_queue_depth) {
+    std::ostringstream oss;
+    oss << "queue depth " << queue_depth << " exceeds the bound of "
+        << options_.max_queue_depth;
+    verdict.decision = AdmissionDecision::Reject;
+    verdict.reason = oss.str();
+    return verdict;
+  }
+  if (queue_depth >= options_.degrade_threshold() &&
+      options_.degrade_trial_divisor > 1) {
+    std::ostringstream oss;
+    oss << "queue depth " << queue_depth << " at or beyond the degrade "
+        << "threshold of " << options_.degrade_threshold()
+        << "; Monte-Carlo trials reduced by " << options_.degrade_trial_divisor
+        << "x";
+    verdict.decision = AdmissionDecision::Degrade;
+    verdict.reason = oss.str();
+  }
+  return verdict;
+}
+
+std::size_t AdmissionController::degraded_trials(std::size_t trials) const {
+  return std::max<std::size_t>(1, trials / options_.degrade_trial_divisor);
+}
+
+}  // namespace vstack::service

@@ -1,0 +1,79 @@
+// Admission control and graceful degradation for the campaign service.
+//
+// Two bounded resources: spool queue depth (files waiting in incoming/) and
+// the estimated peak working set of a single request.  The controller maps
+// the current pressure onto one of three decisions:
+//
+//   Accept  -- run as requested.
+//   Degrade -- run with a reduced Monte-Carlo trial count (trials divided
+//              by degrade_trial_divisor, floor 1) and `degraded: 1` in the
+//              response; keeps latency bounded when the queue backs up.
+//   Reject  -- answer REJECTED_OVERLOAD without running; the client must
+//              resubmit.  Applied to queue overflow and to requests whose
+//              own working set exceeds the memory bound.
+//
+// The decision is a pure function of (queue depth, estimated bytes), so it
+// unit-tests without a server and behaves identically on every poll.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vstack::service {
+
+struct AdmissionOptions {
+  /// Waiting requests beyond this are rejected (newest first; the oldest
+  /// max_queue_depth keep their place).
+  std::size_t max_queue_depth = 16;
+
+  /// Reject any single request whose estimated working set exceeds this.
+  std::size_t max_request_bytes = 512ull << 20;  // 512 MiB
+
+  /// Degrade when the queue is at least this full (fraction of
+  /// max_queue_depth); 1.0 disables degradation short of rejection.
+  double degrade_depth_fraction = 0.5;
+
+  /// Trial divisor applied to degraded campaign/contingency requests.
+  std::size_t degrade_trial_divisor = 4;
+
+  void validate() const;
+
+  /// Queue depth at which Degrade starts (ceil of the fraction, >= 1).
+  std::size_t degrade_threshold() const;
+};
+
+enum class AdmissionDecision { Accept, Degrade, Reject };
+
+const char* to_string(AdmissionDecision decision);
+
+struct AdmissionVerdict {
+  AdmissionDecision decision = AdmissionDecision::Accept;
+  std::string reason;  // nonempty for Degrade / Reject
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Decide for a request at the FRONT of the queue: `queue_depth` counts
+  /// every waiting request including this one; `estimated_bytes` is the
+  /// request's own working-set estimate.
+  AdmissionVerdict decide(std::size_t queue_depth,
+                          std::size_t estimated_bytes) const;
+
+  /// True when a request at queue position `position` (0-based, oldest
+  /// first) should be shed outright: position >= max_queue_depth.
+  bool overflows(std::size_t position) const {
+    return position >= options_.max_queue_depth;
+  }
+
+  /// Degraded trial count: trials / degrade_trial_divisor, floor 1.
+  std::size_t degraded_trials(std::size_t trials) const;
+
+ private:
+  AdmissionOptions options_;
+};
+
+}  // namespace vstack::service

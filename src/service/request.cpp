@@ -1,0 +1,233 @@
+#include "service/request.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vstack::service {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Same reporting shape as pdn/config_io.cpp: every rejection names the
+/// source and line so a bad spool file is a one-look fix.
+struct LineContext {
+  const std::string* source = nullptr;
+  std::size_t line_no = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    VS_FAIL("service request " + *source + " line " +
+            std::to_string(line_no) + ": " + message);
+  }
+
+  double number(const std::string& key, const std::string& value) const {
+    double v = 0.0;
+    try {
+      std::size_t used = 0;
+      v = std::stod(value, &used);
+      if (used != value.size()) throw Error("trailing characters");
+    } catch (const std::exception&) {
+      fail("key '" + key + "' expects a number, got '" + value + "'");
+    }
+    if (!std::isfinite(v)) {
+      fail("key '" + key + "' must be finite, got '" + value + "'");
+    }
+    return v;
+  }
+
+  std::size_t integer(const std::string& key, const std::string& value,
+                      std::size_t min, std::size_t max) const {
+    const double v = number(key, value);
+    if (v < 0.0 || v != std::floor(v)) {
+      fail("key '" + key + "' expects a non-negative integer, got '" + value +
+           "'");
+    }
+    const auto n = static_cast<std::size_t>(v);
+    if (n < min || n > max) {
+      fail("key '" + key + "' must lie in [" + std::to_string(min) + ", " +
+           std::to_string(max) + "], got '" + value + "'");
+    }
+    return n;
+  }
+};
+
+}  // namespace
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Campaign: return "campaign";
+    case RequestKind::Contingency: return "contingency";
+    case RequestKind::Sweep: return "sweep";
+    case RequestKind::RideThrough: return "ride-through";
+  }
+  return "?";
+}
+
+std::size_t RequestSpec::estimated_bytes(std::size_t resolved_jobs) const {
+  // Grid nodes per layer plus converter/rail bookkeeping; ~1 KiB per node
+  // covers the CSR matrix (~5 nnz/row), the ILU factor, and the handful of
+  // solver vectors with headroom.  Sweeps build a model per sweep point but
+  // only `jobs` of them live at once, same bound.
+  const std::size_t nodes = grid * grid * layers + 64 * layers;
+  return nodes * 1024 * std::max<std::size_t>(1, resolved_jobs);
+}
+
+void RequestSpec::validate() const {
+  VS_REQUIRE(!id.empty(), "request id must not be empty");
+  VS_REQUIRE(layers >= 1 && layers <= 64, "layers must lie in [1, 64]");
+  VS_REQUIRE(grid >= 2 && grid <= 512, "grid must lie in [2, 512]");
+  VS_REQUIRE(std::isfinite(imbalance) && imbalance >= 0.0 && imbalance <= 1.0,
+             "imbalance must lie in [0, 1]");
+  VS_REQUIRE(trials >= 1 && trials <= 100000,
+             "trials must lie in [1, 100000]");
+  VS_REQUIRE(duration_s > 0.0, "duration_s must be positive");
+  VS_REQUIRE(deadline_s >= 0.0, "deadline_s must be >= 0");
+  VS_REQUIRE(jobs <= 4096, "jobs is bounded (<= 4096)");
+  if (kind == RequestKind::Sweep) {
+    VS_REQUIRE(figure == "5a" || figure == "5b" || figure == "6" ||
+                   figure == "7" || figure == "8",
+               "figure must be one of 5a|5b|6|7|8");
+  }
+  if (kind == RequestKind::RideThrough || kind == RequestKind::Campaign) {
+    VS_REQUIRE(fault_time_s >= 0.0 && fault_time_s < duration_s,
+               "fault_time_s must lie inside the transient horizon");
+  }
+}
+
+RequestSpec parse_request(const std::string& text, const std::string& id,
+                          const std::string& source_name) {
+  RequestSpec spec;
+  spec.id = id;
+  bool have_kind = false;
+  std::set<std::string> seen;
+
+  LineContext ctx;
+  ctx.source = &source_name;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++ctx.line_no;
+    // Strip comments ('#' or ';' to end of line), then blank-skip.
+    const auto hash = raw.find_first_of("#;");
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      ctx.fail("expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) ctx.fail("empty key");
+    if (value.empty()) ctx.fail("key '" + key + "' has an empty value");
+    if (!seen.insert(key).second) ctx.fail("duplicate key '" + key + "'");
+
+    if (key == "id") {
+      if (value != id) {
+        ctx.fail("id '" + value + "' does not match the spool name '" + id +
+                 "'");
+      }
+    } else if (key == "kind") {
+      const std::string v = lower(value);
+      if (v == "campaign") spec.kind = RequestKind::Campaign;
+      else if (v == "contingency") spec.kind = RequestKind::Contingency;
+      else if (v == "sweep") spec.kind = RequestKind::Sweep;
+      else if (v == "ride-through") spec.kind = RequestKind::RideThrough;
+      else ctx.fail("unknown kind '" + value +
+                    "' (campaign|contingency|sweep|ride-through)");
+      have_kind = true;
+    } else if (key == "topology") {
+      const std::string v = lower(value);
+      if (v == "stacked") spec.stacked = true;
+      else if (v == "regular") spec.stacked = false;
+      else ctx.fail("unknown topology '" + value + "' (stacked|regular)");
+    } else if (key == "layers") {
+      spec.layers = ctx.integer(key, value, 1, 64);
+    } else if (key == "grid") {
+      spec.grid = ctx.integer(key, value, 2, 512);
+    } else if (key == "imbalance") {
+      spec.imbalance = ctx.number(key, value);
+    } else if (key == "trials") {
+      spec.trials = ctx.integer(key, value, 1, 100000);
+    } else if (key == "faults") {
+      spec.faults_per_trial = ctx.integer(key, value, 0, 1024);
+    } else if (key == "seed") {
+      spec.seed = ctx.integer(key, value, 0, 1ull << 62);
+    } else if (key == "duration_s") {
+      spec.duration_s = ctx.number(key, value);
+      if (spec.duration_s <= 0.0) {
+        ctx.fail("key 'duration_s' must be positive");
+      }
+    } else if (key == "mode") {
+      const std::string v = lower(value);
+      if (v == "mc" || v == "monte-carlo") spec.monte_carlo = true;
+      else if (v == "n-1") spec.monte_carlo = false;
+      else ctx.fail("unknown mode '" + value + "' (mc|n-1)");
+    } else if (key == "figure") {
+      spec.figure = lower(value);
+    } else if (key == "fault_level") {
+      spec.fault_level = ctx.integer(key, value, 0, 63);
+    } else if (key == "keep") {
+      spec.keep = ctx.integer(key, value, 0, 100000);
+    } else if (key == "fault_time_s") {
+      spec.fault_time_s = ctx.number(key, value);
+    } else if (key == "deadline_s") {
+      spec.deadline_s = ctx.number(key, value);
+      if (spec.deadline_s < 0.0) ctx.fail("key 'deadline_s' must be >= 0");
+    } else if (key == "jobs") {
+      spec.jobs = ctx.integer(key, value, 0, 4096);
+    } else {
+      ctx.fail("unknown key '" + key + "'");
+    }
+  }
+
+  ctx.line_no += 1;  // report end-of-file complaints past the last line
+  if (!have_kind) ctx.fail("missing required key 'kind'");
+  try {
+    spec.validate();
+  } catch (const Error& e) {
+    VS_FAIL("service request " + source_name + ": " + e.what());
+  }
+  return spec;
+}
+
+std::string write_request(const RequestSpec& spec) {
+  std::ostringstream oss;
+  oss << "id = " << spec.id << "\n"
+      << "kind = " << to_string(spec.kind) << "\n"
+      << "topology = " << (spec.stacked ? "stacked" : "regular") << "\n"
+      << "layers = " << spec.layers << "\n"
+      << "grid = " << spec.grid << "\n"
+      << "imbalance = " << spec.imbalance << "\n"
+      << "trials = " << spec.trials << "\n"
+      << "faults = " << spec.faults_per_trial << "\n"
+      << "seed = " << spec.seed << "\n"
+      << "duration_s = " << spec.duration_s << "\n"
+      << "mode = " << (spec.monte_carlo ? "mc" : "n-1") << "\n"
+      << "figure = " << spec.figure << "\n"
+      << "fault_level = " << spec.fault_level << "\n"
+      << "keep = " << spec.keep << "\n"
+      << "fault_time_s = " << spec.fault_time_s << "\n"
+      << "deadline_s = " << spec.deadline_s << "\n"
+      << "jobs = " << spec.jobs << "\n";
+  return oss.str();
+}
+
+}  // namespace vstack::service

@@ -1,0 +1,69 @@
+// Bounded retry with capped exponential backoff and deterministic jitter.
+//
+// The service retries a failed request a few times before declaring it
+// failed; backoff spaces the attempts out so a transiently overloaded box
+// (or a flaky filesystem) gets room to recover, and jitter decorrelates
+// retries across requests so a burst of failures does not re-collide.
+//
+// Everything here is deterministic and clock-free by design: the jitter
+// comes from a hash of (salt, attempt), not a live RNG, and the sleep is a
+// caller-injected function -- tests drive the schedule with a fake sleeper
+// and assert the exact sequence of delays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/deadline.h"
+
+namespace vstack::service {
+
+struct RetryPolicy {
+  /// Total tries, including the first (1 = no retry).
+  std::size_t max_attempts = 3;
+
+  /// Backoff before retry k (k = 2..max_attempts):
+  ///   initial_backoff_s * multiplier^(k-2), capped at max_backoff_s,
+  /// then scaled by a jitter factor in [1 - jitter, 1 + jitter].
+  double initial_backoff_s = 0.25;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 10.0;
+  double jitter_fraction = 0.2;
+
+  void validate() const;
+
+  /// Backoff to sleep before attempt `next_attempt` (2-based; attempt 1
+  /// never waits).  `salt` decorrelates concurrent requests -- the service
+  /// hashes the request id.  Pure function of its arguments.
+  double backoff_before(std::size_t next_attempt, std::uint64_t salt) const;
+};
+
+/// Outcome of a retried operation.
+struct RetryRun {
+  bool ok = false;
+  std::size_t attempts = 0;       // tries actually made
+  double backoff_total_s = 0.0;   // requested sleep, summed
+  std::string last_error;         // from the final failed attempt
+};
+
+/// Sleep hook: called with the jittered backoff before each retry.  The
+/// server passes an interruptible sleep bound to its stop token; tests pass
+/// a recorder.
+using SleepFn = std::function<void(double seconds)>;
+
+/// Run `attempt` (1-based try index) until it returns without throwing, up
+/// to policy.max_attempts tries.  Between tries, sleeps the jittered
+/// backoff via `sleep`.  Gives up immediately -- no further tries, no
+/// sleep -- once `stop` expires.  std::exception from the body is caught
+/// and recorded; anything else propagates.
+RetryRun run_with_retry(const RetryPolicy& policy, const Deadline& stop,
+                        std::uint64_t salt,
+                        const std::function<void(std::size_t)>& attempt,
+                        const SleepFn& sleep);
+
+/// FNV-1a of a string -- the salt the server feeds run_with_retry.
+std::uint64_t retry_salt(const std::string& s);
+
+}  // namespace vstack::service

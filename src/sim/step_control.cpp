@@ -97,6 +97,12 @@ double StepController::begin_step(double next_event) {
              " s; result truncated");
     return 0.0;
   }
+  if (opts_.deadline.expired()) {
+    fail(TransientStatus::BudgetExhausted,
+         "deadline expired (cancelled) at t = " + std::to_string(t_) +
+             " s; result truncated");
+    return 0.0;
+  }
   ++attempted_steps_;
 
   double dt = std::min(dt_, dt_max_);

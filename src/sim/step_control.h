@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace vstack::sim {
 
 enum class TransientStatus {
@@ -107,6 +109,12 @@ struct StepControlOptions {
   /// Guard threshold: any |entry| beyond this (or any non-finite entry) in a
   /// candidate solution rejects the step.
   double overflow_limit = 1e12;
+
+  /// External cancellation / wall-clock deadline (service requests, Ctrl-C).
+  /// Checked at every begin_step alongside the budgets; when it fires the
+  /// run truncates with BudgetExhausted exactly like a wall-clock budget,
+  /// so existing callers need no new status handling.  Default: unlimited.
+  Deadline deadline{};
 
   void validate() const;
 };

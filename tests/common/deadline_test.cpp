@@ -1,0 +1,98 @@
+// Cooperative cancellation token (common/deadline.h): the three shapes,
+// parent chaining, and the process-wide shutdown token plumbing.
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/shutdown.h"
+
+namespace vstack {
+namespace {
+
+TEST(Deadline, DefaultIsUnlimited) {
+  const Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_FALSE(d.cancelled());
+  EXPECT_EQ(d.remaining_seconds(), std::numeric_limits<double>::infinity());
+  d.cancel();  // no-op by contract
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, CancellableFiresOnCancel) {
+  const Deadline d = Deadline::cancellable();
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  d.cancel();
+  EXPECT_TRUE(d.cancelled());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, CopiesShareState) {
+  const Deadline a = Deadline::cancellable();
+  const Deadline b = a;  // value copy, shared state
+  b.cancel();
+  EXPECT_TRUE(a.expired());
+}
+
+TEST(Deadline, AfterZeroIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after(0.0).expired());
+  EXPECT_TRUE(Deadline::after(-1.0).expired());
+}
+
+TEST(Deadline, AfterFarFutureIsNotExpired) {
+  const Deadline d = Deadline::after(3600.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3000.0);
+  d.cancel();
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, LimitedByMirrorsParent) {
+  const Deadline parent = Deadline::cancellable();
+  const Deadline child = Deadline::limited_by(parent, 3600.0);
+  EXPECT_FALSE(child.expired());
+  parent.cancel();
+  EXPECT_TRUE(child.expired());
+  // The parent is NOT expired by the child.
+  const Deadline parent2 = Deadline::cancellable();
+  const Deadline child2 = Deadline::limited_by(parent2, 0.0);
+  EXPECT_FALSE(child2.expired()) << "seconds <= 0 means no own limit";
+  child2.cancel();
+  EXPECT_TRUE(child2.expired());
+  EXPECT_FALSE(parent2.expired());
+}
+
+TEST(Deadline, LimitedByOwnTimeLimitStillApplies) {
+  const Deadline parent = Deadline::cancellable();
+  const Deadline child = Deadline::limited_by(parent, -0.5);
+  EXPECT_FALSE(child.expired());
+  const Deadline expired_child = Deadline::limited_by(parent, 1e-9);
+  // A sub-nanosecond budget is gone by the time we check.
+  EXPECT_TRUE(expired_child.expired());
+  EXPECT_FALSE(parent.expired());
+}
+
+TEST(Shutdown, TokenIsSharedAndResettable) {
+  reset_shutdown_for_tests();
+  EXPECT_FALSE(shutdown_requested());
+  EXPECT_EQ(shutdown_signal(), 0);
+  const Deadline token = shutdown_token();
+  EXPECT_FALSE(token.expired());
+  token.cancel();  // what the signal handler does
+  EXPECT_TRUE(shutdown_token().expired());
+  reset_shutdown_for_tests();
+  EXPECT_FALSE(shutdown_token().expired());
+  // The pre-reset token stays fired; runners holding it just unwind.
+  EXPECT_TRUE(token.expired());
+}
+
+TEST(Shutdown, ExitCodeIsDistinctFromExistingOnes) {
+  EXPECT_EQ(kInterruptExitCode, 4);
+}
+
+}  // namespace
+}  // namespace vstack

@@ -1,0 +1,73 @@
+// Durable file primitives (common/durable_file.h): append-line persistence,
+// atomic replacement, and error behavior on bad paths.
+#include "common/durable_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace vstack {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "vstack_durable_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+TEST(DurableAppender, AppendsOneLinePerCall) {
+  const std::string path = temp_path("append");
+  std::remove(path.c_str());
+  {
+    DurableAppender a;
+    EXPECT_FALSE(a.is_open());
+    a.open(path);
+    EXPECT_TRUE(a.is_open());
+    a.append_line("alpha");
+    a.append_line("beta");
+    a.close();
+    EXPECT_FALSE(a.is_open());
+  }
+  EXPECT_EQ(slurp(path), "alpha\nbeta\n");
+  // Re-opening appends rather than truncating (the manifest contract).
+  {
+    DurableAppender a;
+    a.open(path);
+    a.append_line("gamma");
+  }
+  EXPECT_EQ(slurp(path), "alpha\nbeta\ngamma\n");
+  std::remove(path.c_str());
+}
+
+TEST(DurableAppender, OpenFailureThrows) {
+  DurableAppender a;
+  EXPECT_THROW(a.open("/nonexistent-dir-zz/x.jsonl"), Error);
+  EXPECT_FALSE(a.is_open());
+}
+
+TEST(AtomicWriteFile, ReplacesContentAtomically) {
+  const std::string path = temp_path("atomic");
+  atomic_write_file(path, "first\n");
+  EXPECT_EQ(slurp(path), "first\n");
+  atomic_write_file(path, "second\n");
+  EXPECT_EQ(slurp(path), "second\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteFile, BadDirectoryThrows) {
+  EXPECT_THROW(atomic_write_file("/nonexistent-dir-zz/h.json", "x"), Error);
+}
+
+}  // namespace
+}  // namespace vstack

@@ -1,0 +1,90 @@
+// Deadline propagation through TaskPool (core/task_pool.h): run_ordered's
+// committed-prefix contract when the policy deadline fires mid-run.
+#include "core/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace vstack::core {
+namespace {
+
+TEST(TaskPoolDeadline, UnlimitedDeadlineCommitsEverything) {
+  ExecutionPolicy policy;
+  policy.jobs = 4;
+  std::vector<int> out(100, 0);
+  std::vector<std::size_t> committed;
+  const std::size_t n = TaskPool(policy).run_ordered(
+      100, [&](std::size_t i) { out[i] = static_cast<int>(i) + 1; },
+      [&](std::size_t i) { committed.push_back(i); });
+  EXPECT_EQ(n, 100u);
+  ASSERT_EQ(committed.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(committed[i], i);
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(TaskPoolDeadline, PreExpiredDeadlineCommitsNothing) {
+  for (const std::size_t jobs : {1u, 4u}) {
+    ExecutionPolicy policy;
+    policy.jobs = jobs;
+    policy.deadline = Deadline::after(0.0);
+    std::size_t worked = 0;
+    const std::size_t n = TaskPool(policy).run_ordered(
+        16, [&](std::size_t) { ++worked; }, [](std::size_t) {});
+    EXPECT_EQ(n, 0u) << "jobs " << jobs;
+    EXPECT_EQ(worked, 0u) << "jobs " << jobs;
+  }
+}
+
+TEST(TaskPoolDeadline, SerialCancellationKeepsExactPrefix) {
+  // Serial runs work in index order, so cancelling inside task 2 leaves
+  // exactly tasks 0..2 committed: the check happens before each task.
+  const Deadline token = Deadline::cancellable();
+  ExecutionPolicy policy;
+  policy.jobs = 1;
+  policy.deadline = token;
+  std::vector<std::size_t> committed;
+  const std::size_t n = TaskPool(policy).run_ordered(
+      10, [&](std::size_t i) {
+        if (i == 2) token.cancel();
+      },
+      [&](std::size_t i) { committed.push_back(i); });
+  EXPECT_EQ(n, 3u);
+  ASSERT_EQ(committed.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(committed[i], i);
+}
+
+TEST(TaskPoolDeadline, ParallelCancellationCommitsContiguousPrefix) {
+  // The exact prefix length depends on scheduling; the CONTRACT is that
+  // whatever committed is a contiguous in-order prefix and nothing past
+  // the cancellation keeps getting claimed.
+  const Deadline token = Deadline::cancellable();
+  ExecutionPolicy policy;
+  policy.jobs = 4;
+  policy.deadline = token;
+  std::atomic<std::size_t> worked{0};
+  std::vector<std::size_t> committed;
+  const std::size_t n = TaskPool(policy).run_ordered(
+      64, [&](std::size_t i) {
+        worked.fetch_add(1, std::memory_order_relaxed);
+        if (i == 5) token.cancel();
+      },
+      [&](std::size_t i) { committed.push_back(i); });
+  EXPECT_LT(n, 64u);
+  ASSERT_EQ(committed.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(committed[i], i);
+  EXPECT_LE(worked.load(), 64u);
+}
+
+TEST(TaskPoolDeadline, ExpiryIsNotAnError) {
+  ExecutionPolicy policy;
+  policy.deadline = Deadline::after(0.0);
+  EXPECT_NO_THROW(
+      TaskPool(policy).run_ordered(4, [](std::size_t) {}, [](std::size_t) {}));
+}
+
+}  // namespace
+}  // namespace vstack::core

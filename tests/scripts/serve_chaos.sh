@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Chaos/soak harness for `vstack_cli serve` (docs/service_mode.md).
+#
+# Three passes against real spool directories:
+#
+#   1. Reference: drain a mixed request batch uninterrupted.
+#   2. Chaos: same batch, SIGKILL the server mid-flight, restart, drain.
+#      Every request must reach a terminal state exactly once, and the
+#      physics aggregates must match the reference per id bit-for-bit
+#      (wall_seconds and resume bookkeeping masked -- they legitimately
+#      depend on where the kill landed).
+#   3. Overload: submit past the queue bound and assert the excess is shed
+#      as rejected-overload while the admitted prefix still completes.
+#
+# Usage: serve_chaos.sh <path-to-vstack_cli>
+set -euo pipefail
+
+CLI=${1:?usage: serve_chaos.sh <path-to-vstack_cli>}
+CLI=$(readlink -f "$CLI")
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vstack_chaos.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# Mixed batch: a resumable campaign (slow enough for the kill to land
+# mid-run), a contingency sweep, a ride-through, and an invalid request.
+# Filenames sort campaign first, so the kill interrupts the long job.
+submit_batch() {
+  local root=$1
+  mkdir -p "$root/incoming"
+  cat > "$root/incoming/a_camp.req" <<'EOF'
+id = a_camp
+kind = campaign
+topology = stacked
+layers = 4
+grid = 8
+trials = 6
+faults = 2
+seed = 42
+EOF
+  cat > "$root/incoming/b_cont.req" <<'EOF'
+id = b_cont
+kind = contingency
+topology = stacked
+layers = 2
+grid = 4
+trials = 3
+faults = 1
+seed = 11
+EOF
+  cat > "$root/incoming/c_ride.req" <<'EOF'
+id = c_ride
+kind = ride-through
+topology = stacked
+layers = 4
+grid = 8
+seed = 7
+EOF
+  printf 'kind = warp\n' > "$root/incoming/d_bad.req"
+}
+
+drain() {  # run the server until the spool is idle
+  local root=$1
+  "$CLI" serve --spool="$root" --jobs=2 --degrade-divisor=1 \
+      --poll=0.05 --idle-exit=0.5
+}
+
+echo "== reference run =="
+REF=$WORK/ref
+submit_batch "$REF"
+drain "$REF"
+
+echo "== chaos run: SIGKILL mid-campaign, restart, drain =="
+CHAOS=$WORK/chaos
+submit_batch "$CHAOS"
+"$CLI" serve --spool="$CHAOS" --jobs=2 --degrade-divisor=1 --poll=0.05 &
+SERVER=$!
+# Wait until the server has claimed work, then give the campaign a moment
+# to be genuinely mid-run before the kill.  The assertions below must hold
+# no matter where the kill actually lands.
+for _ in $(seq 1 200); do
+  if ls "$CHAOS/active"/*.req >/dev/null 2>&1; then break; fi
+  sleep 0.05
+done
+sleep 1
+kill -9 "$SERVER" 2>/dev/null || true
+wait "$SERVER" 2>/dev/null || true
+echo "killed server pid $SERVER; restarting to drain"
+drain "$CHAOS"
+
+echo "== compare chaos vs reference =="
+python3 - "$REF" "$CHAOS" <<'EOF'
+import json, os, re, sys
+
+ref_root, chaos_root = sys.argv[1], sys.argv[2]
+IDS = ["a_camp", "b_cont", "c_ride", "d_bad"]
+# Masked fields depend on scheduling/resume, not on the physics:
+#   wall_seconds  -- real time
+#   attempts      -- retry bookkeeping resets across a restart
+#   resumed/evaluated -- how many trials each process ran vs reloaded
+#   detail        -- human summary text embeds the counters above
+MASK = re.compile(
+    r'"(wall_seconds|attempts|resumed|evaluated)":[^,}]*|"detail":"[^"]*"')
+
+def load(root):
+    by_id = {}
+    with open(os.path.join(root, "results", "responses.jsonl")) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rid = json.loads(line)["id"]
+            assert rid not in by_id, f"{root}: duplicate response for {rid}"
+            by_id[rid] = MASK.sub("", line)
+    return by_id
+
+def terminal_state(root, rid):
+    hits = [d for d in ("done", "failed")
+            if os.path.exists(os.path.join(root, d, rid + ".req"))]
+    assert len(hits) == 1, f"{root}: {rid} terminal states = {hits}"
+    for d in ("incoming", "active"):
+        assert not os.path.exists(os.path.join(root, d, rid + ".req")), \
+            f"{root}: {rid} still queued in {d}/"
+    return hits[0]
+
+ref, chaos = load(ref_root), load(chaos_root)
+assert set(ref) == set(chaos) == set(IDS), (sorted(ref), sorted(chaos))
+for rid in IDS:
+    ref_dir = terminal_state(ref_root, rid)
+    chaos_dir = terminal_state(chaos_root, rid)
+    assert ref_dir == chaos_dir, f"{rid}: {ref_dir} vs {chaos_dir}"
+    assert ref[rid] == chaos[rid], (
+        f"{rid}: masked responses differ\n  ref:   {ref[rid]}"
+        f"\n  chaos: {chaos[rid]}")
+print(f"chaos OK: {len(IDS)} requests, one terminal state each, "
+      "masked responses bit-identical to the uninterrupted run")
+EOF
+
+echo "== overload run: queue bound 2, 6 submissions =="
+OVER=$WORK/overload
+mkdir -p "$OVER/incoming"
+for i in 0 1 2 3 4 5; do
+  cat > "$OVER/incoming/o$i.req" <<EOF
+id = o$i
+kind = contingency
+topology = stacked
+layers = 2
+grid = 4
+trials = 2
+faults = 1
+seed = 11
+EOF
+done
+"$CLI" serve --spool="$OVER" --jobs=1 --queue=2 --degrade-divisor=1 \
+    --poll=0.05 --idle-exit=0.5
+python3 - "$OVER" <<'EOF'
+import json, sys
+
+root = sys.argv[1]
+status = {}
+with open(root + "/results/responses.jsonl") as f:
+    for line in f:
+        r = json.loads(line)
+        status[r["id"]] = r["status"]
+assert len(status) == 6, status
+shed = sorted(i for i, s in status.items() if s == "rejected-overload")
+ok = sorted(i for i, s in status.items() if s == "ok")
+assert len(shed) == 4 and len(ok) == 2, status
+print(f"overload OK: admitted {ok} completed, shed {shed} past the bound")
+EOF
+
+echo "serve_chaos: all checks passed"

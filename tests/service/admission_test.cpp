@@ -1,0 +1,102 @@
+// Admission control and graceful degradation (service/admission.h): the
+// accept / degrade / reject decision as a pure function of queue pressure.
+#include "service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vstack::service {
+namespace {
+
+AdmissionOptions default_options() {
+  AdmissionOptions o;  // depth 16, 512 MiB, degrade at 50%, divisor 4
+  return o;
+}
+
+TEST(AdmissionOptions, DegradeThresholdCeilsTheFraction) {
+  AdmissionOptions o = default_options();
+  EXPECT_EQ(o.degrade_threshold(), 8u);
+  o.max_queue_depth = 5;
+  o.degrade_depth_fraction = 0.5;
+  EXPECT_EQ(o.degrade_threshold(), 3u);  // ceil(2.5)
+  o.degrade_depth_fraction = 0.01;
+  EXPECT_EQ(o.degrade_threshold(), 1u);  // floor of one
+}
+
+TEST(AdmissionOptions, ValidateRejectsBadShapes) {
+  AdmissionOptions o = default_options();
+  o.max_queue_depth = 0;
+  EXPECT_THROW(o.validate(), Error);
+  o = default_options();
+  o.max_request_bytes = 1024;
+  EXPECT_THROW(o.validate(), Error);
+  o = default_options();
+  o.degrade_depth_fraction = 0.0;
+  EXPECT_THROW(o.validate(), Error);
+  o = default_options();
+  o.degrade_trial_divisor = 0;
+  EXPECT_THROW(o.validate(), Error);
+}
+
+TEST(AdmissionController, AcceptsLightLoad) {
+  const AdmissionController c(default_options());
+  const AdmissionVerdict v = c.decide(1, 1 << 20);
+  EXPECT_EQ(v.decision, AdmissionDecision::Accept);
+  EXPECT_TRUE(v.reason.empty());
+}
+
+TEST(AdmissionController, DegradesAtTheThreshold) {
+  const AdmissionController c(default_options());
+  EXPECT_EQ(c.decide(7, 1 << 20).decision, AdmissionDecision::Accept);
+  const AdmissionVerdict v = c.decide(8, 1 << 20);
+  EXPECT_EQ(v.decision, AdmissionDecision::Degrade);
+  EXPECT_FALSE(v.reason.empty());
+}
+
+TEST(AdmissionController, RejectsQueueOverflow) {
+  const AdmissionController c(default_options());
+  EXPECT_EQ(c.decide(16, 1 << 20).decision, AdmissionDecision::Degrade);
+  const AdmissionVerdict v = c.decide(17, 1 << 20);
+  EXPECT_EQ(v.decision, AdmissionDecision::Reject);
+  EXPECT_NE(v.reason.find("queue depth"), std::string::npos);
+}
+
+TEST(AdmissionController, RejectsOversizedRequestRegardlessOfQueue) {
+  const AdmissionController c(default_options());
+  const AdmissionVerdict v = c.decide(1, (513ull << 20));
+  EXPECT_EQ(v.decision, AdmissionDecision::Reject);
+  EXPECT_NE(v.reason.find("MiB"), std::string::npos);
+}
+
+TEST(AdmissionController, DivisorOneDisablesDegradation) {
+  AdmissionOptions o = default_options();
+  o.degrade_trial_divisor = 1;
+  const AdmissionController c(o);
+  EXPECT_EQ(c.decide(12, 1 << 20).decision, AdmissionDecision::Accept);
+  EXPECT_EQ(c.degraded_trials(8), 8u);
+}
+
+TEST(AdmissionController, OverflowsByPosition) {
+  const AdmissionController c(default_options());
+  EXPECT_FALSE(c.overflows(0));
+  EXPECT_FALSE(c.overflows(15));
+  EXPECT_TRUE(c.overflows(16));
+}
+
+TEST(AdmissionController, DegradedTrialsFloorAtOne) {
+  const AdmissionController c(default_options());
+  EXPECT_EQ(c.degraded_trials(16), 4u);
+  EXPECT_EQ(c.degraded_trials(8), 2u);
+  EXPECT_EQ(c.degraded_trials(2), 1u);
+  EXPECT_EQ(c.degraded_trials(0), 1u);
+}
+
+TEST(AdmissionDecision, ToString) {
+  EXPECT_STREQ(to_string(AdmissionDecision::Accept), "accept");
+  EXPECT_STREQ(to_string(AdmissionDecision::Degrade), "degrade");
+  EXPECT_STREQ(to_string(AdmissionDecision::Reject), "reject");
+}
+
+}  // namespace
+}  // namespace vstack::service

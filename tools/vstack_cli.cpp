@@ -25,6 +25,7 @@
 #include "circuit/spice_parser.h"
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/shutdown.h"
 #include "common/table.h"
 #include "core/campaign.h"
 #include "core/contingency.h"
@@ -33,6 +34,7 @@
 #include "pdn/config_io.h"
 #include "pdn/ride_through.h"
 #include "power/workload.h"
+#include "service/server.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 #include "thermal/thermal_grid.h"
@@ -56,6 +58,11 @@ std::string read_file(const std::string& path) {
 core::ExecutionPolicy resolve_execution(const CliArgs& args) {
   core::ExecutionPolicy policy;
   policy.jobs = args.get_size("jobs", 0);  // 0 = auto
+  // SIGINT/SIGTERM cancel the shutdown token; runners then stop at the
+  // next chunk boundary with the committed prefix intact and main() maps
+  // the interruption onto kInterruptExitCode.  Commands that never install
+  // the handlers carry a token that simply never fires.
+  policy.deadline = shutdown_token();
   return policy;
 }
 
@@ -557,6 +564,40 @@ int cmd_contingency(const core::StudyContext& ctx, const CliArgs& args) {
   return report.infeasible > 0 ? 3 : 0;
 }
 
+int cmd_serve(const core::StudyContext& ctx, const CliArgs& args) {
+  service::ServerOptions opt;
+  opt.root = args.get_string("spool", "");
+  VS_REQUIRE(!opt.root.empty(), "serve requires --spool=DIR");
+  opt.poll_interval_s = args.get_double("poll", opt.poll_interval_s);
+  opt.health_interval_s =
+      args.get_double("health-interval", opt.health_interval_s);
+  opt.max_requests = args.get_size("max-requests", 0);
+  opt.idle_exit_s = args.get_double("idle-exit", 0.0);
+  opt.default_deadline_s = args.get_double("deadline", 0.0);
+  opt.retry.max_attempts = args.get_size("retries", opt.retry.max_attempts);
+  opt.retry.initial_backoff_s =
+      args.get_double("backoff", opt.retry.initial_backoff_s);
+  opt.admission.max_queue_depth =
+      args.get_size("queue", opt.admission.max_queue_depth);
+  opt.admission.degrade_trial_divisor =
+      args.get_size("degrade-divisor", opt.admission.degrade_trial_divisor);
+  opt.execution = resolve_execution(args);
+  opt.stop = shutdown_token();
+
+  std::cout << "serving spool " << opt.root << " (queue bound "
+            << opt.admission.max_queue_depth << ", "
+            << opt.retry.max_attempts << " attempts/request";
+  if (opt.default_deadline_s > 0.0) {
+    std::cout << ", default deadline " << opt.default_deadline_s << " s";
+  }
+  std::cout << ")\n";
+
+  service::SpoolServer server(ctx, opt);
+  const service::ServerStats stats = server.run();
+  std::cout << "serve: " << stats.summary() << "\n";
+  return 0;  // main() maps a pending shutdown signal onto exit code 4
+}
+
 int cmd_spice(const CliArgs& args) {
   VS_REQUIRE(args.positionals().size() >= 2,
              "usage: vstack_cli spice FILE");
@@ -611,12 +652,16 @@ void usage() {
       "--duration --fault-time --verbose --jobs)\n"
       "  sweep       paper figure sweeps      (--figure=5a|5b|6|7|8 --jobs)\n"
       "  report      one-command reproduction of every figure (--jobs)\n"
+      "  serve       resilient campaign service (--spool=DIR --poll "
+      "--health-interval --max-requests --idle-exit --deadline --retries "
+      "--backoff --queue --degrade-divisor --jobs); see docs/service_mode.md\n"
       "  spice FILE  run a SPICE-subset netlist (--verbose)\n"
       "  config      echo the resolved configuration (--config ...)\n"
       "  version     print build provenance (git describe, build type, "
       "sanitizer, telemetry)\n"
       "exit codes: 0 ok; 1 usage error; 2 truncated/incomplete result; "
-      "3 Lost/Infeasible outcome\n"
+      "3 Lost/Infeasible outcome; 4 interrupted by SIGINT/SIGTERM (partial "
+      "results committed)\n"
       "--jobs=N sets worker threads for multi-scenario commands (default: "
       "auto via VSTACK_JOBS env or hardware concurrency; results are "
       "independent of N)\n"
@@ -651,13 +696,24 @@ int main(int argc, char** argv) {
                         "budget", "verbose", "duration", "fault-time",
                         "fault-level", "keep", "manifest", "compare",
                         "timeout", "retries", "conv-faults", "jobs",
-                        "metrics", "trace", "version"});
+                        "metrics", "trace", "version", "spool", "poll",
+                        "health-interval", "max-requests", "idle-exit",
+                        "deadline", "backoff", "queue", "degrade-divisor"});
     const auto ctx = core::StudyContext::paper_defaults();
     const std::string cmd = args.subcommand();
     if (cmd == "version" || args.get_bool("version")) return cmd_version();
     // Span recording costs a little per scope, so the tracer only runs when
     // a trace sink was requested; counters are always on.
     if (args.has("trace")) telemetry::set_tracing_enabled(true);
+    // Long-running multi-scenario commands get graceful SIGINT/SIGTERM:
+    // the handler cancels shutdown_token(), the runners stop at the next
+    // chunk boundary with the committed prefix (and manifest) intact, and
+    // the command exits with code 4.  Short analyses keep the default
+    // die-on-signal behavior.
+    const bool cancellable = cmd == "campaign" || cmd == "contingency" ||
+                             cmd == "sweep" || cmd == "report" ||
+                             cmd == "serve";
+    if (cancellable) install_shutdown_handlers();
     int code = 1;
     if (cmd == "noise") code = cmd_noise(ctx, args);
     else if (cmd == "contingency") code = cmd_contingency(ctx, args);
@@ -668,6 +724,7 @@ int main(int argc, char** argv) {
     else if (cmd == "thermal") code = cmd_thermal(ctx, args);
     else if (cmd == "sweep") code = cmd_sweep(ctx, args);
     else if (cmd == "report") code = cmd_report(ctx, args);
+    else if (cmd == "serve") code = cmd_serve(ctx, args);
     else if (cmd == "spice") code = cmd_spice(args);
     else if (cmd == "config") {
       std::cout << pdn::write_stackup_config(resolve_config(ctx, args));
@@ -677,6 +734,11 @@ int main(int argc, char** argv) {
       return cmd.empty() ? 0 : 1;
     }
     write_telemetry_sinks(args);
+    if (shutdown_requested()) {
+      std::cerr << "interrupted by signal " << shutdown_signal()
+                << "; partial results committed\n";
+      return kInterruptExitCode;
+    }
     return code;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
