@@ -1,8 +1,12 @@
 #include "common/durable_file.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -73,12 +77,29 @@ DurableAppender& DurableAppender::operator=(DurableAppender&& other) noexcept {
   return *this;
 }
 
-void DurableAppender::open(const std::string& path) {
+void DurableAppender::open(const std::string& path, bool repair_torn_tail) {
   close();
-  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  // O_RDWR (not O_WRONLY): the torn-tail check needs to pread the last
+  // byte.  O_APPEND still forces every write to the end of the file.
+  fd_ = ::open(path.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
   VS_REQUIRE(fd_ >= 0,
              "cannot open '" + path + "' for appending: " + errno_text());
   path_ = path;
+  if (!repair_torn_tail) return;
+
+  struct stat st;
+  VS_REQUIRE(::fstat(fd_, &st) == 0,
+             "fstat of '" + path + "' failed: " + errno_text());
+  if (st.st_size == 0) return;
+  char last = '\n';
+  const ssize_t got = ::pread(fd_, &last, 1, st.st_size - 1);
+  VS_REQUIRE(got == 1, "pread of '" + path + "' failed: " + errno_text());
+  if (last == '\n') return;
+  // A crash tore the final line; terminate the fragment so it parses (and
+  // is skipped) as its own line instead of swallowing the next append.
+  write_all(fd_, "\n", 1, path_);
+  VS_REQUIRE(::fsync(fd_) == 0,
+             "fsync of '" + path_ + "' failed: " + errno_text());
 }
 
 void DurableAppender::append_line(const std::string& line) {
@@ -132,6 +153,65 @@ void atomic_write_file(const std::string& path, const std::string& content) {
     VS_FAIL("rename '" + tmp + "' -> '" + path + "' failed: " + why);
   }
   fsync_directory(directory_of(path));
+}
+
+bool create_exclusive_file(const std::string& path,
+                           const std::string& content) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    VS_FAIL("cannot create '" + path + "': " + errno_text());
+  }
+  try {
+    write_all(fd, content.data(), content.size(), path);
+    VS_REQUIRE(::fsync(fd) == 0,
+               "fsync of '" + path + "' failed: " + errno_text());
+  } catch (...) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw;
+  }
+  VS_REQUIRE(::close(fd) == 0,
+             "close of '" + path + "' failed: " + errno_text());
+  fsync_directory(directory_of(path));
+  return true;
+}
+
+bool touch_file(const std::string& path) {
+  if (::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) == 0) return true;
+  if (errno == ENOENT) return false;
+  VS_FAIL("touch of '" + path + "' failed: " + errno_text());
+}
+
+bool file_age_seconds(const std::string& path, double& age_s) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return false;
+    VS_FAIL("stat of '" + path + "' failed: " + errno_text());
+  }
+  struct timespec now;
+  VS_REQUIRE(::clock_gettime(CLOCK_REALTIME, &now) == 0,
+             "clock_gettime failed: " + errno_text());
+  const double age =
+      (static_cast<double>(now.tv_sec) - static_cast<double>(st.st_mtim.tv_sec)) +
+      (static_cast<double>(now.tv_nsec) -
+       static_cast<double>(st.st_mtim.tv_nsec)) *
+          1e-9;
+  age_s = std::max(0.0, age);
+  return true;
+}
+
+bool try_rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) == 0) return true;
+  if (errno == ENOENT) return false;
+  VS_FAIL("rename '" + from + "' -> '" + to + "' failed: " + errno_text());
+}
+
+bool remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) == 0) return true;
+  if (errno == ENOENT) return false;
+  VS_FAIL("unlink of '" + path + "' failed: " + errno_text());
 }
 
 }  // namespace vstack

@@ -32,7 +32,15 @@ class DurableAppender {
 
   /// Open `path` for appending (created if absent).  Throws vstack::Error
   /// when the file cannot be opened.
-  void open(const std::string& path);
+  ///
+  /// With `repair_torn_tail` set, a file whose last byte is not '\n' gets a
+  /// newline appended (and fsynced) before the first append.  This closes a
+  /// real crash window for every JSONL protocol that REOPENS a file: after
+  /// a kill -9 mid-append the file ends in half a line, and a plain append
+  /// would concatenate the next record onto the torn fragment -- producing
+  /// one garbage line and silently losing the new record.  The repair turns
+  /// the fragment into its own (unparseable, skipped-on-read) line instead.
+  void open(const std::string& path, bool repair_torn_tail = false);
 
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
@@ -57,5 +65,37 @@ class DurableAppender {
 /// the same directory, fsync, rename over `path`, fsync the directory.
 /// Throws vstack::Error on any I/O failure (the temp file is removed).
 void atomic_write_file(const std::string& path, const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Lease-file primitives (src/shard's worker-coordination protocol; see
+// docs/distributed_campaigns.md).  All are local-filesystem operations --
+// the atomicity guarantees (O_EXCL creation, rename(2)) are what POSIX
+// gives on one machine; they are NOT NFS-safe.
+
+/// Create `path` with `content` only if it does not already exist
+/// (O_CREAT | O_EXCL), fsync it, and fsync the directory so the name
+/// survives a power cut.  Returns false when the file already exists --
+/// the single-winner "claim" primitive: of N concurrent callers exactly
+/// one returns true.  Throws vstack::Error on any other I/O failure.
+bool create_exclusive_file(const std::string& path, const std::string& content);
+
+/// Refresh `path`'s mtime to now (the lease heartbeat).  Returns false when
+/// the file no longer exists (the lease was reclaimed or released); throws
+/// on other I/O errors.
+bool touch_file(const std::string& path);
+
+/// Seconds since `path`'s last modification (realtime clock), for lease
+/// expiry checks.  Returns false when the file does not exist.  Negative
+/// ages (clock steps) are clamped to 0.
+bool file_age_seconds(const std::string& path, double& age_s);
+
+/// rename(2) that reports a missing source as false instead of throwing --
+/// the single-winner "reclaim" primitive: of N concurrent callers renaming
+/// the same source away, exactly one succeeds.  Throws vstack::Error on
+/// errors other than ENOENT.
+bool try_rename(const std::string& from, const std::string& to);
+
+/// Best-effort unlink; returns false when the file was already gone.
+bool remove_file(const std::string& path);
 
 }  // namespace vstack

@@ -1,278 +1,17 @@
 #include "core/campaign.h"
 
 #include <cmath>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
 #include <map>
 #include <sstream>
 
 #include "common/durable_file.h"
 #include "common/error.h"
-#include "pdn/config_io.h"
+#include "core/campaign_manifest.h"
 #include "telemetry/telemetry.h"
 
 namespace vstack::core {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// FNV-1a hashing (64-bit).  Doubles are hashed by bit pattern so the hash is
-// exact, not formatting-dependent.
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-}
-
-void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, 8); }
-
-void fnv_double(std::uint64_t& h, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  fnv_u64(h, bits);
-}
-
-void fnv_string(std::uint64_t& h, const std::string& s) {
-  fnv_u64(h, s.size());
-  fnv_bytes(h, s.data(), s.size());
-}
-
-std::uint64_t scenario_hash(const PlannedScenario& scenario,
-                            double fault_time) {
-  std::uint64_t h = kFnvOffset;
-  fnv_u64(h, scenario.index);
-  fnv_string(h, scenario.label);
-  fnv_double(h, fault_time);
-  for (const pdn::Fault& f : scenario.faults.faults()) {
-    fnv_u64(h, static_cast<std::uint64_t>(f.kind));
-    fnv_u64(h, f.index);
-    fnv_u64(h, f.units);
-    fnv_double(h, f.severity);
-  }
-  return h;
-}
-
-std::uint64_t campaign_config_hash(const pdn::StackupConfig& config,
-                                   const std::vector<double>& activities,
-                                   const CampaignOptions& options) {
-  std::uint64_t h = kFnvOffset;
-  // write_stackup_config is round-trip capable, so it covers every knob of
-  // the network topology.
-  fnv_string(h, pdn::write_stackup_config(config));
-  fnv_u64(h, activities.size());
-  for (const double a : activities) fnv_double(h, a);
-
-  const ContingencyOptions& c = options.contingency;
-  fnv_u64(h, c.seed);
-  fnv_u64(h, c.trials);
-  fnv_u64(h, c.faults_per_trial);
-  fnv_u64(h, c.converter_faults_per_trial);
-  fnv_u64(h, c.leakage_faults_per_trial);
-  fnv_double(h, c.leakage_resistance);
-  fnv_double(h, c.degrade_factor);
-  fnv_double(h, c.mission_time);
-
-  const pdn::RideThroughOptions& rt = options.ride_through;
-  fnv_double(h, rt.transient.decap_density);
-  fnv_double(h, rt.transient.package_inductance);
-  fnv_double(h, rt.transient.time_step);
-  fnv_double(h, rt.transient.duration);
-  fnv_double(h, rt.transient.control.rel_tol);
-  fnv_double(h, rt.transient.control.abs_tol);
-  fnv_double(h, rt.supervisor.trip_fraction);
-  fnv_double(h, rt.supervisor.recovery_fraction);
-  fnv_double(h, rt.supervisor.detection_latency);
-  fnv_double(h, rt.supervisor.sense_interval);
-  fnv_double(h, rt.supervisor.action_dwell);
-  fnv_double(h, rt.supervisor.watchdog_timeout);
-  fnv_double(h, rt.supervisor.frequency_boost);
-  fnv_u64(h, rt.supervisor.max_actions);
-  fnv_double(h, rt.bypass_resistance);
-  fnv_double(h, rt.max_rebalance_boost);
-
-  fnv_double(h, options.fault_time);
-  fnv_u64(h, options.max_retries);
-  fnv_double(h, options.retry_tolerance_relax);
-  // options.execution is deliberately NOT hashed: scheduling does not
-  // change results, so a manifest written at jobs=1 must resume at jobs=8
-  // and vice versa.
-  return h;
-}
-
-// ---------------------------------------------------------------------------
-// Manifest JSONL (docs/fault_model.md documents the format).  Flat objects,
-// known keys, no escapes needed: labels are "MC#<n>", outcomes are enum
-// names.  Doubles round-trip through %.17g so resumed aggregates are
-// bit-identical to a straight-through run.
-
-std::string hex64(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
-std::string fmt_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-/// Extract `"key":<value>` from a flat single-line JSON object.  Returns
-/// false when the key is absent.  Values are numbers or quoted strings
-/// without escapes -- all this format ever emits.
-bool json_field(const std::string& line, const std::string& key,
-                std::string& out) {
-  const std::string needle = "\"" + key + "\":";
-  const auto pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  std::size_t begin = pos + needle.size();
-  if (begin >= line.size()) return false;
-  if (line[begin] == '"') {
-    const auto end = line.find('"', begin + 1);
-    if (end == std::string::npos) return false;
-    out = line.substr(begin + 1, end - begin - 1);
-    return true;
-  }
-  auto end = line.find_first_of(",}", begin);
-  if (end == std::string::npos) return false;
-  out = line.substr(begin, end - begin);
-  return true;
-}
-
-bool json_u64(const std::string& line, const std::string& key,
-              std::uint64_t& out) {
-  std::string s;
-  if (!json_field(line, key, s)) return false;
-  char* end = nullptr;
-  out = std::strtoull(s.c_str(), &end, 10);
-  return end && *end == '\0';
-}
-
-bool json_hex64(const std::string& line, const std::string& key,
-                std::uint64_t& out) {
-  std::string s;
-  if (!json_field(line, key, s)) return false;
-  char* end = nullptr;
-  out = std::strtoull(s.c_str(), &end, 16);
-  return end && *end == '\0';
-}
-
-bool json_double(const std::string& line, const std::string& key,
-                 double& out) {
-  std::string s;
-  if (!json_field(line, key, s)) return false;
-  char* end = nullptr;
-  out = std::strtod(s.c_str(), &end);
-  return end && *end == '\0';
-}
-
-std::string header_line(std::uint64_t seed, std::size_t trials,
-                        std::uint64_t config_hash) {
-  std::ostringstream oss;
-  oss << "{\"kind\":\"vstack-campaign\",\"version\":1,\"seed\":" << seed
-      << ",\"trials\":" << trials << ",\"config_hash\":\""
-      << hex64(config_hash) << "\"}";
-  return oss.str();
-}
-
-std::string scenario_line(const CampaignScenarioResult& r) {
-  std::ostringstream oss;
-  oss << "{\"index\":" << r.index << ",\"hash\":\"" << hex64(r.scenario_hash)
-      << "\",\"label\":\"" << r.label << "\",\"outcome\":\""
-      << pdn::to_string(r.outcome) << "\",\"completed\":" << (r.completed ? 1 : 0)
-      << ",\"timed_out\":" << (r.timed_out ? 1 : 0)
-      << ",\"attempts\":" << r.attempts
-      << ",\"detected_at\":" << fmt_double(r.detected_at)
-      << ",\"recovered_at\":" << fmt_double(r.recovered_at)
-      << ",\"worst_droop\":" << fmt_double(r.worst_droop)
-      << ",\"final_droop\":" << fmt_double(r.final_droop)
-      << ",\"actions\":" << r.action_count
-      << ",\"shutdowns\":" << r.shutdown_count
-      << ",\"wall_seconds\":" << fmt_double(r.wall_seconds) << "}";
-  return oss.str();
-}
-
-bool parse_outcome(const std::string& s, pdn::RideThroughOutcome& out) {
-  if (s == "recovered") out = pdn::RideThroughOutcome::Recovered;
-  else if (s == "degraded") out = pdn::RideThroughOutcome::Degraded;
-  else if (s == "lost") out = pdn::RideThroughOutcome::Lost;
-  else return false;
-  return true;
-}
-
-/// Parse one scenario line; false on any malformed field (a partly written
-/// trailing line after a crash is skipped, not fatal).
-bool parse_scenario_line(const std::string& line, CampaignScenarioResult& r) {
-  std::uint64_t index = 0, completed = 0, timed_out = 0, attempts = 0;
-  std::uint64_t actions = 0, shutdowns = 0;
-  std::string outcome;
-  if (!json_u64(line, "index", index)) return false;
-  if (!json_hex64(line, "hash", r.scenario_hash)) return false;
-  if (!json_field(line, "label", r.label)) return false;
-  if (!json_field(line, "outcome", outcome) ||
-      !parse_outcome(outcome, r.outcome)) {
-    return false;
-  }
-  if (!json_u64(line, "completed", completed)) return false;
-  if (!json_u64(line, "timed_out", timed_out)) return false;
-  if (!json_u64(line, "attempts", attempts)) return false;
-  if (!json_double(line, "detected_at", r.detected_at)) return false;
-  if (!json_double(line, "recovered_at", r.recovered_at)) return false;
-  if (!json_double(line, "worst_droop", r.worst_droop)) return false;
-  if (!json_double(line, "final_droop", r.final_droop)) return false;
-  if (!json_u64(line, "actions", actions)) return false;
-  if (!json_u64(line, "shutdowns", shutdowns)) return false;
-  if (!json_double(line, "wall_seconds", r.wall_seconds)) return false;
-  r.index = index;
-  r.completed = completed != 0;
-  r.timed_out = timed_out != 0;
-  r.attempts = attempts;
-  r.action_count = actions;
-  r.shutdown_count = shutdowns;
-  r.from_checkpoint = true;
-  return true;
-}
-
-/// Finished scenarios from an existing manifest, keyed by trial index.
-/// Returns false when the file does not exist or is empty (fresh start);
-/// throws when the header belongs to a DIFFERENT campaign.
-bool load_manifest(const std::string& path, std::uint64_t seed,
-                   std::size_t trials, std::uint64_t config_hash,
-                   std::map<std::size_t, CampaignScenarioResult>& out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::string line;
-  if (!std::getline(in, line) || line.empty()) return false;
-
-  std::string kind;
-  std::uint64_t got_seed = 0, got_trials = 0, got_hash = 0;
-  VS_REQUIRE(json_field(line, "kind", kind) && kind == "vstack-campaign" &&
-                 json_u64(line, "seed", got_seed) &&
-                 json_u64(line, "trials", got_trials) &&
-                 json_hex64(line, "config_hash", got_hash),
-             "campaign manifest '" + path + "' has an unrecognized header");
-  VS_REQUIRE(got_seed == seed && got_trials == trials &&
-                 got_hash == config_hash,
-             "campaign manifest '" + path +
-                 "' belongs to a different campaign (seed/trials/config "
-                 "mismatch); move it aside or change manifest_path");
-
-  while (std::getline(in, line)) {
-    CampaignScenarioResult r;
-    if (!parse_scenario_line(line, r)) continue;  // torn tail after a crash
-    out[r.index] = std::move(r);
-  }
-  return true;
-}
 
 std::string manifest_with_suffix(const std::string& path,
                                  const std::string& suffix) {
@@ -337,7 +76,7 @@ CampaignScenarioResult CampaignRunner::evaluate_scenario(
   CampaignScenarioResult result;
   result.index = scenario.index;
   result.label = scenario.label;
-  result.scenario_hash = scenario_hash(scenario, options.fault_time);
+  result.scenario_hash = campaign_scenario_hash(scenario, options.fault_time);
 
   pdn::RideThroughOptions rt = options.ride_through;
   rt.transient.fault_events.clear();
@@ -393,6 +132,21 @@ CampaignScenarioResult CampaignRunner::evaluate_scenario(
   return result;
 }
 
+std::vector<PlannedScenario> CampaignRunner::plan(
+    const std::vector<double>& layer_activities,
+    const CampaignOptions& options) const {
+  options.validate();
+  const ContingencyEngine engine(ctx_, config_);
+  return engine.plan_monte_carlo(layer_activities, options.contingency);
+}
+
+CampaignScenarioResult CampaignRunner::run_scenario(
+    const PlannedScenario& scenario,
+    const std::vector<double>& layer_activities,
+    const CampaignOptions& options) const {
+  return evaluate_scenario(scenario, layer_activities, options);
+}
+
 CampaignReport CampaignRunner::run(
     const std::vector<double>& layer_activities,
     const CampaignOptions& options) const {
@@ -410,20 +164,23 @@ CampaignReport CampaignRunner::run(
   std::map<std::size_t, CampaignScenarioResult> finished;
   DurableAppender manifest;
   if (!options.manifest_path.empty()) {
-    const bool resumed = load_manifest(
+    const bool resumed = load_campaign_manifest(
         options.manifest_path, options.contingency.seed,
         options.contingency.trials, report.config_hash, finished);
     if (!resumed) {
       // Publish the header atomically (temp + rename): a torn header is the
-      // one torn line resume cannot tolerate -- load_manifest refuses the
-      // whole manifest -- so the file must never exist with half of one.
+      // one torn line resume cannot tolerate -- load_campaign_manifest
+      // refuses the whole manifest -- so it must never exist half-written.
       atomic_write_file(options.manifest_path,
-                        header_line(options.contingency.seed,
-                                    options.contingency.trials,
-                                    report.config_hash) +
+                        campaign_manifest_header(options.contingency.seed,
+                                                 options.contingency.trials,
+                                                 report.config_hash) +
                             "\n");
     }
-    manifest.open(options.manifest_path);
+    // repair_torn_tail: a kill -9 mid-append leaves half a line; without the
+    // repair the first resumed append would concatenate onto the fragment,
+    // producing garbage AND losing that scenario's record.
+    manifest.open(options.manifest_path, /*repair_torn_tail=*/true);
   }
 
   // Evaluate on the worker pool, commit in trial-index order.  Workers
@@ -456,7 +213,7 @@ CampaignReport CampaignRunner::run(
         }
         const PlannedScenario& scenario = plan[i];
         const std::uint64_t expect =
-            scenario_hash(scenario, options.fault_time);
+            campaign_scenario_hash(scenario, options.fault_time);
         if (result.from_checkpoint) {
           VS_REQUIRE(result.scenario_hash == expect,
                      "campaign manifest entry for " + scenario.label +
@@ -470,21 +227,13 @@ CampaignReport CampaignRunner::run(
             // most the in-flight line (which the read side skips), and the
             // manifest stays a contiguous trial prefix even when workers
             // finish out of order.
-            manifest.append_line(scenario_line(result));
+            manifest.append_line(campaign_scenario_line(result));
           }
         }
 
-        switch (result.outcome) {
-          case pdn::RideThroughOutcome::Recovered: ++report.recovered; break;
-          case pdn::RideThroughOutcome::Degraded:  ++report.degraded;  break;
-          case pdn::RideThroughOutcome::Lost:      ++report.lost;      break;
-        }
-        if (result.timed_out) ++report.timed_out;
-        if (result.completed) {
-          report.worst_droop =
-              std::max(report.worst_droop, result.worst_droop);
-        }
-        report.scenarios.push_back(std::move(result));
+        // Shared with the shard merge path: fleet aggregates must fold
+        // results exactly the way the serial commit path does.
+        accumulate_campaign_result(report, result);
       });
   report.cancelled = report.scenarios.size() < plan.size();
   return report;

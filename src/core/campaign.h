@@ -159,6 +159,26 @@ class CampaignRunner {
   CampaignReport run(const std::vector<double>& layer_activities,
                      const CampaignOptions& options = {}) const;
 
+  // Decomposed hooks for external schedulers (src/shard's worker fleet):
+  // plan() reproduces run()'s deterministic scenario list, run_scenario()
+  // evaluates exactly one of them.  A worker that executes an arbitrary
+  // subset of plan() through run_scenario() produces results byte-identical
+  // to the serial run's manifest lines for those trials -- the property the
+  // deterministic shard merge depends on.
+
+  /// The seeded Monte Carlo scenario list run() would evaluate, in trial
+  /// order.  Pure function of (config, activities, options.contingency).
+  std::vector<PlannedScenario> plan(
+      const std::vector<double>& layer_activities,
+      const CampaignOptions& options) const;
+
+  /// Evaluate one planned scenario (fresh PdnModel, timeout + bounded
+  /// retry, deadline plumbing) exactly as run() would.
+  CampaignScenarioResult run_scenario(
+      const PlannedScenario& scenario,
+      const std::vector<double>& layer_activities,
+      const CampaignOptions& options) const;
+
  private:
   CampaignScenarioResult evaluate_scenario(
       const PlannedScenario& scenario,

@@ -1,0 +1,120 @@
+// The campaign checkpoint-manifest format, factored out of the runner so
+// every producer and consumer shares one serialization:
+//
+//   * core::CampaignRunner -- the single-process writer/resumer,
+//   * shard workers (src/shard) -- per-shard manifests with the SAME line
+//     format, so a deterministic merge can reproduce the serial manifest
+//     byte for byte,
+//   * vstack_cli merge / the shard supervisor -- fold shard manifests back
+//     into one manifest + aggregate report.
+//
+// Format (JSONL; docs/fault_model.md documents it for users): one header
+// line identifying the campaign (seed, trial count, FNV-1a config hash)
+// followed by one flat JSON object per finished scenario.  Flat objects,
+// known keys, no escapes needed; doubles round-trip through %.17g so
+// restored aggregates are bit-identical to a straight-through run.  A
+// partly written (torn) trailing line fails parsing and is skipped, never
+// fatal -- except the header, which producers therefore publish atomically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace vstack::core {
+
+// ---------------------------------------------------------------------------
+// FNV-1a (64-bit) running hash.  Doubles are hashed by bit pattern so the
+// hash is exact, not formatting-dependent.  Shared by the campaign config /
+// scenario hashes and the shard plan hash.
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void bytes(const void* data, std::size_t n);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// Length-prefixed (u64 size, then the bytes).
+  void str(const std::string& s);
+};
+
+/// FNV-1a over the fault recipe + strike time: the per-trial identity that
+/// resume and shard-merge dedup key on (alongside the trial index).
+std::uint64_t campaign_scenario_hash(const PlannedScenario& scenario,
+                                     double fault_time);
+
+/// FNV-1a over everything that changes results: the full stackup config
+/// (via its round-trip serialization), the activity vector, and every
+/// physics/retry knob of the options.  Scheduling (options.execution) is
+/// deliberately excluded -- a manifest written at jobs=1 must resume at
+/// jobs=8, and a shard fleet must merge into the serial bytes.
+std::uint64_t campaign_config_hash(const pdn::StackupConfig& config,
+                                   const std::vector<double>& activities,
+                                   const CampaignOptions& options);
+
+// ---------------------------------------------------------------------------
+// Flat single-line JSON helpers.  Values are numbers or quoted strings
+// without escapes -- all these formats ever emit.  Reused by the service
+// response protocol and the shard plan/lease/quarantine records.
+
+/// Extract `"key":<value>`; false when the key is absent or malformed.
+bool json_field(const std::string& line, const std::string& key,
+                std::string& out);
+bool json_u64(const std::string& line, const std::string& key,
+              std::uint64_t& out);
+bool json_hex64(const std::string& line, const std::string& key,
+                std::uint64_t& out);
+bool json_double(const std::string& line, const std::string& key,
+                 double& out);
+
+/// 16-digit zero-padded lowercase hex (config/scenario hash rendering).
+std::string hex64(std::uint64_t v);
+
+/// %.17g -- doubles survive a serialize/parse round trip bit-exactly.
+std::string fmt_double_17g(double v);
+
+// ---------------------------------------------------------------------------
+// Manifest lines.
+
+/// {"kind":"vstack-campaign","version":1,"seed":...,"trials":...,
+///  "config_hash":"..."}
+std::string campaign_manifest_header(std::uint64_t seed, std::size_t trials,
+                                     std::uint64_t config_hash);
+
+struct CampaignManifestHeader {
+  std::uint64_t seed = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t config_hash = 0;
+};
+
+/// Parse a header line; false when it is not a vstack-campaign header.
+bool parse_campaign_manifest_header(const std::string& line,
+                                    CampaignManifestHeader& out);
+
+/// One finished scenario as a manifest line.
+std::string campaign_scenario_line(const CampaignScenarioResult& r);
+
+/// Parse one scenario line; false on any malformed field (a partly written
+/// trailing line after a crash is skipped by callers, not fatal).  Sets
+/// from_checkpoint on the result.
+bool parse_campaign_scenario_line(const std::string& line,
+                                  CampaignScenarioResult& r);
+
+/// Finished scenarios from an existing manifest, keyed by trial index.
+/// Returns false when the file does not exist or is empty (fresh start);
+/// throws when the header belongs to a DIFFERENT campaign (seed/trials/
+/// config mismatch) or is unrecognizable.
+bool load_campaign_manifest(const std::string& path, std::uint64_t seed,
+                            std::size_t trials, std::uint64_t config_hash,
+                            std::map<std::size_t, CampaignScenarioResult>& out);
+
+/// Fold one restored/committed scenario into the report aggregates exactly
+/// the way CampaignRunner::run's commit path does -- merge uses this so
+/// fleet aggregates equal the serial run's.
+void accumulate_campaign_result(CampaignReport& report,
+                                const CampaignScenarioResult& result);
+
+}  // namespace vstack::core

@@ -16,11 +16,14 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "core/campaign.h"
+#include "core/campaign_manifest.h"
 #include "core/contingency.h"
 #include "core/sweeps.h"
 #include "pdn/ride_through.h"
 #include "power/workload.h"
 #include "service/request.h"
+#include "shard/job.h"
+#include "shard/supervisor.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 
@@ -43,11 +46,9 @@ const telemetry::Counter t_retries("service.retries");
 const telemetry::Gauge g_queue_depth("service.queue_depth");
 const telemetry::Gauge g_active("service.active");
 
-std::string fmt_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+// Serialization helpers shared with the campaign manifest format
+// (core/campaign_manifest.h); thin aliases keep the call sites short.
+std::string fmt_double(double v) { return core::fmt_double_17g(v); }
 
 /// JSON string payload sanitizer: the response format is flat JSON without
 /// escape support (same contract as the campaign manifest), so quotes and
@@ -60,43 +61,19 @@ std::string sanitize(std::string s) {
   return s;
 }
 
-/// Extract `"key":<value>` from a flat single-line JSON object (the
-/// manifest idiom; see core/campaign.cpp).
 bool json_field(const std::string& line, const std::string& key,
                 std::string& out) {
-  const std::string needle = "\"" + key + "\":";
-  const auto pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  std::size_t begin = pos + needle.size();
-  if (begin >= line.size()) return false;
-  if (line[begin] == '"') {
-    const auto end = line.find('"', begin + 1);
-    if (end == std::string::npos) return false;
-    out = line.substr(begin + 1, end - begin - 1);
-    return true;
-  }
-  auto end = line.find_first_of(",}", begin);
-  if (end == std::string::npos) return false;
-  out = line.substr(begin, end - begin);
-  return true;
+  return core::json_field(line, key, out);
 }
 
 void fnv_double(std::uint64_t& h, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  for (int i = 0; i < 8; ++i) {
-    h ^= (bits >> (8 * i)) & 0xff;
-    h *= 1099511628211ull;
-  }
+  core::Fnv1a f;
+  f.h = h;
+  f.f64(v);
+  h = f.h;
 }
 
-std::string hex64(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
+std::string hex64(std::uint64_t v) { return core::hex64(v); }
 
 /// One terminal answer; rendered as a single JSONL line.
 struct Response {
@@ -185,6 +162,8 @@ void ServerOptions::validate() const {
   retry.validate();
   admission.validate();
   execution.validate();
+  VS_REQUIRE(shard_workers == 0 || !worker_command.empty(),
+             "shard_workers needs a worker_command to exec");
 }
 
 std::string ServerStats::summary() const {
@@ -220,7 +199,11 @@ class ServerRun {
 
   ServerStats run() {
     ensure_layout();
-    responses_.open((root_ / "results" / "responses.jsonl").string());
+    // repair_torn_tail: a kill -9 mid-response-append must not let the next
+    // incarnation concatenate its first response onto the torn fragment --
+    // that would lose the answer AND corrupt duplicate-id recovery.
+    responses_.open((root_ / "results" / "responses.jsonl").string(),
+                    /*repair_torn_tail=*/true);
     const std::set<std::string> answered = load_answered_ids();
     recover_active(answered);
     write_health();
@@ -536,6 +519,10 @@ class ServerRun {
         (root_ / "manifests" / (spec.id + ".jsonl")).string();
     opt.execution = execution_for(jobs, deadline);
 
+    if (opts_.shard_workers > 0) {
+      return execute_campaign_sharded(spec, opt, cfg, jobs, deadline);
+    }
+
     const core::CampaignRunner runner(ctx_, cfg);
     const core::CampaignReport report = runner.run(acts, opt);
 
@@ -553,6 +540,66 @@ class ServerRun {
     out.cancelled = report.cancelled;
     out.aggregates = agg.str();
     out.detail = report.summary();
+    return out;
+  }
+
+  /// Campaign on a multi-process worker fleet: one job directory per
+  /// request under root/jobs/<id>, supervised locally, merged back into
+  /// the same aggregate shape the in-process path answers with.  Worker
+  /// crashes and poison scenarios are isolated from the server process;
+  /// quarantined trials surface in the aggregates instead of wedging the
+  /// request in a crash loop.
+  RunOutcome execute_campaign_sharded(const RequestSpec& spec,
+                                      const core::CampaignOptions& opt,
+                                      const pdn::StackupConfig& cfg,
+                                      std::size_t jobs,
+                                      const Deadline& deadline) const {
+    shard::JobSpec jspec;
+    jspec.stacked = cfg.is_voltage_stacked();
+    jspec.layers = cfg.layer_count;
+    jspec.grid = cfg.grid_nx;
+    jspec.imbalance = spec.imbalance;
+    jspec.trials = opt.contingency.trials;
+    jspec.faults_per_trial = opt.contingency.faults_per_trial;
+    jspec.converter_faults_per_trial =
+        opt.contingency.converter_faults_per_trial;
+    jspec.seed = opt.contingency.seed;
+    jspec.duration_s = opt.ride_through.transient.duration;
+    jspec.fault_time_s = opt.fault_time;
+    jspec.scenario_timeout_s = opt.scenario_timeout_s;
+    jspec.max_retries = opt.max_retries;
+    jspec.retry_relax = opt.retry_tolerance_relax;
+
+    shard::SupervisorOptions sup;
+    sup.job_dir = (root_ / "jobs" / spec.id).string();
+    sup.shards = opts_.shard_workers;
+    sup.worker_command = opts_.worker_command;
+    sup.worker_jobs = jobs > 0 ? jobs : 1;
+    sup.stop = deadline;
+
+    const shard::SupervisorReport result =
+        shard::run_supervised_job(ctx_, jspec, sup);
+    const core::CampaignReport& report = result.merge.report;
+
+    std::ostringstream agg;
+    agg << ",\"trials\":" << report.planned
+        << ",\"completed\":" << report.scenarios.size()
+        << ",\"recovered\":" << report.recovered
+        << ",\"degraded_outcomes\":" << report.degraded
+        << ",\"lost\":" << report.lost
+        << ",\"timed_out_scenarios\":" << report.timed_out
+        << ",\"worst_droop\":" << fmt_double(report.worst_droop)
+        << ",\"resumed\":0,\"evaluated\":" << report.evaluated
+        << ",\"shard_workers\":" << sup.shards
+        << ",\"worker_restarts\":" << result.workers_restarted
+        << ",\"quarantined\":" << result.merge.quarantined_trials.size();
+    RunOutcome out;
+    // Quarantine is a terminal verdict for those trials, not a truncation:
+    // only a fired deadline (or trials nobody could finish) re-queues work.
+    out.cancelled =
+        result.interrupted || !result.merge.missing_trials.empty();
+    out.aggregates = agg.str();
+    out.detail = result.merge.summary();
     return out;
   }
 

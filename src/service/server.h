@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/deadline.h"
 #include "core/study.h"
@@ -65,6 +66,18 @@ struct ServerOptions {
 
   RetryPolicy retry;
   AdmissionOptions admission;
+
+  /// Campaign requests dispatch to a multi-process shard fleet of this
+  /// many workers instead of in-process threads; 0 keeps the in-process
+  /// path.  Each request gets its own job directory under root/jobs/<id>,
+  /// so a worker crash (or poison scenario) is isolated from the server
+  /// process -- the quarantine + merge machinery of src/shard applies per
+  /// request.  Requires worker_command.
+  std::size_t shard_workers = 0;
+
+  /// argv prefix for shard worker processes (typically the server's own
+  /// binary); see shard::SupervisorOptions::worker_command.
+  std::vector<std::string> worker_command;
 
   /// Default scheduling for requests with jobs = 0.
   core::ExecutionPolicy execution;

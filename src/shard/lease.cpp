@@ -1,0 +1,147 @@
+#include "shard/lease.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <sstream>
+
+#include "common/durable_file.h"
+#include "common/log.h"
+#include "telemetry/telemetry.h"
+
+namespace vstack::shard {
+
+namespace {
+
+const telemetry::Counter t_acquired("shard.leases.acquired");
+const telemetry::Counter t_reclaimed("shard.leases.reclaimed");
+const telemetry::Counter t_heartbeats("shard.heartbeats");
+
+// The heartbeat thread sleeps on this so the destructor can wake it
+// immediately instead of waiting out a full period.
+std::condition_variable_any g_wake;
+
+}  // namespace
+
+LeaseManager::LeaseManager(JobPaths paths, std::string worker_id,
+                           double expiry_s, double heartbeat_s)
+    : paths_(std::move(paths)),
+      worker_id_(std::move(worker_id)),
+      expiry_s_(expiry_s),
+      heartbeat_s_(heartbeat_s) {}
+
+LeaseManager::~LeaseManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  g_wake.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  // Leases for chunks the caller never released (early exit) are dropped
+  // here so survivors need not wait out the expiry.
+  std::set<std::size_t> held;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held.swap(held_);
+  }
+  for (const std::size_t c : held) {
+    try {
+      release_path(c);
+    } catch (...) {
+      // Destructor: leave the lease for expiry-based reclamation.
+    }
+  }
+}
+
+std::string LeaseManager::claim_content() const {
+  std::ostringstream oss;
+  oss << "{\"worker\":\"" << worker_id_ << "\",\"pid\":" << ::getpid()
+      << "}\n";
+  return oss.str();
+}
+
+bool LeaseManager::try_claim(std::size_t c) {
+  const std::string path = paths_.lease(c);
+  if (!create_exclusive_file(path, claim_content())) {
+    // Held by someone -- alive, or dead past expiry?
+    double age = 0.0;
+    if (!file_age_seconds(path, age)) {
+      // Released between our create and stat; re-race once.
+      if (!create_exclusive_file(path, claim_content())) return false;
+    } else if (age <= expiry_s_) {
+      return false;  // live lease
+    } else {
+      // Expired: rename it away (single winner among reclaimers), drop it,
+      // then re-race the create -- a THIRD worker may slip in, which is
+      // fine, the claim stays single-winner.
+      const std::string tomb = path + ".reclaim." + worker_id_ + "." +
+                               std::to_string(::getpid());
+      if (!try_rename(path, tomb)) return false;  // someone beat us to it
+      remove_file(tomb);
+      t_reclaimed.add();
+      VS_LOG_WARN("shard: " << worker_id_ << " reclaimed expired lease for "
+                            << "chunk " << c << " (age " << age << " s)");
+      if (!create_exclusive_file(path, claim_content())) return false;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.insert(c);
+    if (!heartbeat_.joinable()) {
+      heartbeat_ = std::thread([this] { heartbeat_loop(); });
+    }
+  }
+  t_acquired.add();
+  return true;
+}
+
+void LeaseManager::release(std::size_t c) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.erase(c);
+  }
+  release_path(c);
+}
+
+void LeaseManager::release_path(std::size_t c) {
+  // Only unlink a lease that still carries OUR claim line: after a pause
+  // past expiry it may have been reclaimed and reissued to another worker.
+  // The read-then-unlink window is benign -- worst case we delete a lease
+  // reissued in between, which just re-opens the chunk for claiming, and
+  // the merge dedups any double execution.
+  const std::string path = paths_.lease(c);
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  std::getline(in, line);
+  in.close();
+  if (line + "\n" != claim_content()) return;
+  remove_file(path);
+}
+
+std::size_t LeaseManager::held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return held_.size();
+}
+
+void LeaseManager::heartbeat_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    g_wake.wait_for(lock, std::chrono::duration<double>(heartbeat_s_),
+                    [this] { return stop_; });
+    if (stop_) break;
+    const std::set<std::size_t> held = held_;
+    lock.unlock();
+    for (const std::size_t c : held) {
+      // false (vanished) means the lease was reclaimed out from under a
+      // stalled heartbeat; the executor keeps going regardless -- dedup at
+      // merge absorbs the duplicate commit.
+      if (touch_file(paths_.lease(c))) t_heartbeats.add();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace vstack::shard

@@ -1,0 +1,74 @@
+// Chunk leases: crash-tolerant mutual exclusion between worker processes,
+// built on three filesystem atomics (common/durable_file.h):
+//
+//   claim    = O_EXCL create of leases/chunk-N.lease -- of N racing
+//              workers exactly one wins.
+//   heartbeat= mtime refresh of every held lease from a background thread;
+//              a lease whose mtime is older than lease_expiry_s belongs to
+//              a dead (or wedged) worker.
+//   reclaim  = rename the expired lease AWAY to a per-claimant unique name
+//              (single winner: rename of a missing source fails with
+//              ENOENT), unlink it, then re-race the O_EXCL create.  The
+//              rename step is what makes reclamation safe when several
+//              survivors notice the same expiry at once -- two unlinks
+//              could otherwise both "succeed" around a third claim.
+//
+// The guarantee is intentionally AT-LEAST-ONCE: a worker paused past
+// expiry (SIGSTOP, scheduler stall) may keep executing a chunk another
+// worker reclaimed.  That is fine -- chunk execution is idempotent and the
+// merge dedups committed trials -- so the protocol never needs fencing,
+// only single-winner claims.  NOT NFS-safe (O_EXCL + rename atomicity are
+// local-filesystem guarantees).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "shard/job.h"
+
+namespace vstack::shard {
+
+class LeaseManager {
+ public:
+  /// `expiry_s` / `heartbeat_s` from the job spec.  The heartbeat thread
+  /// starts on first claim and stops in the destructor.
+  LeaseManager(JobPaths paths, std::string worker_id, double expiry_s,
+               double heartbeat_s);
+  ~LeaseManager();
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  /// Try to acquire chunk `c`: O_EXCL create, falling back to reclaiming
+  /// an expired lease.  Returns false when another worker holds a live
+  /// lease (or won the race).
+  bool try_claim(std::size_t c);
+
+  /// Drop chunk `c`'s lease.  Only removes the file when it still carries
+  /// this worker's claim line (a reclaimed-and-reissued lease belongs to
+  /// someone else and is left alone).
+  void release(std::size_t c);
+
+  /// Leases currently held by this manager.
+  std::size_t held() const;
+
+ private:
+  void heartbeat_loop();
+  void release_path(std::size_t c);
+  std::string claim_content() const;
+
+  JobPaths paths_;
+  std::string worker_id_;
+  double expiry_s_;
+  double heartbeat_s_;
+
+  mutable std::mutex mu_;
+  std::set<std::size_t> held_;
+  std::thread heartbeat_;
+  bool stop_ = false;  // guarded by mu_
+};
+
+}  // namespace vstack::shard

@@ -1,0 +1,153 @@
+#include "shard/merge.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/durable_file.h"
+#include "common/error.h"
+#include "core/campaign_manifest.h"
+
+namespace vstack::shard {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A scenario line with its timing field removed: wall_seconds is the one
+/// field that measures real time instead of simulated physics, and it is
+/// (deliberately) serialized last.
+std::string mask_wall_seconds(const std::string& line) {
+  const auto pos = line.find(",\"wall_seconds\":");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+std::string MergeReport::summary() const {
+  std::ostringstream oss;
+  oss << committed << "/" << report.planned << " trials merged from "
+      << shard_files << " shard manifests";
+  if (duplicates > 0) oss << "; " << duplicates << " duplicate commits deduped";
+  if (torn_lines > 0) oss << "; " << torn_lines << " torn lines skipped";
+  if (!quarantined_trials.empty()) {
+    oss << "; QUARANTINED trials:";
+    for (const std::size_t t : quarantined_trials) oss << " " << t;
+  }
+  if (!missing_trials.empty()) {
+    oss << "; MISSING trials:";
+    for (const std::size_t t : missing_trials) oss << " " << t;
+  }
+  oss << "\n" << report.summary();
+  return oss.str();
+}
+
+MergeReport merge_job(const core::StudyContext& ctx,
+                      const std::string& job_dir,
+                      const std::string& out_path) {
+  const JobPaths paths(job_dir);
+  std::uint64_t plan_hash = 0;
+  const JobSpec spec = load_plan(paths, plan_hash);
+  VS_REQUIRE(job_config_hash(ctx, spec) == plan_hash,
+             "merge reconstructs a different campaign than plan.json "
+             "describes (config hash mismatch) -- mixed binary versions?");
+  // Strict duplicate verification needs bit-reproducible scenarios, which
+  // per-scenario wall timeouts break (attempt counts couple to machine
+  // speed -- the caveat CampaignOptions::execution documents).
+  const bool verify_duplicates = spec.scenario_timeout_s == 0.0;
+
+  MergeReport merge;
+  merge.report.planned = spec.trials;
+  merge.report.config_hash = plan_hash;
+
+  // Original line bytes + parsed form, keyed by trial index.
+  std::map<std::size_t, std::pair<std::string, core::CampaignScenarioResult>>
+      trials;
+
+  std::vector<std::string> shard_files;
+  if (fs::is_directory(paths.shards_dir())) {
+    for (const auto& entry : fs::directory_iterator(paths.shards_dir())) {
+      if (entry.path().extension() == ".jsonl") {
+        shard_files.push_back(entry.path().string());
+      }
+    }
+  }
+  // Sorted name order makes first-occurrence-wins dedup deterministic
+  // regardless of directory enumeration order.
+  std::sort(shard_files.begin(), shard_files.end());
+
+  for (const std::string& file : shard_files) {
+    std::ifstream in(file);
+    VS_REQUIRE(static_cast<bool>(in), "cannot read shard manifest '" + file +
+                                          "'");
+    std::string line;
+    if (!std::getline(in, line) || line.empty()) continue;  // stillborn shard
+    core::CampaignManifestHeader header;
+    VS_REQUIRE(core::parse_campaign_manifest_header(line, header),
+               "shard manifest '" + file + "' has an unrecognized header");
+    VS_REQUIRE(header.seed == spec.seed && header.trials == spec.trials &&
+                   header.config_hash == plan_hash,
+               "shard manifest '" + file +
+                   "' belongs to a different campaign than plan.json");
+    ++merge.shard_files;
+
+    while (std::getline(in, line)) {
+      core::CampaignScenarioResult r;
+      if (!core::parse_campaign_scenario_line(line, r) ||
+          r.index >= spec.trials) {
+        ++merge.torn_lines;
+        continue;
+      }
+      const auto [it, inserted] = trials.try_emplace(r.index, line, r);
+      if (inserted) continue;
+      ++merge.duplicates;
+      if (verify_duplicates) {
+        // At-least-once execution means duplicates are EXPECTED; divergent
+        // duplicates are not -- they mean the same trial produced two
+        // different answers, and shipping either one silently would be a
+        // correctness lie.
+        VS_REQUIRE(mask_wall_seconds(it->second.first) ==
+                       mask_wall_seconds(line),
+                   "trial " + std::to_string(r.index) +
+                       " was committed twice with DIFFERENT results "
+                       "(nondeterministic scenario?); refusing to merge");
+      }
+    }
+  }
+
+  // Quarantined chunks contribute their UNCOMMITTED trials (a crash mid-
+  // chunk may have committed a prefix before the poison trial struck).
+  for (std::size_t c = 0; c < spec.chunk_count(); ++c) {
+    if (!fs::exists(paths.quarantine(c))) continue;
+    for (std::size_t t = spec.chunk_begin(c); t < spec.chunk_end(c); ++t) {
+      if (!trials.count(t)) merge.quarantined_trials.push_back(t);
+    }
+  }
+  for (std::size_t t = 0; t < spec.trials; ++t) {
+    if (!trials.count(t) &&
+        !std::count(merge.quarantined_trials.begin(),
+                    merge.quarantined_trials.end(), t)) {
+      merge.missing_trials.push_back(t);
+    }
+  }
+
+  // Emit: header + original line bytes in trial order, atomically.
+  std::ostringstream out;
+  out << core::campaign_manifest_header(spec.seed, spec.trials, plan_hash)
+      << "\n";
+  for (const auto& [index, entry] : trials) {
+    out << entry.first << "\n";
+    core::accumulate_campaign_result(merge.report, entry.second);
+    ++merge.committed;
+  }
+  merge.report.evaluated = merge.committed;
+  // Quarantine is a terminal verdict, not a truncation; only trials nobody
+  // resolved at all leave the job "cancelled" in the serial-report sense.
+  merge.report.cancelled = !merge.missing_trials.empty();
+  atomic_write_file(out_path.empty() ? paths.merged() : out_path, out.str());
+  return merge;
+}
+
+}  // namespace vstack::shard

@@ -1,0 +1,60 @@
+// Deterministic shard merge: fold shards/*.jsonl back into ONE campaign
+// manifest plus the same aggregate report a serial run would produce.
+//
+// Determinism argument, piece by piece:
+//
+//   * Every shard line was serialized by core::campaign_scenario_line, the
+//     exact serializer the serial runner uses, and the merge re-emits the
+//     ORIGINAL line bytes -- no reformat, no reparse-then-print.
+//   * Lines are keyed by trial index and emitted in index order, which is
+//     the serial manifest's order by construction.
+//   * Duplicate commits of a trial (at-least-once execution) are resolved
+//     first-occurrence-wins with shard files visited in sorted name order;
+//     when the job ran without per-scenario timeouts the duplicates are
+//     also VERIFIED byte-identical modulo wall_seconds -- a mismatch means
+//     real nondeterminism and aborts the merge rather than shipping a
+//     silently arbitrary answer.  (With timeouts enabled, attempt counts
+//     are machine-speed-coupled, so duplicates are resolved without the
+//     strict check -- the same caveat the serial runner documents.)
+//
+// Hence: merged.jsonl == the serial run's manifest, byte for byte, except
+// each line's wall_seconds (real time) and any quarantined/missing trials.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/study.h"
+#include "shard/job.h"
+
+namespace vstack::shard {
+
+struct MergeReport {
+  core::CampaignReport report;  // aggregates over committed trials
+
+  std::size_t shard_files = 0;
+  std::size_t committed = 0;     // unique trials merged
+  std::size_t duplicates = 0;    // extra commits dropped by dedup
+  std::size_t torn_lines = 0;    // unparseable lines skipped
+  std::vector<std::size_t> quarantined_trials;
+  std::vector<std::size_t> missing_trials;  // neither committed nor quarantined
+
+  /// Every trial accounted for (committed or quarantined) and none poisoned.
+  bool clean() const {
+    return missing_trials.empty() && quarantined_trials.empty();
+  }
+
+  std::string summary() const;
+};
+
+/// Merge a job directory's shard manifests into `out_path` (default
+/// <job_dir>/merged.jsonl, written atomically).  Throws on header/config
+/// mismatches and on verified-duplicate divergence; missing or quarantined
+/// trials are REPORTED, not thrown -- the caller decides the exit code.
+MergeReport merge_job(const core::StudyContext& ctx,
+                      const std::string& job_dir,
+                      const std::string& out_path = "");
+
+}  // namespace vstack::shard

@@ -1,0 +1,55 @@
+// One shard worker: claim chunks, execute their trials, commit results to
+// a private per-worker manifest, and mark chunks done -- repeatedly, until
+// every chunk in the job is resolved (done or quarantined) or the stop
+// token fires.
+//
+// Crash-tolerance contract (the reason this loop is shaped the way it is):
+//
+//   * An ATTEMPT record is durably appended BEFORE a chunk executes, so a
+//     worker that dies mid-chunk leaves evidence.  A chunk whose attempt
+//     trail reaches max_attempts without a done marker is POISON -- some
+//     scenario in it keeps killing workers -- and is quarantined with a
+//     diagnostic instead of executed, so one bad trial cannot crash-loop
+//     the fleet forever.
+//   * Scenario results append to shards/<worker>.jsonl through the same
+//     durable, torn-tail-repairing appender the serial campaign uses: a
+//     kill -9 loses at most the in-flight line, and a RESTARTED worker
+//     reusing the id keeps appending safely after the fragment.
+//   * The done marker is written atomically AFTER every trial of the chunk
+//     committed; execution is therefore at-least-once, and the merge's
+//     per-trial dedup makes commits exactly-once.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/deadline.h"
+#include "core/study.h"
+#include "shard/job.h"
+
+namespace vstack::shard {
+
+struct WorkerOptions {
+  std::string job_dir;
+  std::string worker_id;  // e.g. "w0"; also the shard manifest name
+  std::size_t jobs = 1;   // intra-chunk parallelism (core::TaskPool)
+  Deadline stop;          // graceful stop at the next trial boundary
+};
+
+struct WorkerReport {
+  std::size_t chunks_completed = 0;
+  std::size_t chunks_quarantined = 0;  // quarantined BY this worker
+  std::size_t trials_evaluated = 0;
+  bool stopped_early = false;  // stop token fired before the job resolved
+};
+
+/// Run the worker loop against an existing job directory (plan.json must
+/// be present; the config hash is re-derived and must match).  Returns
+/// when every chunk is resolved or `stop` fires.  Test hook: when the
+/// environment variable VSTACK_SHARD_CRASH_TRIAL names a trial index, the
+/// worker _exit(86)s upon reaching it -- AFTER recording the attempt --
+/// which is how the chaos suite manufactures poison scenarios.
+WorkerReport run_worker(const core::StudyContext& ctx,
+                        const WorkerOptions& opts);
+
+}  // namespace vstack::shard

@@ -69,5 +69,86 @@ TEST(AtomicWriteFile, BadDirectoryThrows) {
   EXPECT_THROW(atomic_write_file("/nonexistent-dir-zz/h.json", "x"), Error);
 }
 
+TEST(DurableAppender, RepairTornTailTerminatesTheFragment) {
+  const std::string path = temp_path("torn");
+  std::remove(path.c_str());
+  // Simulate a kill -9 mid-append: the file ends in half a line.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "complete line\n{\"index\":3,\"half";
+  }
+  {
+    DurableAppender a;
+    a.open(path, /*repair_torn_tail=*/true);
+    a.append_line("next record");
+    a.close();
+  }
+  // Without the repair the fragment would swallow "next record" into one
+  // garbage line; with it the fragment becomes its own (skippable) line.
+  EXPECT_EQ(slurp(path), "complete line\n{\"index\":3,\"half\nnext record\n");
+  std::remove(path.c_str());
+}
+
+TEST(DurableAppender, RepairTornTailNoOpOnCleanAndEmptyFiles) {
+  const std::string path = temp_path("clean");
+  std::remove(path.c_str());
+  {
+    DurableAppender a;
+    a.open(path, /*repair_torn_tail=*/true);  // empty file: nothing to fix
+    a.append_line("one");
+    a.close();
+  }
+  {
+    DurableAppender a;
+    a.open(path, /*repair_torn_tail=*/true);  // ends in '\n': nothing to fix
+    a.append_line("two");
+    a.close();
+  }
+  EXPECT_EQ(slurp(path), "one\ntwo\n");
+  std::remove(path.c_str());
+}
+
+TEST(ExclusiveFile, SingleWinnerAndContentDurability) {
+  const std::string path = temp_path("excl");
+  std::remove(path.c_str());
+  EXPECT_TRUE(create_exclusive_file(path, "claimant-a\n"));
+  EXPECT_FALSE(create_exclusive_file(path, "claimant-b\n"));  // lost the race
+  EXPECT_EQ(slurp(path), "claimant-a\n");  // loser never scribbles
+  EXPECT_TRUE(remove_file(path));
+  EXPECT_FALSE(remove_file(path));  // already gone
+  EXPECT_TRUE(create_exclusive_file(path, "claimant-b\n"));  // re-claimable
+  std::remove(path.c_str());
+}
+
+TEST(FileAge, TouchResetsAgeAndMissingFilesReportFalse) {
+  const std::string path = temp_path("age");
+  std::remove(path.c_str());
+  double age = -1.0;
+  EXPECT_FALSE(file_age_seconds(path, age));
+  EXPECT_FALSE(touch_file(path));
+
+  atomic_write_file(path, "x\n");
+  ASSERT_TRUE(file_age_seconds(path, age));
+  EXPECT_GE(age, 0.0);
+  EXPECT_LT(age, 60.0);
+  EXPECT_TRUE(touch_file(path));
+  ASSERT_TRUE(file_age_seconds(path, age));
+  EXPECT_LT(age, 60.0);
+  std::remove(path.c_str());
+}
+
+TEST(TryRename, MissingSourceIsFalseNotFatal) {
+  const std::string from = temp_path("ren_from");
+  const std::string to = temp_path("ren_to");
+  std::remove(from.c_str());
+  std::remove(to.c_str());
+  EXPECT_FALSE(try_rename(from, to));  // ENOENT: lost the reclaim race
+  atomic_write_file(from, "x\n");
+  EXPECT_TRUE(try_rename(from, to));
+  EXPECT_FALSE(try_rename(from, to));  // source consumed: single winner
+  EXPECT_EQ(slurp(to), "x\n");
+  std::remove(to.c_str());
+}
+
 }  // namespace
 }  // namespace vstack

@@ -180,6 +180,45 @@ TEST(CampaignRunnerTest, TruncatedManifestResumesTheRemainder) {
   expect_scenarios_identical(full, resumed);
 }
 
+TEST(CampaignRunnerTest, TornTailManifestIsRepairedOnResume) {
+  const std::string manifest =
+      ::testing::TempDir() + "/campaign_torn_repair.jsonl";
+  std::remove(manifest.c_str());
+
+  CampaignOptions opts = fast_options();
+  opts.manifest_path = manifest;
+  const CampaignRunner runner(ctx(), stacked4());
+  const auto full = runner.run(acts4(), opts);
+  ASSERT_EQ(full.evaluated, 4u);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(manifest);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 5u);
+  {
+    std::ofstream out(manifest, std::ios::trunc);
+    out << lines[0] << "\n" << lines[1] << "\n" << lines[2] << "\n";
+    out << lines[3].substr(0, lines[3].size() / 2);  // kill -9 mid-append
+  }
+
+  // The resume must terminate the fragment BEFORE appending: otherwise its
+  // first committed scenario concatenates onto the torn line, producing
+  // garbage and losing that record -- which the third run would expose as
+  // a re-evaluation.
+  const auto resumed = runner.run(acts4(), opts);
+  EXPECT_EQ(resumed.resumed, 2u);
+  EXPECT_EQ(resumed.evaluated, 2u);
+  expect_scenarios_identical(full, resumed);
+
+  const auto third = runner.run(acts4(), opts);
+  EXPECT_EQ(third.resumed, 4u);
+  EXPECT_EQ(third.evaluated, 0u);
+  expect_scenarios_identical(full, third);
+}
+
 TEST(CampaignRunnerTest, MismatchedManifestIsRefused) {
   const std::string manifest =
       ::testing::TempDir() + "/campaign_mismatch.jsonl";

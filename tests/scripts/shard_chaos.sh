@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Chaos harness for the shard fleet (docs/distributed_campaigns.md).
+#
+# Three passes over the same campaign:
+#
+#   1. Reference: the serial `vstack_cli campaign` manifest.
+#   2. Chaos: a 4-worker sharded run with one POISON trial (the worker
+#      _exit()s on reaching it, via the VSTACK_SHARD_CRASH_TRIAL hook)
+#      while this script SIGKILLs random workers mid-flight.  The run must
+#      exit 2 (quarantine), quarantine EXACTLY the poison trial after
+#      max-attempts worker deaths, commit every other trial exactly once
+#      into the merged manifest, and those lines must be bit-identical to
+#      the reference (wall_seconds masked -- it is real time).
+#   3. Clean: a fresh sharded run without poison must exit 0 and reproduce
+#      the reference manifest in full.
+#
+# Usage: shard_chaos.sh <path-to-vstack_cli>
+set -euo pipefail
+
+CLI=${1:?usage: shard_chaos.sh <path-to-vstack_cli>}
+CLI=$(readlink -f "$CLI")
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vstack_shard_chaos.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+CAMPAIGN_ARGS=(--layers=4 --grid=8 --trials=8 --faults=2 --seed=7 --timeout=0)
+POISON_TRIAL=5
+MAX_ATTEMPTS=4
+
+echo "== reference run (serial) =="
+"$CLI" campaign "${CAMPAIGN_ARGS[@]}" --jobs=2 --manifest="$WORK/ref.jsonl"
+
+echo "== chaos run: poison trial $POISON_TRIAL + random worker SIGKILLs =="
+JOB=$WORK/job_chaos
+set +e
+VSTACK_SHARD_CRASH_TRIAL=$POISON_TRIAL \
+    "$CLI" campaign "${CAMPAIGN_ARGS[@]}" --shards=4 --chunk=1 \
+    --max-attempts=$MAX_ATTEMPTS --lease-expiry=2 --heartbeat=0.5 \
+    --job-dir="$JOB" &
+SUPERVISOR=$!
+set -e
+
+# While the fleet fights the poison trial, murder random workers.  The
+# supervisor must restart them and the assertions below must hold no
+# matter which workers die where.
+KILLS=0
+for _ in $(seq 1 40); do
+  kill -0 "$SUPERVISOR" 2>/dev/null || break
+  sleep 0.4
+  if [ "$KILLS" -lt 3 ]; then
+    # Workers are children of the supervisor running `vstack_cli worker`.
+    VICTIMS=$(pgrep -f "vstack_cli worker --job-dir=$JOB" || true)
+    if [ -n "$VICTIMS" ]; then
+      VICTIM=$(echo "$VICTIMS" | shuf -n 1)
+      if kill -9 "$VICTIM" 2>/dev/null; then
+        KILLS=$((KILLS + 1))
+        echo "killed worker pid $VICTIM ($KILLS so far)"
+      fi
+    fi
+  fi
+done
+set +e
+wait "$SUPERVISOR"
+CHAOS_EXIT=$?
+set -e
+echo "chaos supervisor exit code: $CHAOS_EXIT (killed $KILLS workers)"
+test "$CHAOS_EXIT" -eq 2 || {
+  echo "FAIL: expected exit 2 (quarantined trial), got $CHAOS_EXIT"; exit 1; }
+
+echo "== verify chaos run =="
+python3 - "$WORK/ref.jsonl" "$JOB" "$POISON_TRIAL" "$MAX_ATTEMPTS" <<'EOF'
+import glob, json, os, re, sys
+
+ref_path, job, poison, max_attempts = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]))
+mask = lambda line: re.sub(r',"wall_seconds":[^,}]*', '', line)
+
+def load_manifest(path):
+    with open(path) as f:
+        lines = [l.rstrip("\n") for l in f]
+    header, body = lines[0], [l for l in lines[1:] if l]
+    by_index = {}
+    for line in body:
+        m = re.search(r'"index":(\d+)', line)
+        assert m, f"{path}: unparseable line {line[:60]}"
+        idx = int(m.group(1))
+        assert idx not in by_index, f"{path}: trial {idx} committed twice"
+        by_index[idx] = line
+    return header, by_index
+
+ref_header, ref = load_manifest(ref_path)
+merged_header, merged = load_manifest(os.path.join(job, "merged.jsonl"))
+assert merged_header == ref_header, "merged header differs from serial"
+
+# Exactly-once commit of every non-poison trial, bit-identical physics.
+expected = set(ref) - {poison}
+assert set(merged) == expected, (sorted(merged), sorted(expected))
+for idx in expected:
+    assert mask(merged[idx]) == mask(ref[idx]), \
+        f"trial {idx}: merged line differs from serial\n  ref:    " \
+        f"{ref[idx]}\n  merged: {merged[idx]}"
+
+# The poison trial never committed to ANY shard: the worker dies before
+# the scenario produces a result.
+for shard in glob.glob(os.path.join(job, "shards", "*.jsonl")):
+    with open(shard) as f:
+        for line in f:
+            assert f'"index":{poison},' not in line, \
+                f"{shard}: poison trial {poison} has a commit"
+
+# Exactly the poison chunk is quarantined, after max_attempts deaths,
+# with the full attempt trail inlined in the diagnostic.
+qfiles = glob.glob(os.path.join(job, "quarantine", "*.json"))
+assert qfiles == [os.path.join(job, "quarantine", f"chunk-{poison}.json")], \
+    f"quarantine dir: {qfiles}"
+diag = json.load(open(qfiles[0]))
+assert diag["trial_begin"] <= poison < diag["trial_end"], diag
+assert diag["attempts"] == max_attempts, diag
+assert len(diag["trail"]) == max_attempts, diag
+assert all("worker" in a and "pid" in a for a in diag["trail"]), diag
+
+print(f"chaos OK: {len(merged)}/{len(ref)} trials committed exactly once "
+      f"and bit-identical to serial; trial {poison} quarantined after "
+      f"{diag['attempts']} attempts")
+EOF
+
+echo "== clean run: no poison, no kills =="
+JOB2=$WORK/job_clean
+"$CLI" campaign "${CAMPAIGN_ARGS[@]}" --shards=3 --chunk=2 \
+    --lease-expiry=5 --heartbeat=0.5 --job-dir="$JOB2"
+python3 - "$WORK/ref.jsonl" "$JOB2/merged.jsonl" <<'EOF'
+import re, sys
+mask = lambda p: re.sub(r',"wall_seconds":[^,}]*', '', open(p).read())
+assert mask(sys.argv[1]) == mask(sys.argv[2]), \
+    "clean sharded merge differs from the serial manifest"
+print("clean OK: sharded merge bit-identical to serial (wall_seconds masked)")
+EOF
+
+echo "shard_chaos: all checks passed"

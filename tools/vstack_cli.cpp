@@ -17,6 +17,8 @@
 // Exit codes: 0 success, 1 usage/precondition error, 2 truncated or
 // incomplete result (spice / ride-through / campaign), 3 outcome failure
 // (ride-through Lost, contingency with Infeasible cases).
+#include <unistd.h>
+
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -35,6 +37,10 @@
 #include "pdn/ride_through.h"
 #include "power/workload.h"
 #include "service/server.h"
+#include "shard/job.h"
+#include "shard/merge.h"
+#include "shard/supervisor.h"
+#include "shard/worker.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 #include "thermal/thermal_grid.h"
@@ -426,6 +432,16 @@ int cmd_ride_through(const core::StudyContext& ctx, const CliArgs& args) {
   return rep.outcome == pdn::RideThroughOutcome::Lost ? 3 : 0;
 }
 
+/// The running binary's own path, for re-exec'ing as shard workers;
+/// falls back to the bare name (PATH lookup) off-Linux.
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "vstack_cli";
+  buf[n] = '\0';
+  return buf;
+}
+
 int cmd_campaign(const core::StudyContext& ctx, const CliArgs& args) {
   const auto cfg = resolve_config(ctx, args);
   const double imbalance = args.get_double("imbalance", 0.8);
@@ -446,6 +462,58 @@ int cmd_campaign(const core::StudyContext& ctx, const CliArgs& args) {
   opt.max_retries = args.get_size("retries", opt.max_retries);
   opt.manifest_path = args.get_string("manifest", "");
   opt.execution = resolve_execution(args);
+
+  if (args.has("shards")) {
+    // Multi-process fleet: supervisor + N worker processes against a
+    // shared --job-dir, merged back to one manifest (docs/
+    // distributed_campaigns.md).  The job plan carries only flag-shaped
+    // configs, so file-based overrides cannot ride along.
+    VS_REQUIRE(!args.has("config") && !args.has("converters"),
+               "--shards carries the config in the job plan; use --layers/"
+               "--grid/--topology/--imbalance instead of --config/"
+               "--converters");
+    VS_REQUIRE(!args.get_bool("compare"),
+               "--shards and --compare are mutually exclusive");
+    shard::JobSpec spec;
+    spec.stacked = cfg.topology == pdn::PdnTopology::VoltageStacked;
+    spec.layers = cfg.layer_count;
+    spec.grid = cfg.grid_nx;
+    spec.imbalance = imbalance;
+    spec.trials = opt.contingency.trials;
+    spec.faults_per_trial = opt.contingency.faults_per_trial;
+    spec.converter_faults_per_trial =
+        opt.contingency.converter_faults_per_trial;
+    spec.seed = opt.contingency.seed;
+    spec.duration_s = opt.ride_through.transient.duration;
+    spec.fault_time_s = opt.fault_time;
+    spec.scenario_timeout_s = opt.scenario_timeout_s;
+    spec.max_retries = opt.max_retries;
+    spec.retry_relax = opt.retry_tolerance_relax;
+    spec.chunk = args.get_size("chunk", spec.chunk);
+    spec.max_attempts = args.get_size("max-attempts", spec.max_attempts);
+    spec.lease_expiry_s = args.get_double("lease-expiry", spec.lease_expiry_s);
+    spec.heartbeat_s = args.get_double("heartbeat", spec.heartbeat_s);
+
+    shard::SupervisorOptions sup;
+    sup.job_dir = args.get_string("job-dir", "");
+    VS_REQUIRE(!sup.job_dir.empty(), "--shards requires --job-dir=DIR");
+    sup.shards = args.get_size("shards", 2);
+    sup.worker_command = {self_exe_path()};
+    sup.worker_jobs = args.get_size("jobs", 1);
+    sup.max_restarts = args.get_size("max-restarts", sup.max_restarts);
+    sup.stop = shutdown_token();
+
+    const auto result = shard::run_supervised_job(ctx, spec, sup);
+    std::cout << "fleet: " << result.workers_started << " workers, "
+              << result.workers_restarted << " restarts, "
+              << result.failed_slots << " abandoned slots\n"
+              << "merge: " << result.merge.summary() << "\n";
+    if (args.get_bool("verbose")) {
+      std::cout << "job dir: " << sup.job_dir << " (config hash " << std::hex
+                << result.merge.report.config_hash << std::dec << ")\n";
+    }
+    return result.merge.clean() ? 0 : 2;
+  }
 
   if (args.get_bool("compare")) {
     pdn::StackupConfig stacked = cfg;
@@ -583,6 +651,8 @@ int cmd_serve(const core::StudyContext& ctx, const CliArgs& args) {
       args.get_size("degrade-divisor", opt.admission.degrade_trial_divisor);
   opt.execution = resolve_execution(args);
   opt.stop = shutdown_token();
+  opt.shard_workers = args.get_size("shard-workers", 0);
+  if (opt.shard_workers > 0) opt.worker_command = {self_exe_path()};
 
   std::cout << "serving spool " << opt.root << " (queue bound "
             << opt.admission.max_queue_depth << ", "
@@ -590,12 +660,42 @@ int cmd_serve(const core::StudyContext& ctx, const CliArgs& args) {
   if (opt.default_deadline_s > 0.0) {
     std::cout << ", default deadline " << opt.default_deadline_s << " s";
   }
+  if (opt.shard_workers > 0) {
+    std::cout << ", campaigns on a " << opt.shard_workers
+              << "-process shard fleet";
+  }
   std::cout << ")\n";
 
   service::SpoolServer server(ctx, opt);
   const service::ServerStats stats = server.run();
   std::cout << "serve: " << stats.summary() << "\n";
   return 0;  // main() maps a pending shutdown signal onto exit code 4
+}
+
+int cmd_worker(const core::StudyContext& ctx, const CliArgs& args) {
+  shard::WorkerOptions opt;
+  opt.job_dir = args.get_string("job-dir", "");
+  VS_REQUIRE(!opt.job_dir.empty(), "worker requires --job-dir=DIR");
+  opt.worker_id = args.get_string("worker-id", "");
+  VS_REQUIRE(!opt.worker_id.empty(), "worker requires --worker-id=ID");
+  opt.jobs = args.get_size("jobs", 1);
+  opt.stop = shutdown_token();
+
+  const shard::WorkerReport report = shard::run_worker(ctx, opt);
+  std::cout << "worker " << opt.worker_id << ": " << report.chunks_completed
+            << " chunks completed (" << report.trials_evaluated
+            << " trials), " << report.chunks_quarantined << " quarantined"
+            << (report.stopped_early ? "; stopped early" : "") << "\n";
+  return 0;  // main() maps a pending shutdown signal onto exit code 4
+}
+
+int cmd_merge(const core::StudyContext& ctx, const CliArgs& args) {
+  const std::string job_dir = args.get_string("job-dir", "");
+  VS_REQUIRE(!job_dir.empty(), "merge requires --job-dir=DIR");
+  const shard::MergeReport merge =
+      shard::merge_job(ctx, job_dir, args.get_string("out", ""));
+  std::cout << "merge: " << merge.summary() << "\n";
+  return merge.clean() ? 0 : 2;
 }
 
 int cmd_spice(const CliArgs& args) {
@@ -649,12 +749,20 @@ void usage() {
       "--keep --duration --imbalance --layers --grid --verbose)\n"
       "  campaign    transient N-k campaign   (--trials --faults "
       "--conv-faults --seed --manifest --compare --timeout --retries "
-      "--duration --fault-time --verbose --jobs)\n"
+      "--duration --fault-time --verbose --jobs); add --shards=N "
+      "--job-dir=DIR for a crash-tolerant multi-process fleet (--chunk "
+      "--max-attempts --lease-expiry --heartbeat --max-restarts); see "
+      "docs/distributed_campaigns.md\n"
       "  sweep       paper figure sweeps      (--figure=5a|5b|6|7|8 --jobs)\n"
       "  report      one-command reproduction of every figure (--jobs)\n"
       "  serve       resilient campaign service (--spool=DIR --poll "
       "--health-interval --max-requests --idle-exit --deadline --retries "
-      "--backoff --queue --degrade-divisor --jobs); see docs/service_mode.md\n"
+      "--backoff --queue --degrade-divisor --jobs --shard-workers=N); see "
+      "docs/service_mode.md\n"
+      "  worker      shard worker process     (--job-dir --worker-id "
+      "--jobs); normally spawned by campaign --shards or serve\n"
+      "  merge       fold shard manifests     (--job-dir --out); exit 2 "
+      "when trials are quarantined or missing\n"
       "  spice FILE  run a SPICE-subset netlist (--verbose)\n"
       "  config      echo the resolved configuration (--config ...)\n"
       "  version     print build provenance (git describe, build type, "
@@ -698,7 +806,10 @@ int main(int argc, char** argv) {
                         "timeout", "retries", "conv-faults", "jobs",
                         "metrics", "trace", "version", "spool", "poll",
                         "health-interval", "max-requests", "idle-exit",
-                        "deadline", "backoff", "queue", "degrade-divisor"});
+                        "deadline", "backoff", "queue", "degrade-divisor",
+                        "shards", "job-dir", "worker-id", "chunk",
+                        "max-attempts", "lease-expiry", "heartbeat",
+                        "max-restarts", "out", "shard-workers"});
     const auto ctx = core::StudyContext::paper_defaults();
     const std::string cmd = args.subcommand();
     if (cmd == "version" || args.get_bool("version")) return cmd_version();
@@ -712,7 +823,8 @@ int main(int argc, char** argv) {
     // die-on-signal behavior.
     const bool cancellable = cmd == "campaign" || cmd == "contingency" ||
                              cmd == "sweep" || cmd == "report" ||
-                             cmd == "serve";
+                             cmd == "serve" || cmd == "worker" ||
+                             cmd == "merge";
     if (cancellable) install_shutdown_handlers();
     int code = 1;
     if (cmd == "noise") code = cmd_noise(ctx, args);
@@ -725,6 +837,8 @@ int main(int argc, char** argv) {
     else if (cmd == "sweep") code = cmd_sweep(ctx, args);
     else if (cmd == "report") code = cmd_report(ctx, args);
     else if (cmd == "serve") code = cmd_serve(ctx, args);
+    else if (cmd == "worker") code = cmd_worker(ctx, args);
+    else if (cmd == "merge") code = cmd_merge(ctx, args);
     else if (cmd == "spice") code = cmd_spice(args);
     else if (cmd == "config") {
       std::cout << pdn::write_stackup_config(resolve_config(ctx, args));
