@@ -1,0 +1,86 @@
+// Exhaustive crash-schedule exploration over the failpoint catalog
+// (common/failpoint.h; protocol details in docs/chaos_testing.md).
+//
+// The random chaos drills (tests/scripts/{shard,serve}_chaos.sh) SIGKILL
+// processes at arbitrary moments; this explorer replaces luck with
+// enumeration.  For each workload it runs:
+//
+//   1. Reference -- the workload uninjected, capturing the masked artifact
+//      (merged campaign manifest / response ledger) every schedule must
+//      reproduce.
+//   2. Census -- the workload with VSTACK_FAILPOINT_CENSUS, enumerating
+//      every failpoint evaluation.  The resulting (failpoint, hit-index)
+//      pairs ARE the crash-schedule space.
+//   3. One run per schedule -- VSTACK_FAILPOINTS="<point>=crash@<hit>"
+//      crashes the process at exactly that durability window (the once-dir
+//      keeps a restarted process from re-crashing); the explorer then
+//      restarts the workload uninjected and asserts full recovery:
+//      exactly-once results, bit-identical (masked) to the reference.
+//   4. Error-injection sweeps -- the same schedule space with
+//      err:EIO/err:ENOSPC instead of crash, asserting injected I/O errors
+//      either surface as a clean nonzero exit (never a signal, never a
+//      corrupt artifact; a restart fully recovers) or are absorbed
+//      outright (exit 0 with a reference-identical artifact -- non-fatal
+//      health snapshots, EINTR retries).
+//
+// The explorer shells out to vstack_cli for every run, so each schedule
+// exercises the real process-tree (supervisor + forked workers, spool
+// server) rather than an in-process simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vstack::chaos {
+
+struct ExplorerOptions {
+  std::string cli_path;   // vstack_cli binary to drive (required)
+  std::string work_dir;   // scratch root; created, caller owns cleanup
+  std::string workload = "both";  // shard | serve | both
+  std::string mode = "both";      // crash | err | both
+  /// Crash schedules per failpoint: hits 1..max_hits (clamped to the
+  /// census count).  Error schedules always use hit 1.
+  std::size_t max_hits = 1;
+  /// Hard cap on total schedules per workload+mode; 0 = unlimited.
+  /// Schedules dropped by the cap are counted and reported, never silent.
+  std::size_t max_schedules = 0;
+  /// Errnos for the err sweep (failpoint spec names: EIO, ENOSPC, ...).
+  std::vector<std::string> errnos = {"EIO", "ENOSPC"};
+  /// Progress/narration sink; nullptr = quiet.
+  std::ostream* out = nullptr;
+
+  void validate() const;
+};
+
+/// Outcome of one (workload, failpoint, hit, action) schedule.
+struct ScheduleResult {
+  std::string workload;
+  std::string point;
+  std::uint64_t hit = 1;
+  std::string action;  // "crash" or "err:EIO" etc.
+  bool fired = false;  // the injection actually triggered (once-marker)
+  bool passed = false;
+  std::string detail;  // failure reason, or brief pass note
+};
+
+struct ExplorerReport {
+  std::vector<ScheduleResult> schedules;
+  std::size_t census_points = 0;  // distinct failpoints seen in censuses
+  std::size_t skipped = 0;        // schedules dropped by max_schedules
+
+  std::size_t passed() const;
+  std::size_t failed() const;
+  std::size_t fired() const;  // schedules whose injection triggered
+  bool ok() const { return failed() == 0; }
+  std::string summary() const;
+};
+
+/// Run the full exploration.  Throws vstack::Error on setup problems
+/// (missing CLI, reference run failure); per-schedule failures are
+/// recorded in the report, not thrown.
+ExplorerReport run_explorer(const ExplorerOptions& options);
+
+}  // namespace vstack::chaos

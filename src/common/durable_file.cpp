@@ -7,11 +7,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <utility>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace vstack {
 
@@ -35,11 +38,34 @@ void fsync_directory(const std::string& dir) {
   ::close(fd);
 }
 
+/// fsync with EINTR retry: a signal landing mid-fsync must not abort a
+/// durability barrier (the data may not have reached the platter yet, so
+/// giving up would silently void the crash-safety guarantee).  `fp` names
+/// the injection point wrapped around each attempt.
+int fsync_retry(int fd, const char* fp) {
+  for (;;) {
+    const int rc = VS_FAILPOINT_SYSCALL(fp, ::fsync(fd));
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
+/// close with EINTR handling: POSIX leaves the descriptor state
+/// unspecified after an EINTR'd close, and on Linux the fd IS released --
+/// retrying could close a recycled descriptor owned by another thread.
+/// Treat EINTR as success (the kernel finishes the close asynchronously);
+/// every caller that needs durability has already fsynced.
+int close_nointr(int fd, const char* fp) {
+  const int rc = VS_FAILPOINT_SYSCALL(fp, ::close(fd));
+  if (rc != 0 && errno == EINTR) return 0;
+  return rc;
+}
+
 void write_all(int fd, const char* data, std::size_t n,
-               const std::string& path) {
+               const std::string& path, const char* fp) {
   std::size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::write(fd, data + off, n - off);
+    const ssize_t w =
+        VS_FAILPOINT_SYSCALL(fp, ::write(fd, data + off, n - off));
     if (w < 0) {
       if (errno == EINTR) continue;
       VS_FAIL("write to '" + path + "' failed: " + errno_text());
@@ -81,7 +107,9 @@ void DurableAppender::open(const std::string& path, bool repair_torn_tail) {
   close();
   // O_RDWR (not O_WRONLY): the torn-tail check needs to pread the last
   // byte.  O_APPEND still forces every write to the end of the file.
-  fd_ = ::open(path.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  fd_ = VS_FAILPOINT_SYSCALL(
+      "durable_file.open.open",
+      ::open(path.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC, 0644));
   VS_REQUIRE(fd_ >= 0,
              "cannot open '" + path + "' for appending: " + errno_text());
   path_ = path;
@@ -92,13 +120,19 @@ void DurableAppender::open(const std::string& path, bool repair_torn_tail) {
              "fstat of '" + path + "' failed: " + errno_text());
   if (st.st_size == 0) return;
   char last = '\n';
-  const ssize_t got = ::pread(fd_, &last, 1, st.st_size - 1);
+  // pread with EINTR retry (the audit): a signal here would otherwise turn
+  // a perfectly healthy reopen into a spurious failure.
+  ssize_t got;
+  do {
+    got = VS_FAILPOINT_SYSCALL("durable_file.open.pread",
+                               ::pread(fd_, &last, 1, st.st_size - 1));
+  } while (got < 0 && errno == EINTR);
   VS_REQUIRE(got == 1, "pread of '" + path + "' failed: " + errno_text());
   if (last == '\n') return;
   // A crash tore the final line; terminate the fragment so it parses (and
   // is skipped) as its own line instead of swallowing the next append.
-  write_all(fd_, "\n", 1, path_);
-  VS_REQUIRE(::fsync(fd_) == 0,
+  write_all(fd_, "\n", 1, path_, "durable_file.repair.write");
+  VS_REQUIRE(fsync_retry(fd_, "durable_file.repair.fsync") == 0,
              "fsync of '" + path_ + "' failed: " + errno_text());
 }
 
@@ -111,14 +145,21 @@ void DurableAppender::append_line(const std::string& line) {
   buf.reserve(line.size() + 1);
   buf += line;
   buf += '\n';
-  write_all(fd_, buf.data(), buf.size(), path_);
-  VS_REQUIRE(::fsync(fd_) == 0,
+  VS_FAILPOINT("durable_file.append.before_write");
+  write_all(fd_, buf.data(), buf.size(), path_, "durable_file.append.write");
+  // Crash here: the line is in the page cache but not yet durable -- the
+  // reader may see it or a torn prefix of it after a power cut.
+  VS_FAILPOINT("durable_file.append.after_write");
+  VS_REQUIRE(fsync_retry(fd_, "durable_file.append.fsync") == 0,
              "fsync of '" + path_ + "' failed: " + errno_text());
+  // Crash here: the line is fully committed; the caller's next step (a
+  // rename, a lease release) has not happened yet.
+  VS_FAILPOINT("durable_file.append.after_fsync");
 }
 
 void DurableAppender::sync() {
   if (fd_ >= 0) {
-    VS_REQUIRE(::fsync(fd_) == 0,
+    VS_REQUIRE(fsync_retry(fd_, "durable_file.sync.fsync") == 0,
                "fsync of '" + path_ + "' failed: " + errno_text());
   }
 }
@@ -126,67 +167,88 @@ void DurableAppender::sync() {
 void DurableAppender::close() {
   if (fd_ < 0) return;
   ::fsync(fd_);
-  const int rc = ::close(fd_);
+  const int rc = close_nointr(fd_, "durable_file.close.close");
   fd_ = -1;
   VS_REQUIRE(rc == 0, "close of '" + path_ + "' failed: " + errno_text());
 }
 
 void atomic_write_file(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  const int fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  const int fd = VS_FAILPOINT_SYSCALL(
+      "durable_file.atomic.open",
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
   VS_REQUIRE(fd >= 0, "cannot create '" + tmp + "': " + errno_text());
   try {
-    write_all(fd, content.data(), content.size(), tmp);
-    VS_REQUIRE(::fsync(fd) == 0, "fsync of '" + tmp + "' failed: " +
-                                     errno_text());
+    write_all(fd, content.data(), content.size(), tmp,
+              "durable_file.atomic.write");
+    VS_REQUIRE(fsync_retry(fd, "durable_file.atomic.fsync") == 0,
+               "fsync of '" + tmp + "' failed: " + errno_text());
+    // Crash here: a fully-written orphan `path.tmp.<pid>` survives and the
+    // target is untouched -- the window sweep_stale_temp_files exists for.
+    VS_FAILPOINT("durable_file.atomic.after_fsync");
   } catch (...) {
     ::close(fd);
     ::unlink(tmp.c_str());
     throw;
   }
-  VS_REQUIRE(::close(fd) == 0, "close of '" + tmp + "' failed: " +
-                                   errno_text());
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  VS_REQUIRE(close_nointr(fd, "durable_file.atomic.close") == 0,
+             "close of '" + tmp + "' failed: " + errno_text());
+  // Crash here: same orphan window as after_fsync, with the fd closed.
+  VS_FAILPOINT("durable_file.atomic.before_rename");
+  if (VS_FAILPOINT_SYSCALL("durable_file.atomic.rename",
+                           ::rename(tmp.c_str(), path.c_str())) != 0) {
     const std::string why = errno_text();
     ::unlink(tmp.c_str());
     VS_FAIL("rename '" + tmp + "' -> '" + path + "' failed: " + why);
   }
+  // Crash here: the rename is visible but the directory entry is not yet
+  // durable -- a power cut may roll the name back to the old content.
+  VS_FAILPOINT("durable_file.atomic.after_rename");
   fsync_directory(directory_of(path));
 }
 
 bool create_exclusive_file(const std::string& path,
                            const std::string& content) {
-  const int fd = ::open(path.c_str(),
-                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  const int fd = VS_FAILPOINT_SYSCALL(
+      "durable_file.exclusive.open",
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644));
   if (fd < 0) {
     if (errno == EEXIST) return false;
     VS_FAIL("cannot create '" + path + "': " + errno_text());
   }
   try {
-    write_all(fd, content.data(), content.size(), path);
-    VS_REQUIRE(::fsync(fd) == 0,
+    write_all(fd, content.data(), content.size(), path,
+              "durable_file.exclusive.write");
+    VS_REQUIRE(fsync_retry(fd, "durable_file.exclusive.fsync") == 0,
                "fsync of '" + path + "' failed: " + errno_text());
+    // Crash here: the claim is won and durable but the winner is dead --
+    // for leases, exactly the window expiry-based reclamation covers.
+    VS_FAILPOINT("durable_file.exclusive.after_fsync");
   } catch (...) {
     ::close(fd);
     ::unlink(path.c_str());
     throw;
   }
-  VS_REQUIRE(::close(fd) == 0,
+  VS_REQUIRE(close_nointr(fd, "durable_file.exclusive.close") == 0,
              "close of '" + path + "' failed: " + errno_text());
   fsync_directory(directory_of(path));
   return true;
 }
 
 bool touch_file(const std::string& path) {
-  if (::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) == 0) return true;
+  if (VS_FAILPOINT_SYSCALL("durable_file.touch.utimensat",
+                           ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0)) ==
+      0) {
+    return true;
+  }
   if (errno == ENOENT) return false;
   VS_FAIL("touch of '" + path + "' failed: " + errno_text());
 }
 
 bool file_age_seconds(const std::string& path, double& age_s) {
   struct stat st;
-  if (::stat(path.c_str(), &st) != 0) {
+  if (VS_FAILPOINT_SYSCALL("durable_file.age.stat",
+                           ::stat(path.c_str(), &st)) != 0) {
     if (errno == ENOENT) return false;
     VS_FAIL("stat of '" + path + "' failed: " + errno_text());
   }
@@ -203,15 +265,62 @@ bool file_age_seconds(const std::string& path, double& age_s) {
 }
 
 bool try_rename(const std::string& from, const std::string& to) {
-  if (::rename(from.c_str(), to.c_str()) == 0) return true;
+  if (VS_FAILPOINT_SYSCALL("durable_file.try_rename.rename",
+                           ::rename(from.c_str(), to.c_str())) == 0) {
+    return true;
+  }
   if (errno == ENOENT) return false;
   VS_FAIL("rename '" + from + "' -> '" + to + "' failed: " + errno_text());
 }
 
 bool remove_file(const std::string& path) {
-  if (::unlink(path.c_str()) == 0) return true;
+  if (VS_FAILPOINT_SYSCALL("durable_file.remove.unlink",
+                           ::unlink(path.c_str())) == 0) {
+    return true;
+  }
   if (errno == ENOENT) return false;
   VS_FAIL("unlink of '" + path + "' failed: " + errno_text());
+}
+
+std::size_t sweep_stale_temp_files(const std::string& dir, bool recursive) {
+  namespace fs = std::filesystem;
+  const auto is_stale_temp = [](const fs::path& p) {
+    const std::string name = p.filename().string();
+    const auto pos = name.rfind(".tmp.");
+    if (pos == std::string::npos) return false;
+    const std::string pid = name.substr(pos + 5);
+    if (pid.empty()) return false;
+    return std::all_of(pid.begin(), pid.end(),
+                       [](unsigned char c) { return std::isdigit(c); });
+  };
+
+  std::size_t removed = 0;
+  std::error_code ec;
+  const auto sweep_one = [&](const fs::directory_entry& entry) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || !is_stale_temp(entry.path())) {
+      return;
+    }
+    // Best effort: a vanished or unremovable orphan is not worth failing
+    // startup over -- the next start retries.
+    std::error_code rm_ec;
+    if (fs::remove(entry.path(), rm_ec)) ++removed;
+  };
+  if (recursive) {
+    for (auto it = fs::recursive_directory_iterator(
+             dir, fs::directory_options::skip_permission_denied, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      sweep_one(*it);
+    }
+  } else {
+    for (auto it =
+             fs::directory_iterator(
+                 dir, fs::directory_options::skip_permission_denied, ec);
+         !ec && it != fs::directory_iterator(); it.increment(ec)) {
+      sweep_one(*it);
+    }
+  }
+  return removed;
 }
 
 }  // namespace vstack

@@ -16,6 +16,7 @@
 //     one torn line the tolerance on scenario lines cannot absorb.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace vstack {
@@ -97,5 +98,17 @@ bool try_rename(const std::string& from, const std::string& to);
 
 /// Best-effort unlink; returns false when the file was already gone.
 bool remove_file(const std::string& path);
+
+/// Remove orphaned `*.tmp.<pid>` files left under `dir` by an
+/// atomic_write_file interrupted between fsync and rename (crash, kill -9,
+/// or a close/rename failure).  Returns the number of files removed;
+/// unreadable entries and unremovable files are skipped silently.
+///
+/// Call this only from a coordinator at STARTUP (the shard supervisor
+/// before spawning workers, the campaign server before accepting jobs) --
+/// never from a worker, whose sibling processes may have live temp files
+/// in flight with the same naming pattern.
+std::size_t sweep_stale_temp_files(const std::string& dir,
+                                   bool recursive = false);
 
 }  // namespace vstack

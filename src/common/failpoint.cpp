@@ -1,0 +1,356 @@
+#include "common/failpoint.h"
+
+#if VSTACK_FAILPOINTS_ENABLED
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/error.h"
+
+namespace vstack::failpoint {
+
+namespace {
+
+enum class ActionKind { Crash, Err, Delay };
+
+struct Action {
+  ActionKind kind = ActionKind::Crash;
+  int err = 0;              // errno to inject (Err)
+  double delay_ms = 0.0;    // sleep (Delay)
+  std::uint64_t at = 1;     // 1-based hit index the action arms on
+  bool persistent = false;  // "@N+": fire on hit N and every later one
+  std::string text;         // original spec fragment, for status()
+};
+
+struct Point {
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  bool has_action = false;
+  Action action;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+  bool env_loaded = false;
+  std::string census_path;
+  int census_fd = -1;  // lazily opened O_APPEND sink
+  std::string once_dir;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+const struct {
+  const char* name;
+  int value;
+} kErrnoNames[] = {
+    {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EINTR", EINTR},
+    {"ENOENT", ENOENT}, {"EACCES", EACCES}, {"EEXIST", EEXIST},
+    {"EMFILE", EMFILE}, {"EROFS", EROFS},
+};
+
+int parse_errno(const std::string& text, const std::string& spec) {
+  for (const auto& e : kErrnoNames) {
+    if (text == e.name) return e.value;
+  }
+  // Numeric fallback for errnos outside the table.
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  VS_REQUIRE(end && *end == '\0' && v > 0,
+             "failpoint spec '" + spec + "': unknown errno '" + text +
+                 "' (use EIO/ENOSPC/EINTR/... or a positive number)");
+  return static_cast<int>(v);
+}
+
+const char* errno_label(int err) {
+  for (const auto& e : kErrnoNames) {
+    if (err == e.value) return e.name;
+  }
+  return nullptr;
+}
+
+/// Parse one `name=action[@N|@N+]` fragment.
+std::pair<std::string, Action> parse_fragment(const std::string& frag) {
+  const auto eq = frag.find('=');
+  VS_REQUIRE(eq != std::string::npos && eq > 0,
+             "failpoint spec '" + frag + "': expected name=action");
+  const std::string name = frag.substr(0, eq);
+  std::string rest = frag.substr(eq + 1);
+
+  Action action;
+  action.text = rest;
+  const auto at = rest.rfind('@');
+  if (at != std::string::npos) {
+    std::string count = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+    if (!count.empty() && count.back() == '+') {
+      action.persistent = true;
+      count.pop_back();
+    }
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(count.c_str(), &end, 10);
+    VS_REQUIRE(!count.empty() && end && *end == '\0' && n >= 1,
+               "failpoint spec '" + frag + "': @N needs a hit index >= 1");
+    action.at = n;
+  }
+
+  std::string arg;
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    arg = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+  }
+  if (rest == "crash") {
+    VS_REQUIRE(arg.empty(), "failpoint spec '" + frag +
+                                "': crash takes no ':' argument");
+    action.kind = ActionKind::Crash;
+  } else if (rest == "err") {
+    action.kind = ActionKind::Err;
+    action.err = parse_errno(arg, frag);
+  } else if (rest == "delay") {
+    action.kind = ActionKind::Delay;
+    char* end = nullptr;
+    action.delay_ms = std::strtod(arg.c_str(), &end);
+    VS_REQUIRE(!arg.empty() && end && *end == '\0' && action.delay_ms >= 0.0,
+               "failpoint spec '" + frag + "': delay:MS needs a number");
+  } else {
+    VS_FAIL("failpoint spec '" + frag + "': unknown action '" + rest +
+            "' (crash|err:ERRNO|delay:MS)");
+  }
+  return {name, action};
+}
+
+/// Recompute the fast-path gate after any configuration change.  Counters
+/// keep accumulating while a census sink is active even with no actions.
+void refresh_mode_locked(Registry& r) {
+  bool active = !r.census_path.empty();
+  for (const auto& [name, p] : r.points) {
+    active = active || p.has_action;
+  }
+  detail::g_mode.store(active ? 1 : 0, std::memory_order_relaxed);
+}
+
+void load_env_locked(Registry& r);
+
+/// Record one census line ("name\n") with a single O_APPEND write so lines
+/// from concurrent processes interleave whole.  Raw syscalls only -- the
+/// census channel must not re-enter the instrumented durable-file layer.
+void census_locked(Registry& r, const char* name) {
+  if (r.census_path.empty()) return;
+  if (r.census_fd < 0) {
+    r.census_fd = ::open(r.census_path.c_str(),
+                         O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (r.census_fd < 0) return;  // census is best-effort observability
+  }
+  std::string line(name);
+  line += '\n';
+  // A short write can only tear the census (observability), never the
+  // workload; ignore it like any other census failure.
+  (void)!::write(r.census_fd, line.data(), line.size());
+}
+
+/// Cross-process single-fire gate: true when this process owns the
+/// (name, hit) marker -- or when no once-dir is configured (always fire).
+bool claim_once_locked(Registry& r, const std::string& name,
+                       std::uint64_t hit) {
+  if (r.once_dir.empty()) return true;
+  const std::string marker =
+      r.once_dir + "/" + name + "@" + std::to_string(hit) + ".fired";
+  const int fd =
+      ::open(marker.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) return false;  // taken (or once-dir unusable): do not fire
+  ::close(fd);
+  return true;
+}
+
+void load_env_locked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  if (const char* census = std::getenv("VSTACK_FAILPOINT_CENSUS")) {
+    if (*census) r.census_path = census;
+  }
+  if (const char* once = std::getenv("VSTACK_FAILPOINTS_ONCE")) {
+    if (*once) r.once_dir = once;
+  }
+  if (const char* spec = std::getenv("VSTACK_FAILPOINTS")) {
+    std::string s(spec);
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+      const auto semi = s.find(';', pos);
+      const std::string frag =
+          s.substr(pos, semi == std::string::npos ? std::string::npos
+                                                  : semi - pos);
+      if (!frag.empty()) {
+        auto [name, action] = parse_fragment(frag);
+        Point& p = r.points[name];
+        p.has_action = true;
+        p.action = action;
+      }
+      if (semi == std::string::npos) break;
+      pos = semi + 1;
+    }
+  }
+  refresh_mode_locked(r);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_mode{-1};  // -1 until the environment has been read
+
+int evaluate(const char* name) {
+  double delay_ms = -1.0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    load_env_locked(r);
+    if (g_mode.load(std::memory_order_relaxed) == 0) return 0;
+
+    Point& p = r.points[name];
+    ++p.hits;
+    census_locked(r, name);
+    if (!p.has_action) return 0;
+
+    const Action& a = p.action;
+    const bool armed =
+        a.persistent ? p.hits >= a.at : p.hits == a.at;
+    if (!armed) return 0;
+    if (!claim_once_locked(r, name, p.hits)) return 0;
+    ++p.fired;
+
+    switch (a.kind) {
+      case ActionKind::Crash:
+        // Flush the census so the fatal hit itself is enumerable, then die
+        // the way a SIGKILL would -- no unwinding, no atexit, exit 137.
+        if (r.census_fd >= 0) ::fsync(r.census_fd);
+        ::_exit(137);
+      case ActionKind::Err:
+        return a.err;
+      case ActionKind::Delay:
+        delay_ms = a.delay_ms;
+        break;
+    }
+  }
+  // Sleep outside the registry lock so a delay never serializes other
+  // threads' failpoint evaluations.
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_ms * 1e-3));
+  }
+  return 0;
+}
+
+void trip(const char* name) {
+  const int err = evaluate(name);
+  if (err == 0) return;
+  const char* known = errno_label(err);
+  const std::string label = known ? known : std::to_string(err);
+  std::ostringstream oss;
+  oss << "failpoint '" << name << "': injected " << label << " ("
+      << std::strerror(err) << ")";
+  throw Error(oss.str());
+}
+
+bool fail_errno(const char* name) {
+  const int err = evaluate(name);
+  if (err == 0) return false;
+  errno = err;
+  return true;
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;  // explicit configuration overrides the environment
+  for (auto& [name, p] : r.points) p.has_action = false;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto semi = spec.find(';', pos);
+    const std::string frag =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos
+                                                   : semi - pos);
+    if (!frag.empty()) {
+      auto [name, action] = parse_fragment(frag);
+      Point& p = r.points[name];
+      p.has_action = true;
+      p.action = action;
+    }
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  refresh_mode_locked(r);
+}
+
+void configure_census(const std::string& path) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;
+  if (r.census_fd >= 0) {
+    ::close(r.census_fd);
+    r.census_fd = -1;
+  }
+  r.census_path = path;
+  refresh_mode_locked(r);
+}
+
+void configure_once_dir(const std::string& dir) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;
+  r.once_dir = dir;
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;  // a cleared registry stays cleared
+  r.points.clear();
+  r.census_path.clear();
+  r.once_dir.clear();
+  if (r.census_fd >= 0) {
+    ::close(r.census_fd);
+    r.census_fd = -1;
+  }
+  refresh_mode_locked(r);
+}
+
+std::vector<PointStatus> status() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<PointStatus> out;
+  out.reserve(r.points.size());
+  for (const auto& [name, p] : r.points) {
+    PointStatus s;
+    s.name = name;
+    s.action = p.has_action ? p.action.text : "";
+    s.hits = p.hits;
+    s.fired = p.fired;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::uint64_t hit_count(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace vstack::failpoint
+
+#endif  // VSTACK_FAILPOINTS_ENABLED

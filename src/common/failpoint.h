@@ -1,0 +1,156 @@
+// Deterministic failpoint injection for the durable-I/O protocols.
+//
+// A failpoint is a named hook compiled into a declared crash/IO-failure
+// window (`VS_FAILPOINT("durable_file.atomic.before_rename")`) or wrapped
+// around the syscall whose failure the window handles
+// (`VS_FAILPOINT_SYSCALL("durable_file.append.fsync", ::fsync(fd))`).
+// In a normal run every hook is a relaxed atomic load and nothing else.
+// Activated via the environment (or configure() in tests), a hook can
+//
+//   crash      _exit(137) at the matching hit -- the deterministic stand-in
+//              for the random SIGKILLs of the chaos drills,
+//   err:ERRNO  make the wrapped syscall fail with an injected errno
+//              (EIO, ENOSPC, EINTR, ...) WITHOUT performing it, driving the
+//              real error-handling path at the call site, or
+//   delay:MS   sleep, widening a race window for stress runs.
+//
+// Spec grammar (VSTACK_FAILPOINTS, ';'-separated):
+//
+//   name=action[@N|@N+]
+//   VSTACK_FAILPOINTS="lease.claim.before_rename=err:EIO@2;manifest.commit.after_append=crash"
+//
+// `@N` fires on exactly the Nth evaluation of the point in this process
+// (1-based, the default is @1); `@N+` fires on the Nth and every later
+// one.  Hit counters are per process.
+//
+// Two auxiliary environment channels serve the crash-schedule explorer
+// (docs/chaos_testing.md):
+//
+//   VSTACK_FAILPOINT_CENSUS=FILE   append one line (the point name) per
+//     evaluation, O_APPEND so concurrent processes interleave whole lines.
+//     A census run under a workload enumerates every reachable
+//     (failpoint, hit-index) pair -- the schedule space the explorer then
+//     covers exhaustively.
+//
+//   VSTACK_FAILPOINTS_ONCE=DIR     crash/err actions fire at most once per
+//     (name, hit) ACROSS every process sharing DIR: the firing process
+//     creates `DIR/<name>@<N>.fired` with O_EXCL first, and a process that
+//     finds the marker taken skips the action.  Without this, a restarted
+//     worker would re-crash at its own Nth hit forever and a crash schedule
+//     could never be recovered from.
+//
+// With CMake -DVSTACK_FAILPOINTS=OFF every macro compiles to nothing (the
+// syscall wrapper to the bare call) and results are bit-identical to an
+// instrumented build -- the same contract telemetry honours.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#ifndef VSTACK_FAILPOINTS_ENABLED
+#define VSTACK_FAILPOINTS_ENABLED 1
+#endif
+
+#if VSTACK_FAILPOINTS_ENABLED
+#include <atomic>
+#endif
+
+namespace vstack::failpoint {
+
+/// Introspection row for status() -- configured actions plus every point
+/// evaluated since the last clear() while injection was active.
+struct PointStatus {
+  std::string name;
+  std::string action;        // original action text ("crash@2"); "" = none
+  std::uint64_t hits = 0;    // evaluations in this process
+  std::uint64_t fired = 0;   // times the action actually triggered
+};
+
+#if VSTACK_FAILPOINTS_ENABLED
+
+/// Replace the active action set with `spec` (the VSTACK_FAILPOINTS
+/// grammar; "" deactivates everything).  Throws vstack::Error on a
+/// malformed spec.  Counters of surviving points are preserved.
+void configure(const std::string& spec);
+
+/// Enable ("" disables) the census channel / the once-marker directory;
+/// test-side equivalents of the environment variables.
+void configure_census(const std::string& path);
+void configure_once_dir(const std::string& dir);
+
+/// Drop every action, counter, census sink, and once-dir (test isolation).
+/// The environment is NOT re-read afterwards.
+void clear();
+
+/// True when the library was compiled with injection support.
+constexpr bool compiled_in() { return true; }
+
+/// Snapshot of every known point, sorted by name.
+std::vector<PointStatus> status();
+
+/// Evaluations of `name` in this process (0 when never hit).
+std::uint64_t hit_count(const std::string& name);
+
+namespace detail {
+
+// -1 uninitialized (environment not read yet), 0 inactive, 1 active.
+// Inactive is the common case and costs one relaxed load per hook.
+extern std::atomic<int> g_mode;
+
+/// Slow path: count the hit, census-log it, and return the errno to inject
+/// (0 for none).  Crash actions _exit(137) inside; delay actions sleep.
+int evaluate(const char* name);
+
+/// VS_FAILPOINT body: throws vstack::Error on an injected errno (a marker
+/// site has no syscall to fail, so the error surfaces as an exception).
+void trip(const char* name);
+
+/// VS_FAILPOINT_SYSCALL body: when an errno is injected, set errno and
+/// return true so the wrapper skips the real syscall and yields -1.
+bool fail_errno(const char* name);
+
+}  // namespace detail
+
+#else  // failpoints compiled out: every entry point collapses to a no-op
+
+inline void configure(const std::string&) {}
+inline void configure_census(const std::string&) {}
+inline void configure_once_dir(const std::string&) {}
+inline void clear() {}
+constexpr bool compiled_in() { return false; }
+inline std::vector<PointStatus> status() { return {}; }
+inline std::uint64_t hit_count(const std::string&) { return 0; }
+
+#endif  // VSTACK_FAILPOINTS_ENABLED
+
+}  // namespace vstack::failpoint
+
+/// Marker failpoint: a declared crash window with no syscall of its own.
+/// crash/delay act directly; an injected errno surfaces as vstack::Error.
+#if VSTACK_FAILPOINTS_ENABLED
+#define VS_FAILPOINT(name)                                      \
+  do {                                                          \
+    if (::vstack::failpoint::detail::g_mode.load(               \
+            std::memory_order_relaxed) != 0) {                  \
+      ::vstack::failpoint::detail::trip(name);                  \
+    }                                                           \
+  } while (false)
+
+/// Syscall failpoint: evaluates to `call`'s result normally; with an err
+/// action active, skips the real syscall and evaluates to -1 with errno set
+/// to the injected value -- driving the call site's genuine error path.
+#define VS_FAILPOINT_SYSCALL(name, call)                        \
+  ((::vstack::failpoint::detail::g_mode.load(                   \
+        std::memory_order_relaxed) != 0 &&                      \
+    ::vstack::failpoint::detail::fail_errno(name))              \
+       ? -1                                                     \
+       : (call))
+
+#else
+
+#define VS_FAILPOINT(name) \
+  do {                     \
+  } while (false)
+#define VS_FAILPOINT_SYSCALL(name, call) (call)
+
+#endif  // VSTACK_FAILPOINTS_ENABLED

@@ -6,6 +6,7 @@
 
 #include "common/durable_file.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "core/campaign_manifest.h"
 #include "telemetry/telemetry.h"
 
@@ -176,6 +177,9 @@ CampaignReport CampaignRunner::run(
                                                  options.contingency.trials,
                                                  report.config_hash) +
                             "\n");
+      // Crash here: a durable header with zero scenario lines -- the next
+      // run must resume with 0 finished trials, not refuse the manifest.
+      VS_FAILPOINT("manifest.header.after_write");
     }
     // repair_torn_tail: a kill -9 mid-append leaves half a line; without the
     // repair the first resumed append would concatenate onto the fragment,
@@ -228,6 +232,9 @@ CampaignReport CampaignRunner::run(
             // manifest stays a contiguous trial prefix even when workers
             // finish out of order.
             manifest.append_line(campaign_scenario_line(result));
+            // Crash here: this trial is committed, its successors are not
+            // -- resume must restore exactly the committed prefix.
+            VS_FAILPOINT("manifest.commit.after_append");
           }
         }
 

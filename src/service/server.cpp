@@ -14,6 +14,7 @@
 
 #include "common/durable_file.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "core/campaign.h"
 #include "core/campaign_manifest.h"
@@ -234,6 +235,9 @@ class ServerRun {
         if (!incoming.empty()) {
           request = active_ / incoming.front().filename();
           fs::rename(incoming.front(), request);  // claim
+          // Crash here: the request sits in active/ unanswered -- startup
+          // recovery must re-run it, not lose it.
+          VS_FAILPOINT("server.claim.after_rename");
         }
       }
       g_queue_depth.set(static_cast<double>(queue_depth()));
@@ -267,6 +271,16 @@ class ServerRun {
          {incoming_, active_, done_, failed_, root_ / "results",
           root_ / "manifests"}) {
       fs::create_directories(dir);
+    }
+    // Orphan temp files from a previous incarnation killed mid-
+    // atomic_write_file (health snapshots, quarantine records under
+    // jobs/).  Startup is the one moment no sibling can have a temp file
+    // in flight here.
+    const std::size_t swept =
+        sweep_stale_temp_files(root_.string(), /*recursive=*/true);
+    if (swept > 0) {
+      VS_LOG_WARN("serve: swept " << swept << " stale temp file(s) from "
+                                  << root_);
     }
   }
 
@@ -337,8 +351,15 @@ class ServerRun {
   /// instead of losing or double-answering the request.
   void finish(const fs::path& request, const Response& r,
               const fs::path& stage) {
+    // Crash here: the request is fully executed but unanswered -- recovery
+    // re-runs it from active/ (the campaign manifest resumes the trials).
+    VS_FAILPOINT("server.response.before_append");
     responses_.append_line(response_line(r));
+    // Crash here: the answer is durable but the request file still sits in
+    // active/ -- recovery must finish the move, not answer twice.
+    VS_FAILPOINT("server.response.after_append");
     fs::rename(request, stage / request.filename());
+    VS_FAILPOINT("server.response.after_rename");
     ++stats_.served;
     t_requests.add();
   }
@@ -768,6 +789,7 @@ class ServerRun {
         << ",\"stopping\":" << (opts_.stop.expired() ? 1 : 0)
         << ",\"metrics\":" << telemetry::metrics_json() << "}\n";
     try {
+      VS_FAILPOINT("server.health.write");
       atomic_write_file((root_ / "health.json").string(), oss.str());
     } catch (const std::exception& e) {
       // Health is advisory; never let a snapshot failure kill the server.

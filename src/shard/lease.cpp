@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/durable_file.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "telemetry/telemetry.h"
 
@@ -64,6 +65,7 @@ std::string LeaseManager::claim_content() const {
 
 bool LeaseManager::try_claim(std::size_t c) {
   const std::string path = paths_.lease(c);
+  VS_FAILPOINT("lease.claim.before_create");
   if (!create_exclusive_file(path, claim_content())) {
     // Held by someone -- alive, or dead past expiry?
     double age = 0.0;
@@ -78,7 +80,13 @@ bool LeaseManager::try_claim(std::size_t c) {
       // fine, the claim stays single-winner.
       const std::string tomb = path + ".reclaim." + worker_id_ + "." +
                                std::to_string(::getpid());
+      // Crash here: the expired lease is still in place, any worker can
+      // still reclaim it.
+      VS_FAILPOINT("lease.claim.before_rename");
       if (!try_rename(path, tomb)) return false;  // someone beat us to it
+      // Crash here: the tombstone exists but was never removed -- it must
+      // not block the chunk (it has a different name than the lease).
+      VS_FAILPOINT("lease.claim.after_rename");
       remove_file(tomb);
       t_reclaimed.add();
       VS_LOG_WARN("shard: " << worker_id_ << " reclaimed expired lease for "
@@ -93,6 +101,9 @@ bool LeaseManager::try_claim(std::size_t c) {
       heartbeat_ = std::thread([this] { heartbeat_loop(); });
     }
   }
+  // Crash here: the lease is ours on disk but the worker dies before doing
+  // any work -- survivors must reclaim it after expiry.
+  VS_FAILPOINT("lease.claim.after_claim");
   t_acquired.add();
   return true;
 }
@@ -118,6 +129,9 @@ void LeaseManager::release_path(std::size_t c) {
   std::getline(in, line);
   in.close();
   if (line + "\n" != claim_content()) return;
+  // Crash here: chunk committed but lease never released -- survivors wait
+  // out the expiry, reclaim, and the merge dedups the re-execution.
+  VS_FAILPOINT("lease.release.before_unlink");
   remove_file(path);
 }
 
@@ -137,8 +151,16 @@ void LeaseManager::heartbeat_loop() {
     for (const std::size_t c : held) {
       // false (vanished) means the lease was reclaimed out from under a
       // stalled heartbeat; the executor keeps going regardless -- dedup at
-      // merge absorbs the duplicate commit.
-      if (touch_file(paths_.lease(c))) t_heartbeats.add();
+      // merge absorbs the duplicate commit.  A transient I/O error is the
+      // same story with worse luck -- and an exception escaping this thread
+      // would std::terminate the whole worker, so log and carry on; a
+      // persistently un-touchable lease just expires and gets reclaimed.
+      try {
+        if (touch_file(paths_.lease(c))) t_heartbeats.add();
+      } catch (const std::exception& e) {
+        VS_LOG_WARN("shard: " << worker_id_ << " heartbeat for chunk " << c
+                              << " failed (continuing): " << e.what());
+      }
     }
     lock.lock();
   }

@@ -8,6 +8,7 @@
 
 #include "common/durable_file.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "core/campaign_manifest.h"
 
 namespace vstack::shard {
@@ -146,6 +147,9 @@ MergeReport merge_job(const core::StudyContext& ctx,
   // Quarantine is a terminal verdict, not a truncation; only trials nobody
   // resolved at all leave the job "cancelled" in the serial-report sense.
   merge.report.cancelled = !merge.missing_trials.empty();
+  // Crash here: the merge is fully computed but never published -- shard
+  // manifests are intact, so re-running the merge rebuilds it identically.
+  VS_FAILPOINT("merge.before_write");
   atomic_write_file(out_path.empty() ? paths.merged() : out_path, out.str());
   return merge;
 }

@@ -15,6 +15,7 @@
 
 #include "common/durable_file.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
@@ -79,6 +80,17 @@ SupervisorReport run_supervised_job(const core::StudyContext& ctx,
   const JobPaths paths(opts.job_dir);
   publish_plan(paths, spec, job_config_hash(ctx, spec));
 
+  // A previous fleet killed mid-atomic_write_file leaves orphan
+  // `*.tmp.<pid>` files (health, done markers, quarantine records).  Sweep
+  // them now, before any worker exists -- with workers live this would race
+  // against their in-flight temp files.
+  const std::size_t swept = sweep_stale_temp_files(opts.job_dir,
+                                                   /*recursive=*/true);
+  if (swept > 0) {
+    VS_LOG_WARN("shard: swept " << swept
+                                << " stale temp file(s) from " << opts.job_dir);
+  }
+
   const std::size_t chunks = spec.chunk_count();
   const auto resolved_chunks = [&] {
     std::size_t done = 0, quarantined = 0;
@@ -108,7 +120,15 @@ SupervisorReport run_supervised_job(const core::StudyContext& ctx,
         << ",\"workers_live\":" << live
         << ",\"workers_restarted\":" << report.workers_restarted
         << ",\"metrics\":" << telemetry::metrics_json() << "}\n";
-    atomic_write_file(paths.health(), oss.str());
+    // Health snapshots are advisory observability: a full disk or flaky
+    // filesystem must not take down a supervisor mid-campaign.  Log and
+    // carry on; the next interval retries.
+    try {
+      VS_FAILPOINT("supervisor.health.write");
+      atomic_write_file(paths.health(), oss.str());
+    } catch (const std::exception& e) {
+      VS_LOG_WARN("shard: health write failed (continuing): " << e.what());
+    }
   };
 
   bool terminated = false;  // SIGTERM already forwarded to the fleet
@@ -207,6 +227,10 @@ SupervisorReport run_supervised_job(const core::StudyContext& ctx,
   }
 
   write_health();
+  // Crash here: every chunk is resolved but merged.jsonl was never
+  // produced -- re-running the supervisor (or `vstack_cli merge`) must
+  // complete the job from the shard manifests alone.
+  VS_FAILPOINT("supervisor.before_merge");
   report.merge = merge_job(ctx, opts.job_dir);
   return report;
 }

@@ -12,6 +12,7 @@
 
 #include "common/durable_file.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "core/campaign_manifest.h"
 #include "core/task_pool.h"
@@ -134,6 +135,9 @@ WorkerReport run_worker(const core::StudyContext& ctx,
                       core::campaign_manifest_header(
                           spec.seed, spec.trials, plan_hash) +
                           "\n");
+    // Crash here: the header is durable but no scenario line follows --
+    // the next incarnation must reopen and append, not rewrite.
+    VS_FAILPOINT("worker.manifest.after_header");
   }
   DurableAppender manifest;
   manifest.open(manifest_path, /*repair_torn_tail=*/true);
@@ -191,6 +195,9 @@ WorkerReport run_worker(const core::StudyContext& ctx,
         attempts.open(paths.attempts(c), /*repair_torn_tail=*/true);
         attempts.append_line(attempt_line(opts.worker_id, trail.size() + 1));
       }
+      // Crash here: the attempt record exists but no work happened -- the
+      // poison count must still grow toward quarantine.
+      VS_FAILPOINT("worker.attempt.after_append");
 
       const std::size_t begin = spec.chunk_begin(c);
       const std::size_t end = spec.chunk_end(c);
@@ -230,10 +237,17 @@ WorkerReport run_worker(const core::StudyContext& ctx,
         break;
       }
 
+      // Crash here: every trial of the chunk is committed in the shard
+      // manifest but there is no done marker -- the chunk gets re-executed
+      // and the merge dedups the identical duplicate lines.
+      VS_FAILPOINT("worker.chunk.before_done");
       std::ostringstream done;
       done << "{\"chunk\":" << c << ",\"worker\":\"" << opts.worker_id
            << "\",\"trials\":" << (end - begin) << "}\n";
       atomic_write_file(paths.done(c), done.str());
+      // Crash here: done marker durable, lease still held -- survivors skip
+      // the chunk, the stale lease just expires.
+      VS_FAILPOINT("worker.chunk.after_done");
       leases.release(c);
       ++report.chunks_completed;
       t_chunks_done.add();

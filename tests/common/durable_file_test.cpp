@@ -1,15 +1,19 @@
 // Durable file primitives (common/durable_file.h): append-line persistence,
-// atomic replacement, and error behavior on bad paths.
+// atomic replacement, error behavior on bad paths, and -- via failpoint
+// injection -- the I/O error paths no real filesystem reproduces on demand
+// (EIO on fsync, ENOSPC mid-write, EINTR on every retried syscall).
 #include "common/durable_file.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace vstack {
 namespace {
@@ -148,6 +152,166 @@ TEST(TryRename, MissingSourceIsFalseNotFatal) {
   EXPECT_FALSE(try_rename(from, to));  // source consumed: single winner
   EXPECT_EQ(slurp(to), "x\n");
   std::remove(to.c_str());
+}
+
+#if VSTACK_FAILPOINTS_ENABLED
+// I/O error paths driven by injection; under -DVSTACK_FAILPOINTS=OFF the
+// hooks compile away and these scenarios are untestable by design.
+
+/// Scoped failpoint activation: the registry is process-global, so every
+/// injection test must leave it clean for its neighbors.
+struct FailpointGuard {
+  explicit FailpointGuard(const std::string& spec) {
+    failpoint::clear();
+    failpoint::configure(spec);
+  }
+  ~FailpointGuard() { failpoint::clear(); }
+};
+
+TEST(DurableFileInjection, AppendFsyncEIOSurfacesCleanDiagnostic) {
+  const std::string path = temp_path("inj_fsync");
+  std::remove(path.c_str());
+  DurableAppender a;
+  a.open(path);
+  a.append_line("one");
+  {
+    FailpointGuard fp("durable_file.append.fsync=err:EIO");
+    try {
+      a.append_line("two");
+      FAIL() << "expected injected EIO to surface";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("fsync"), std::string::npos);
+      EXPECT_NE(what.find("Input/output error"), std::string::npos);
+      EXPECT_NE(what.find(path), std::string::npos);
+    }
+  }
+  // The failed durability barrier does not wedge the appender or the file:
+  // a fresh open (with torn-tail repair) resumes appending cleanly.
+  a.close();
+  DurableAppender b;
+  b.open(path, /*repair_torn_tail=*/true);
+  b.append_line("three");
+  b.close();
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("one\n"), std::string::npos);
+  EXPECT_NE(content.find("three\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DurableFileInjection, AtomicWriteENOSPCLeavesTargetIntactNoOrphan) {
+  const std::string path = temp_path("inj_enospc");
+  std::remove(path.c_str());
+  atomic_write_file(path, "committed\n");
+  {
+    FailpointGuard fp("durable_file.atomic.write=err:ENOSPC");
+    try {
+      atomic_write_file(path, "doomed\n");
+      FAIL() << "expected injected ENOSPC to surface";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("No space left on device"),
+                std::string::npos);
+    }
+  }
+  // The target still holds the previous committed content and the failed
+  // attempt's temp file was unlinked on the error path.
+  EXPECT_EQ(slurp(path), "committed\n");
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  std::remove(path.c_str());
+}
+
+TEST(DurableFileInjection, AtomicFsyncEIOAlsoCleansUp) {
+  const std::string path = temp_path("inj_afsync");
+  std::remove(path.c_str());
+  atomic_write_file(path, "committed\n");
+  {
+    FailpointGuard fp("durable_file.atomic.fsync=err:EIO");
+    EXPECT_THROW(atomic_write_file(path, "doomed\n"), Error);
+  }
+  EXPECT_EQ(slurp(path), "committed\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp." +
+                                       std::to_string(::getpid())));
+  std::remove(path.c_str());
+}
+
+TEST(DurableFileInjection, EINTRFsyncIsRetriedToSuccess) {
+  const std::string path = temp_path("inj_eintr_fsync");
+  std::remove(path.c_str());
+  DurableAppender a;
+  a.open(path);
+  {
+    // One-shot EINTR inside the retry loop: the first fsync attempt is
+    // interrupted, the retry succeeds, the caller never sees an error.
+    FailpointGuard fp("durable_file.append.fsync=err:EINTR");
+    EXPECT_NO_THROW(a.append_line("survived"));
+  }
+  a.close();
+  EXPECT_EQ(slurp(path), "survived\n");
+  std::remove(path.c_str());
+}
+
+TEST(DurableFileInjection, EINTRCloseIsSuccessNotRetried) {
+  const std::string path = temp_path("inj_eintr_close");
+  std::remove(path.c_str());
+  DurableAppender a;
+  a.open(path);
+  a.append_line("x");
+  {
+    // Linux frees the descriptor even when close returns EINTR; retrying
+    // could close a recycled fd, so the wrapper treats it as success.
+    FailpointGuard fp("durable_file.close.close=err:EINTR");
+    EXPECT_NO_THROW(a.close());
+  }
+  EXPECT_FALSE(a.is_open());
+  EXPECT_EQ(slurp(path), "x\n");
+  std::remove(path.c_str());
+}
+
+TEST(DurableFileInjection, OpenEIOSurfacesErrnoText) {
+  const std::string path = temp_path("inj_open");
+  std::remove(path.c_str());
+  FailpointGuard fp("durable_file.open.open=err:EIO");
+  DurableAppender a;
+  try {
+    a.open(path);
+    FAIL() << "expected injected EIO to surface";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("Input/output error"),
+              std::string::npos);
+  }
+  EXPECT_FALSE(a.is_open());
+}
+
+#endif  // VSTACK_FAILPOINTS_ENABLED
+
+TEST(SweepStaleTempFiles, RemovesOnlyPidSuffixedOrphans) {
+  namespace fs = std::filesystem;
+  const fs::path dir = temp_path("sweep");
+  fs::remove_all(dir);
+  fs::create_directories(dir / "sub");
+  const auto put = [](const fs::path& p) { std::ofstream(p) << "x"; };
+  put(dir / "health.json.tmp.1234");   // orphan: swept
+  put(dir / "b.tmp.999");              // orphan: swept
+  put(dir / "keep.tmp.x12");           // non-numeric suffix: kept
+  put(dir / "note.tmp.");              // empty suffix: kept
+  put(dir / "plain.txt");              // kept
+  put(dir / "sub" / "c.tmp.42");       // orphan, but nested
+
+  EXPECT_EQ(sweep_stale_temp_files(dir.string(), /*recursive=*/false), 2u);
+  EXPECT_FALSE(fs::exists(dir / "health.json.tmp.1234"));
+  EXPECT_FALSE(fs::exists(dir / "b.tmp.999"));
+  EXPECT_TRUE(fs::exists(dir / "keep.tmp.x12"));
+  EXPECT_TRUE(fs::exists(dir / "note.tmp."));
+  EXPECT_TRUE(fs::exists(dir / "plain.txt"));
+  EXPECT_TRUE(fs::exists(dir / "sub" / "c.tmp.42"));  // non-recursive
+
+  EXPECT_EQ(sweep_stale_temp_files(dir.string(), /*recursive=*/true), 1u);
+  EXPECT_FALSE(fs::exists(dir / "sub" / "c.tmp.42"));
+
+  // Missing directory: zero removed, no throw (best-effort contract).
+  EXPECT_EQ(sweep_stale_temp_files((dir / "nope").string()), 0u);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Deterministic failpoint injection (common/failpoint.h): spec parsing,
+// hit-index triggers, err/delay/crash actions, the census channel, and
+// the cross-process once-marker gate.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vstack {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "vstack_failpoint_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Every test starts and ends with a clean registry: the state is
+/// process-global, so leaking an action would poison later tests.
+class FailpointTest : public testing::Test {
+ protected:
+  void SetUp() override { failpoint::clear(); }
+  void TearDown() override { failpoint::clear(); }
+};
+
+TEST_F(FailpointTest, MacrosAreInertWhenInactive) {
+  // Holds in every build: with nothing configured the marker macro does
+  // nothing and the syscall wrapper evaluates to the bare call.
+  VS_FAILPOINT("fp_test.inert");
+  EXPECT_EQ(VS_FAILPOINT_SYSCALL("fp_test.inert", 11), 11);
+}
+
+#if VSTACK_FAILPOINTS_ENABLED
+// Everything below needs live injection; under -DVSTACK_FAILPOINTS=OFF
+// configure()/clear() are no-ops and the hooks compile away (that build's
+// behavioral contract -- bit-identical output, inert env -- is asserted
+// by the CI failpoints-off job instead).
+
+TEST_F(FailpointTest, CompiledIn) {
+  EXPECT_TRUE(failpoint::compiled_in());
+}
+
+TEST_F(FailpointTest, InactivePointsAreFreeAndUncounted) {
+  VS_FAILPOINT("fp_test.inactive");
+  EXPECT_EQ(failpoint::hit_count("fp_test.inactive"), 0u);
+  const int rc = VS_FAILPOINT_SYSCALL("fp_test.inactive", 42);
+  EXPECT_EQ(rc, 42);
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrow) {
+  EXPECT_THROW(failpoint::configure("noequals"), Error);
+  EXPECT_THROW(failpoint::configure("=crash"), Error);
+  EXPECT_THROW(failpoint::configure("p=warp"), Error);
+  EXPECT_THROW(failpoint::configure("p=err:EWHAT"), Error);
+  EXPECT_THROW(failpoint::configure("p=err:-5"), Error);
+  EXPECT_THROW(failpoint::configure("p=crash@0"), Error);
+  EXPECT_THROW(failpoint::configure("p=crash@x"), Error);
+  EXPECT_THROW(failpoint::configure("p=crash:now"), Error);
+  EXPECT_THROW(failpoint::configure("p=delay:fast"), Error);
+  // A malformed fragment anywhere in the list is rejected.
+  EXPECT_THROW(failpoint::configure("a=crash;b=warp"), Error);
+}
+
+TEST_F(FailpointTest, ErrInjectionThrowsAtMarkerSites) {
+  failpoint::configure("fp_test.marker=err:EIO");
+  try {
+    VS_FAILPOINT("fp_test.marker");
+    FAIL() << "expected injected EIO";
+  } catch (const Error& e) {
+    // The diagnostic names the point, the label, and the strerror text.
+    EXPECT_NE(std::string(e.what()).find("fp_test.marker"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("EIO"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, ErrInjectionSkipsTheRealSyscall) {
+  failpoint::configure("fp_test.syscall=err:ENOSPC");
+  bool evaluated = false;
+  auto probe = [&]() {
+    evaluated = true;
+    return 7;
+  };
+  errno = 0;
+  const int rc = VS_FAILPOINT_SYSCALL("fp_test.syscall", probe());
+  EXPECT_EQ(rc, -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_FALSE(evaluated) << "the wrapped call must not run when failing";
+  // One-shot (@1 default): the second evaluation passes through.
+  const int rc2 = VS_FAILPOINT_SYSCALL("fp_test.syscall", probe());
+  EXPECT_EQ(rc2, 7);
+  EXPECT_TRUE(evaluated);
+}
+
+TEST_F(FailpointTest, NumericErrnoFallback) {
+  failpoint::configure("fp_test.num=err:" + std::to_string(EDOM));
+  errno = 0;
+  EXPECT_EQ(VS_FAILPOINT_SYSCALL("fp_test.num", 0), -1);
+  EXPECT_EQ(errno, EDOM);
+}
+
+TEST_F(FailpointTest, NthHitOneShotFiresExactlyOnce) {
+  failpoint::configure("fp_test.nth=err:EIO@3");
+  int failures = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (VS_FAILPOINT_SYSCALL("fp_test.nth", 0) != 0) ++failures;
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(failpoint::hit_count("fp_test.nth"), 6u);
+}
+
+TEST_F(FailpointTest, PersistentFiresFromNOnward) {
+  failpoint::configure("fp_test.persist=err:EIO@3+");
+  int failures = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (VS_FAILPOINT_SYSCALL("fp_test.persist", 0) != 0) ++failures;
+  }
+  EXPECT_EQ(failures, 4);  // hits 3, 4, 5, 6
+}
+
+TEST_F(FailpointTest, ReconfigurePreservesCountersDropsOldActions) {
+  failpoint::configure("fp_test.a=err:EIO@1+");
+  EXPECT_EQ(VS_FAILPOINT_SYSCALL("fp_test.a", 0), -1);
+  // New spec without fp_test.a: the action is gone, the counter is not.
+  failpoint::configure("fp_test.b=err:EIO@1");
+  EXPECT_EQ(VS_FAILPOINT_SYSCALL("fp_test.a", 0), 0);
+  EXPECT_EQ(failpoint::hit_count("fp_test.a"), 2u);
+}
+
+TEST_F(FailpointTest, DelayActionSleeps) {
+  failpoint::configure("fp_test.delay=delay:30");
+  const auto t0 = std::chrono::steady_clock::now();
+  VS_FAILPOINT("fp_test.delay");
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_GE(elapsed, 25.0);
+}
+
+TEST_F(FailpointTest, CrashActionExits137) {
+  EXPECT_EXIT(
+      {
+        failpoint::configure("fp_test.crash=crash");
+        VS_FAILPOINT("fp_test.crash");
+      },
+      testing::ExitedWithCode(137), "");
+}
+
+TEST_F(FailpointTest, CensusRecordsEveryEvaluation) {
+  const std::string census = temp_path("census");
+  std::remove(census.c_str());
+  failpoint::configure_census(census);
+  VS_FAILPOINT("fp_test.census.a");
+  VS_FAILPOINT("fp_test.census.a");
+  (void)VS_FAILPOINT_SYSCALL("fp_test.census.b", 0);
+  failpoint::clear();  // closes the census fd
+
+  const auto lines = read_lines(census);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "fp_test.census.a");
+  EXPECT_EQ(lines[1], "fp_test.census.a");
+  EXPECT_EQ(lines[2], "fp_test.census.b");
+  std::remove(census.c_str());
+}
+
+TEST_F(FailpointTest, OnceMarkerSuppressesAlreadyFiredSchedules) {
+  const std::string dir = temp_path("once");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  // Another process already claimed (taken, hit 1): simulate the restarted
+  // worker the once-dir exists for by pre-creating its marker.
+  {
+    std::ofstream marker(dir + "/fp_test.once.taken@1.fired");
+  }
+  failpoint::configure_once_dir(dir);
+  failpoint::configure(
+      "fp_test.once.taken=err:EIO@1;fp_test.once.free=err:EIO@1");
+
+  // Marker taken: armed but suppressed -- the action must NOT fire.
+  EXPECT_EQ(VS_FAILPOINT_SYSCALL("fp_test.once.taken", 0), 0);
+  // Fresh point: fires and leaves its own marker behind.
+  EXPECT_EQ(VS_FAILPOINT_SYSCALL("fp_test.once.free", 0), -1);
+  EXPECT_EQ(::access((dir + "/fp_test.once.free@1.fired").c_str(), F_OK), 0);
+
+  failpoint::clear();
+  std::remove((dir + "/fp_test.once.taken@1.fired").c_str());
+  std::remove((dir + "/fp_test.once.free@1.fired").c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(FailpointTest, StatusReportsHitsAndFired) {
+  failpoint::configure("fp_test.status=err:EIO@2");
+  (void)VS_FAILPOINT_SYSCALL("fp_test.status", 0);
+  (void)VS_FAILPOINT_SYSCALL("fp_test.status", 0);
+  bool found = false;
+  for (const auto& s : failpoint::status()) {
+    if (s.name != "fp_test.status") continue;
+    found = true;
+    EXPECT_EQ(s.action, "err:EIO@2");
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.fired, 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FailpointTest, ClearDeactivatesEverything) {
+  failpoint::configure("fp_test.cleared=err:EIO@1+");
+  EXPECT_EQ(VS_FAILPOINT_SYSCALL("fp_test.cleared", 0), -1);
+  failpoint::clear();
+  EXPECT_EQ(VS_FAILPOINT_SYSCALL("fp_test.cleared", 0), 0);
+  EXPECT_EQ(failpoint::hit_count("fp_test.cleared"), 0u);
+}
+
+#endif  // VSTACK_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace vstack

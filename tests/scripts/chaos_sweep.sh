@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Exhaustive crash-schedule sweep over the failpoint catalog
+# (docs/chaos_testing.md).  Unlike the random drills
+# (shard_chaos.sh / serve_chaos.sh), every durability window is crashed
+# deterministically, exactly once.
+#
+# Drives `vstack_cli chaos-explore` twice:
+#
+#   1. Crash sweep: census-run both workloads (sharded campaign + spool
+#      server), then re-run once per (failpoint, hit-index), _exit(137)
+#      exactly there, restart, and assert recovery is bit-identical
+#      (masked) to the uninjected reference.  --min-schedules=25 makes
+#      silent de-instrumentation (e.g. a build that lost the hooks) a
+#      hard failure, per the acceptance floor.
+#   2. Err sweep: same schedule space with injected EIO/ENOSPC instead
+#      of crashes; every injection must either surface as a clean
+#      nonzero exit (never a signal, never a corrupt artifact, restart
+#      recovers) or be absorbed with a reference-identical artifact.
+#
+# Usage: chaos_sweep.sh <path-to-vstack_cli> [extra chaos-explore args]
+set -euo pipefail
+
+CLI=${1:?usage: chaos_sweep.sh <path-to-vstack_cli> [extra args]}
+CLI=$(readlink -f "$CLI")
+shift
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vstack_chaos_sweep.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+MIN_CRASH_SCHEDULES=${MIN_CRASH_SCHEDULES:-25}
+
+if ! "$CLI" version | grep -q 'failpoints:[[:space:]]*on'; then
+    echo "chaos_sweep: $CLI built with -DVSTACK_FAILPOINTS=OFF; nothing to sweep" >&2
+    exit 1
+fi
+
+echo "== crash sweep: every (failpoint, hit) across shard + serve =="
+"$CLI" chaos-explore --work-dir="$WORK/crash" --workload=both \
+    --mode=crash --min-schedules="$MIN_CRASH_SCHEDULES" "$@"
+
+echo "== err sweep: EIO/ENOSPC at every failpoint =="
+"$CLI" chaos-explore --work-dir="$WORK/err" --workload=both \
+    --mode=err --errnos=EIO,ENOSPC "$@"
+
+echo "chaos_sweep: PASS"

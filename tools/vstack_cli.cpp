@@ -24,9 +24,11 @@
 #include <iostream>
 #include <sstream>
 
+#include "chaos/explorer.h"
 #include "circuit/spice_parser.h"
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/shutdown.h"
 #include "common/table.h"
 #include "core/campaign.h"
@@ -689,6 +691,48 @@ int cmd_worker(const core::StudyContext& ctx, const CliArgs& args) {
   return 0;  // main() maps a pending shutdown signal onto exit code 4
 }
 
+int cmd_chaos_explore(const CliArgs& args) {
+  chaos::ExplorerOptions opt;
+  opt.work_dir = args.get_string("work-dir", "");
+  VS_REQUIRE(!opt.work_dir.empty(), "chaos-explore requires --work-dir=DIR");
+  opt.cli_path = args.get_string("cli", self_exe_path());
+  opt.workload = args.get_string("workload", opt.workload);
+  opt.mode = args.get_string("mode", opt.mode);
+  opt.max_hits = args.get_size("max-hits", opt.max_hits);
+  opt.max_schedules = args.get_size("max-schedules", opt.max_schedules);
+  if (args.has("errnos")) {
+    opt.errnos.clear();
+    std::istringstream iss(args.get_string("errnos", ""));
+    std::string e;
+    while (std::getline(iss, e, ',')) {
+      if (!e.empty()) opt.errnos.push_back(e);
+    }
+    VS_REQUIRE(!opt.errnos.empty(), "--errnos needs a comma-separated list");
+  }
+  opt.out = &std::cout;
+  VS_REQUIRE(failpoint::compiled_in(),
+             "this binary was built with -DVSTACK_FAILPOINTS=OFF; the "
+             "explorer has nothing to inject");
+
+  const chaos::ExplorerReport report = chaos::run_explorer(opt);
+  std::cout << "chaos-explore: " << report.summary() << "\n";
+  for (const auto& s : report.schedules) {
+    if (!s.passed) {
+      std::cout << "  FAILED: " << s.workload << " " << s.point << "@"
+                << s.hit << " " << s.action << ": " << s.detail << "\n";
+    }
+  }
+  // --min-schedules guards against silent coverage collapse (a refactor
+  // that de-instruments a protocol would otherwise pass with 0 schedules).
+  const std::size_t min_fired = args.get_size("min-schedules", 0);
+  if (report.fired() < min_fired) {
+    std::cout << "chaos-explore: only " << report.fired()
+              << " schedules fired (--min-schedules=" << min_fired << ")\n";
+    return 2;
+  }
+  return report.ok() ? 0 : 2;
+}
+
 int cmd_merge(const core::StudyContext& ctx, const CliArgs& args) {
   const std::string job_dir = args.get_string("job-dir", "");
   VS_REQUIRE(!job_dir.empty(), "merge requires --job-dir=DIR");
@@ -730,6 +774,8 @@ int cmd_version() {
             << "  build type: " << info.build_type << "\n"
             << "  sanitizer:  " << info.sanitizer << "\n"
             << "  telemetry:  " << (info.telemetry_enabled ? "on" : "off")
+            << "\n"
+            << "  failpoints: " << (failpoint::compiled_in() ? "on" : "off")
             << "\n";
   return 0;
 }
@@ -763,6 +809,10 @@ void usage() {
       "--jobs); normally spawned by campaign --shards or serve\n"
       "  merge       fold shard manifests     (--job-dir --out); exit 2 "
       "when trials are quarantined or missing\n"
+      "  chaos-explore  exhaustive crash-schedule explorer (--work-dir=DIR "
+      "--workload=shard|serve|both --mode=crash|err|both --max-hits "
+      "--max-schedules --errnos=EIO,ENOSPC --min-schedules --cli=PATH); "
+      "see docs/chaos_testing.md\n"
       "  spice FILE  run a SPICE-subset netlist (--verbose)\n"
       "  config      echo the resolved configuration (--config ...)\n"
       "  version     print build provenance (git describe, build type, "
@@ -809,7 +859,9 @@ int main(int argc, char** argv) {
                         "deadline", "backoff", "queue", "degrade-divisor",
                         "shards", "job-dir", "worker-id", "chunk",
                         "max-attempts", "lease-expiry", "heartbeat",
-                        "max-restarts", "out", "shard-workers"});
+                        "max-restarts", "out", "shard-workers", "work-dir",
+                        "cli", "workload", "mode", "max-hits",
+                        "max-schedules", "errnos", "min-schedules"});
     const auto ctx = core::StudyContext::paper_defaults();
     const std::string cmd = args.subcommand();
     if (cmd == "version" || args.get_bool("version")) return cmd_version();
@@ -839,6 +891,7 @@ int main(int argc, char** argv) {
     else if (cmd == "serve") code = cmd_serve(ctx, args);
     else if (cmd == "worker") code = cmd_worker(ctx, args);
     else if (cmd == "merge") code = cmd_merge(ctx, args);
+    else if (cmd == "chaos-explore") code = cmd_chaos_explore(args);
     else if (cmd == "spice") code = cmd_spice(args);
     else if (cmd == "config") {
       std::cout << pdn::write_stackup_config(resolve_config(ctx, args));
