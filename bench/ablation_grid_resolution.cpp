@@ -2,7 +2,11 @@
 //
 // The pre-RTL grid resolution trades fidelity for solve time.  This bench
 // sweeps the per-layer grid and reports the noise metric plus solve cost
-// proxies, showing the default 32x32 sits on the converged plateau.
+// proxies, showing the default 32x32 sits on the converged plateau.  The
+// last two columns compare the preconditioner tiers on the same system:
+// IC(0) holds CG's iteration growth below ILU(0)'s as the grid refines
+// (docs/linear_algebra.md), which is why it sits above ILU(0) in the
+// ladder for symmetric systems.
 #include <chrono>
 #include <iostream>
 
@@ -21,16 +25,26 @@ int main() {
   const auto ctx = core::StudyContext::paper_defaults();
 
   TextTable t({"Grid", "Unknowns", "Max noise (%Vdd)", "CG iterations",
-               "Solve time (ms)"});
+               "Solve time (ms)", "ILU0 iters", "IC0 iters"});
   for (const std::size_t n : {8u, 16u, 24u, 32u, 48u}) {
     auto cfg = core::make_stacked(ctx, 8, ctx.base.tsv, 8);
     cfg.grid_nx = cfg.grid_ny = n;
 
     const auto t0 = std::chrono::steady_clock::now();
     pdn::PdnModel model(cfg, ctx.layer_floorplan);
-    const auto sol = model.solve_activities(
+    const auto loads = model.network().build_loads(
         ctx.core_model, power::interleaved_layer_activities(8, 0.5));
+    const auto sol = model.solve(loads);
     const auto t1 = std::chrono::steady_clock::now();
+
+    // Cold-start CG iteration counts per preconditioner tier on the same
+    // assembled system (PrecondKind::Auto == the historic ILU(0)).
+    pdn::PdnSolveOptions ilu0_opts, ic0_opts;
+    ic0_opts.preconditioner = la::PrecondKind::Ic0;
+    pdn::PdnModel cold_ilu0(cfg, ctx.layer_floorplan);
+    pdn::PdnModel cold_ic0(cfg, ctx.layer_floorplan);
+    const auto sol_ilu0 = cold_ilu0.solve(loads, ilu0_opts);
+    const auto sol_ic0 = cold_ic0.solve(loads, ic0_opts);
 
     t.add_row({std::to_string(n) + "x" + std::to_string(n),
                std::to_string(model.network().node_count()),
@@ -38,7 +52,9 @@ int main() {
                std::to_string(sol.report.iterations),
                std::to_string(std::chrono::duration_cast<
                                   std::chrono::milliseconds>(t1 - t0)
-                                  .count())});
+                                  .count()),
+               std::to_string(sol_ilu0.report.iterations),
+               std::to_string(sol_ic0.report.iterations)});
   }
   t.print(std::cout);
   return 0;

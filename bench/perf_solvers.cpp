@@ -1,12 +1,15 @@
 // google-benchmark timing of the linear-algebra kernels on PDN-shaped
-// systems: CG vs BiCGSTAB, Jacobi vs ILU(0), and a full PDN solve.
+// systems: CG vs BiCGSTAB, Jacobi vs ILU(0) vs IC(0), per-backend SpMV,
+// and a full PDN solve.  A scoreboard after the timed runs records the
+// backend SpMV throughputs and the ILU(0)-vs-IC(0) iteration-growth trend
+// as telemetry gauges, so they land in BENCH_perf_solvers.json.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 
 #include "core/study.h"
 #include "la/skyline_cholesky.h"
-#include "la/solve.h"
+#include "la/solver.h"
 #include "power/workload.h"
 
 namespace {
@@ -27,6 +30,52 @@ la::CsrMatrix grid_matrix(std::size_t m) {
   }
   return b.build();
 }
+
+const la::Backend& backend_of(std::int64_t index) {
+  return index == 0 ? la::reference_backend() : la::optimized_backend();
+}
+
+/// CSR SpMV per kernel backend.  Arg0: 0 = reference, 1 = optimized;
+/// Arg1: grid edge m (n = m^2).  m = 256 is the largest bench grid
+/// (65 536 unknowns, ~327 k nnz) -- the working set no longer fits in L2,
+/// so the optimized backend's narrowed indices show their bandwidth win.
+void BM_SpMV(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<std::size_t>(state.range(1)));
+  const la::Backend& backend = backend_of(state.range(0));
+  const auto prepared = backend.prepare(a);
+  const la::Vector x(a.size(), 1.0);
+  la::Vector y(a.size());
+  for (auto _ : state) {
+    backend.spmv(*prepared, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(backend.name());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpMV)
+    ->ArgNames({"backend", "m"})
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 256})
+    ->Args({1, 256});
+
+/// Fused dot / axpy+norm kernels per backend (the CG inner loop's other
+/// half) on the large-grid vector length.
+void BM_DotAxpyNorm(benchmark::State& state) {
+  const la::Backend& backend = backend_of(state.range(0));
+  const std::size_t n = 65536;
+  const la::Vector x(n, 0.5);
+  la::Vector y(n, 1.0);
+  for (auto _ : state) {
+    const double d = backend.dot(x, y);
+    const double r = backend.axpy_norm2(1e-9, x, y);
+    benchmark::DoNotOptimize(d);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(backend.name());
+}
+BENCHMARK(BM_DotAxpyNorm)->ArgNames({"backend"})->Arg(0)->Arg(1);
 
 void BM_CgJacobi(benchmark::State& state) {
   const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
@@ -51,6 +100,32 @@ void BM_CgIlu0(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CgIlu0)->Arg(32)->Arg(64);
+
+void BM_CgIc0(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
+  const la::Vector b(a.size(), 1.0);
+  const auto precond = la::make_ic0(a);
+  for (auto _ : state) {
+    la::Vector x;
+    auto report = la::conjugate_gradient(a, b, x, *precond);
+    benchmark::DoNotOptimize(report.iterations);
+  }
+}
+BENCHMARK(BM_CgIc0)->Arg(32)->Arg(64);
+
+/// Repeated-solve cost through the la::Solver handle (prepared matrix,
+/// cached preconditioner, zero-alloc workspace) -- the PDN cache's shape.
+void BM_SolverHandleResolve(benchmark::State& state) {
+  const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
+  const la::Vector b(a.size(), 1.0);
+  la::Solver solver(a);
+  for (auto _ : state) {
+    la::Vector x;
+    auto report = solver.solve(b, x);
+    benchmark::DoNotOptimize(report.iterations);
+  }
+}
+BENCHMARK(BM_SolverHandleResolve)->Arg(32)->Arg(64);
 
 void BM_BiCgStabIlu0(benchmark::State& state) {
   const auto a = grid_matrix(static_cast<std::size_t>(state.range(0)));
@@ -102,6 +177,83 @@ void BM_FullPdnSolve(benchmark::State& state) {
 BENCHMARK(BM_FullPdnSolve)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Post-run scoreboard: pins the headline numbers into telemetry gauges so
+/// BENCH_perf_solvers.json carries them as a machine-readable trajectory
+/// (the google-benchmark console table is not part of the artifact).
+void scoreboard() {
+  using vstack::bench::print_header;
+  using vstack::bench::print_note;
+
+  // Backend SpMV throughput on the largest bench grid (m = 256).
+  print_header("perf_solvers", "backend scoreboard");
+  const auto a = grid_matrix(256);
+  const la::Vector x(a.size(), 1.0);
+  double mnnz[2] = {0.0, 0.0};
+  for (int bi = 0; bi < 2; ++bi) {
+    const la::Backend& backend = backend_of(bi);
+    const auto prepared = backend.prepare(a);
+    la::Vector y(a.size());
+    backend.spmv(*prepared, x, y);  // warm caches
+    std::size_t reps = 0;
+    const double t0 = telemetry::monotonic_seconds();
+    double elapsed = 0.0;
+    while (elapsed < 0.2) {
+      for (int k = 0; k < 16; ++k) backend.spmv(*prepared, x, y);
+      reps += 16;
+      elapsed = telemetry::monotonic_seconds() - t0;
+    }
+    mnnz[bi] = static_cast<double>(reps) * static_cast<double>(a.nnz()) /
+               elapsed / 1e6;
+    print_note(std::string("spmv ") + backend.name() + ": " +
+               std::to_string(mnnz[bi]) + " Mnnz/s");
+  }
+  const double speedup = mnnz[0] > 0.0 ? mnnz[1] / mnnz[0] : 0.0;
+  print_note("spmv speedup optimized/reference: " + std::to_string(speedup) +
+             "x (grid m=256, " + std::to_string(a.nnz()) + " nnz)");
+  telemetry::Gauge("bench.spmv.reference.mnnz_per_s").set(mnnz[0]);
+  telemetry::Gauge("bench.spmv.optimized.mnnz_per_s").set(mnnz[1]);
+  telemetry::Gauge("bench.spmv.optimized_speedup").set(speedup);
+
+  // Preconditioner iteration growth across grid resolutions: Jacobi (the
+  // degradation floor) vs ILU(0) vs IC(0).  On SPD systems IC(0) and
+  // ILU(0) build the same operator, so IC(0) must match ILU(0)'s count
+  // while doing half the factor work -- and both hold the growth far
+  // below Jacobi's (the docs/linear_algebra.md ladder argument in
+  // numbers).
+  static const telemetry::Gauge g_jac_32("bench.cg.iters.jacobi.m32");
+  static const telemetry::Gauge g_jac_64("bench.cg.iters.jacobi.m64");
+  static const telemetry::Gauge g_jac_96("bench.cg.iters.jacobi.m96");
+  static const telemetry::Gauge g_ilu0_32("bench.cg.iters.ilu0.m32");
+  static const telemetry::Gauge g_ilu0_64("bench.cg.iters.ilu0.m64");
+  static const telemetry::Gauge g_ilu0_96("bench.cg.iters.ilu0.m96");
+  static const telemetry::Gauge g_ic0_32("bench.cg.iters.ic0.m32");
+  static const telemetry::Gauge g_ic0_64("bench.cg.iters.ic0.m64");
+  static const telemetry::Gauge g_ic0_96("bench.cg.iters.ic0.m96");
+  const telemetry::Gauge* jac_gauges[] = {&g_jac_32, &g_jac_64, &g_jac_96};
+  const telemetry::Gauge* ilu0_gauges[] = {&g_ilu0_32, &g_ilu0_64, &g_ilu0_96};
+  const telemetry::Gauge* ic0_gauges[] = {&g_ic0_32, &g_ic0_64, &g_ic0_96};
+  const std::size_t grids[] = {32, 64, 96};
+  for (int gi = 0; gi < 3; ++gi) {
+    const auto m = grids[gi];
+    const auto grid = grid_matrix(m);
+    const la::Vector rhs(grid.size(), 1.0);
+    const auto jacobi = la::make_jacobi(grid);
+    const auto ilu0 = la::make_ilu0(grid);
+    const auto ic0 = la::make_ic0(grid);
+    la::Vector xj, xi, xc;
+    const auto rj = la::conjugate_gradient(grid, rhs, xj, *jacobi);
+    const auto ri = la::conjugate_gradient(grid, rhs, xi, *ilu0);
+    const auto rc = la::conjugate_gradient(grid, rhs, xc, *ic0);
+    jac_gauges[gi]->set(static_cast<double>(rj.iterations));
+    ilu0_gauges[gi]->set(static_cast<double>(ri.iterations));
+    ic0_gauges[gi]->set(static_cast<double>(rc.iterations));
+    print_note("cg iterations m=" + std::to_string(m) +
+               ": jacobi=" + std::to_string(rj.iterations) +
+               " ilu0=" + std::to_string(ri.iterations) +
+               " ic0=" + std::to_string(rc.iterations));
+  }
+}
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN so the BenchReport artifact wraps the run.
@@ -111,5 +263,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  scoreboard();
   return 0;
 }

@@ -4,7 +4,7 @@
 //
 //   $ ./fault_campaign [layers] [grid]
 //
-// Every case runs through the la::solve degradation ladder -- damaged
+// Every case runs through the la::Solver degradation ladder -- damaged
 // networks never throw; they come back Survivable, Degraded, or Infeasible
 // with a structured diagnostic (see docs/fault_model.md).
 #include <cstdlib>

@@ -13,7 +13,7 @@
 //     optionally plus stuck-off converter phases and leakage shorts.
 //
 // Damaged networks may be near-singular; all solves run through the
-// la::solve degradation ladder and NEVER throw -- every case ends as
+// la::Solver degradation ladder and NEVER throw -- every case ends as
 // Survivable, Degraded, or Infeasible with a structured diagnostic.
 #pragma once
 

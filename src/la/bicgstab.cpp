@@ -11,6 +11,13 @@ namespace vstack::la {
 SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
                      const Preconditioner& precond,
                      const IterativeOptions& options) {
+  return bicgstab(a, b, x, precond, options, KrylovContext{});
+}
+
+SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& precond,
+                     const IterativeOptions& options,
+                     const KrylovContext& ctx) {
   VS_SPAN("la.bicgstab.solve");
   static const telemetry::Counter t_calls("la.bicgstab.calls");
   static const telemetry::Counter t_iters("la.bicgstab.iterations");
@@ -19,20 +26,33 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
   VS_REQUIRE(b.size() == n, "bicgstab: rhs size mismatch");
   if (x.size() != n) x.assign(n, 0.0);
 
+  const Backend& bk = ctx.backend != nullptr ? *ctx.backend
+                                             : default_backend();
+  std::unique_ptr<BackendMatrix> local_prepared;
+  const BackendMatrix* pm = ctx.prepared;
+  if (pm == nullptr) {
+    local_prepared = bk.prepare(a);
+    pm = local_prepared.get();
+  }
+  KrylovWorkspace local_ws;
+  KrylovWorkspace& w = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
+  w.ensure(n);
+
   SolveReport report;
-  const double b_norm = norm2(b);
+  const double b_norm = bk.norm2(b);
   if (b_norm == 0.0) {
     fill(x, 0.0);
     report.converged = true;
     return report;
   }
 
-  Vector r = subtract(b, a.multiply(x));
-  Vector r_hat = r;  // shadow residual
-  Vector p(n, 0.0), v(n, 0.0), s(n), t(n), y(n), z(n);
+  bk.residual(*pm, b, x, w.r);
+  w.r_hat = w.r;  // shadow residual
+  fill(w.p, 0.0);
+  fill(w.v, 0.0);
 
   double rho = 1.0, alpha = 1.0, omega = 1.0;
-  double best_res = norm2(r) / b_norm;
+  double best_res = bk.norm2(w.r) / b_norm;
   std::size_t since_best = 0;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
@@ -42,7 +62,7 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
       report.deadline_expired = true;
       break;
     }
-    const double rho_new = dot(r_hat, r);
+    const double rho_new = bk.dot(w.r_hat, w.r);
     if (std::abs(rho_new) < 1e-300) {
       VS_LOG_WARN("BiCGSTAB: rho breakdown at iteration " << it);
       break;
@@ -51,41 +71,41 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
     rho = rho_new;
     // p = r + beta * (p - omega * v)
     for (std::size_t i = 0; i < n; ++i) {
-      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      w.p[i] = w.r[i] + beta * (w.p[i] - omega * w.v[i]);
     }
-    precond.apply(p, y);
-    a.multiply(y, v);
-    const double rhv = dot(r_hat, v);
+    precond.apply(w.p, w.y);
+    bk.spmv(*pm, w.y, w.v);
+    const double rhv = bk.dot(w.r_hat, w.v);
     if (std::abs(rhv) < 1e-300) {
       VS_LOG_WARN("BiCGSTAB: alpha breakdown at iteration " << it);
       break;
     }
     alpha = rho / rhv;
-    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    for (std::size_t i = 0; i < n; ++i) w.s[i] = w.r[i] - alpha * w.v[i];
 
     report.iterations = it + 1;
-    if (norm2(s) / b_norm < options.relative_tolerance) {
-      axpy(alpha, y, x);
-      report.residual_norm = norm2(s) / b_norm;
+    if (bk.norm2(w.s) / b_norm < options.relative_tolerance) {
+      bk.axpy(alpha, w.y, x);
+      report.residual_norm = bk.norm2(w.s) / b_norm;
       report.converged = true;
       t_iters.add(static_cast<double>(report.iterations));
       return report;
     }
 
-    precond.apply(s, z);
-    a.multiply(z, t);
-    const double tt = dot(t, t);
+    precond.apply(w.s, w.z);
+    bk.spmv(*pm, w.z, w.t);
+    const double tt = bk.dot(w.t, w.t);
     if (tt == 0.0) {
       VS_LOG_WARN("BiCGSTAB: omega breakdown at iteration " << it);
-      axpy(alpha, y, x);
+      bk.axpy(alpha, w.y, x);
       break;
     }
-    omega = dot(t, s) / tt;
+    omega = bk.dot(w.t, w.s) / tt;
     for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * y[i] + omega * z[i];
-      r[i] = s[i] - omega * t[i];
+      x[i] += alpha * w.y[i] + omega * w.z[i];
+      w.r[i] = w.s[i] - omega * w.t[i];
     }
-    const double res = norm2(r) / b_norm;
+    const double res = bk.norm2(w.r) / b_norm;
     report.residual_norm = res;
     if (!std::isfinite(res)) {
       VS_LOG_WARN("BiCGSTAB: non-finite residual at iteration " << it);
@@ -112,7 +132,8 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
     }
   }
 
-  report.residual_norm = norm2(subtract(b, a.multiply(x))) / b_norm;
+  bk.residual(*pm, b, x, w.r);
+  report.residual_norm = bk.norm2(w.r) / b_norm;
   report.converged = report.residual_norm < options.relative_tolerance;
   t_iters.add(static_cast<double>(report.iterations));
   return report;

@@ -13,4 +13,10 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
                      const Preconditioner& precond,
                      const IterativeOptions& options = {});
 
+/// Zero-alloc variant: runs on ctx's backend/prepared-matrix/workspace.
+SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& precond,
+                     const IterativeOptions& options,
+                     const KrylovContext& ctx);
+
 }  // namespace vstack::la

@@ -11,6 +11,13 @@ namespace vstack::la {
 SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
                                const Preconditioner& precond,
                                const IterativeOptions& options) {
+  return conjugate_gradient(a, b, x, precond, options, KrylovContext{});
+}
+
+SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+                               const Preconditioner& precond,
+                               const IterativeOptions& options,
+                               const KrylovContext& ctx) {
   VS_SPAN("la.cg.solve");
   static const telemetry::Counter t_calls("la.cg.calls");
   static const telemetry::Counter t_iters("la.cg.iterations");
@@ -19,22 +26,32 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   VS_REQUIRE(b.size() == n, "cg: rhs size mismatch");
   if (x.size() != n) x.assign(n, 0.0);
 
+  const Backend& bk = ctx.backend != nullptr ? *ctx.backend
+                                             : default_backend();
+  std::unique_ptr<BackendMatrix> local_prepared;
+  const BackendMatrix* pm = ctx.prepared;
+  if (pm == nullptr) {
+    local_prepared = bk.prepare(a);
+    pm = local_prepared.get();
+  }
+  KrylovWorkspace local_ws;
+  KrylovWorkspace& w = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
+  w.ensure(n);
+
   SolveReport report;
-  const double b_norm = norm2(b);
+  const double b_norm = bk.norm2(b);
   if (b_norm == 0.0) {
     fill(x, 0.0);
     report.converged = true;
     return report;
   }
 
-  Vector r = subtract(b, a.multiply(x));
-  Vector z(n);
-  precond.apply(r, z);
-  Vector p = z;
-  Vector ap(n);
-  double rz = dot(r, z);
+  bk.residual(*pm, b, x, w.r);
+  precond.apply(w.r, w.z);
+  w.p = w.z;
+  double rz = bk.dot(w.r, w.z);
 
-  double best_res = norm2(r) / b_norm;
+  double best_res = bk.norm2(w.r) / b_norm;
   std::size_t since_best = 0;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
@@ -45,8 +62,8 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
       report.deadline_expired = true;
       break;
     }
-    a.multiply(p, ap);
-    const double pap = dot(p, ap);
+    bk.spmv(*pm, w.p, w.ap);
+    const double pap = bk.dot(w.p, w.ap);
     if (!(pap > 0.0)) {
       // Not SPD along this direction (or NaN from a broken preconditioner);
       // bail out and report the residual.
@@ -54,10 +71,8 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
       break;
     }
     const double alpha = rz / pap;
-    axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
-
-    const double res = norm2(r) / b_norm;
+    bk.axpy(alpha, w.p, x);
+    const double res = bk.axpy_norm2(-alpha, w.ap, w.r) / b_norm;
     report.iterations = it + 1;
     report.residual_norm = res;
     if (!std::isfinite(res)) {
@@ -80,14 +95,15 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
       }
     }
 
-    precond.apply(r, z);
-    const double rz_new = dot(r, z);
+    precond.apply(w.r, w.z);
+    const double rz_new = bk.dot(w.r, w.z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    xpby(z, beta, p);
+    bk.xpby(w.z, beta, w.p);
   }
 
-  report.residual_norm = norm2(subtract(b, a.multiply(x))) / b_norm;
+  bk.residual(*pm, b, x, w.r);
+  report.residual_norm = bk.norm2(w.r) / b_norm;
   report.converged = report.residual_norm < options.relative_tolerance;
   t_iters.add(static_cast<double>(report.iterations));
   return report;

@@ -1,17 +1,19 @@
 // Preconditioned conjugate gradient for symmetric positive-definite systems
-// (the regular-PDN and thermal grids).
+// (the regular-PDN and thermal grids), plus the Krylov workspace/context
+// plumbing shared with BiCGSTAB.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "common/deadline.h"
+#include "la/backend.h"
 #include "la/preconditioner.h"
 #include "la/sparse.h"
 
 namespace vstack::la {
 
-/// One rung of the front-door solve's escalation ladder (see la/solve.h).
+/// One rung of the front-door solve's escalation ladder (see la/solver.h).
 struct SolveAttempt {
   std::string method;          // e.g. "cg+ilu0", "bicgstab+jacobi", "dense-lu"
   bool converged = false;
@@ -21,7 +23,7 @@ struct SolveAttempt {
 
 /// Convergence report shared by the Krylov solvers.  The base fields always
 /// describe the final (or only) attempt; `attempts` is the full escalation
-/// trail when the report comes from la::solve, so callers can see HOW
+/// trail when the report comes from la::Solver::solve, so callers can see HOW
 /// degraded a solve was, not just whether it succeeded.
 struct SolveReport {
   bool converged = false;
@@ -41,16 +43,49 @@ struct IterativeOptions {
   /// Stagnation detection: give up when the best residual seen has not
   /// improved by at least a factor of `stagnation_factor` within the last
   /// `stagnation_window` iterations.  0 disables the check (default for
-  /// direct solver calls; la::solve enables it per escalation rung so a
+  /// direct solver calls; la::Solver enables it per escalation rung so a
   /// stalled Krylov run hands over to the next method promptly).
   std::size_t stagnation_window = 0;
   double stagnation_factor = 0.99;
   /// Cooperative cancellation / wall-clock deadline, checked every few
   /// iterations.  When it fires mid-solve the report comes back with
   /// converged == false and deadline_expired == true; x holds the iterate
-  /// reached so far (la::solve restores the caller's initial guess on top).
+  /// reached so far (la::Solver restores the caller's initial guess on top).
   /// Default: unlimited (one null check per poll).
   Deadline deadline{};
+};
+
+/// Reusable iteration scratch shared by CG and BiCGSTAB.  A solver handle
+/// owns one and threads it through every solve against its matrix, so the
+/// Krylov loops allocate nothing after the first call (docs/
+/// linear_algebra.md).  ensure() is idempotent and cheap once sized.
+struct KrylovWorkspace {
+  Vector r, z, p, ap;           // CG set (ap doubles as SpMV scratch)
+  Vector r_hat, v, s, t, y;     // BiCGSTAB extras
+  void ensure(std::size_t n) {
+    if (r.size() != n) {
+      r.resize(n);
+      z.resize(n);
+      p.resize(n);
+      ap.resize(n);
+      r_hat.resize(n);
+      v.resize(n);
+      s.resize(n);
+      t.resize(n);
+      y.resize(n);
+    }
+  }
+};
+
+/// Optional execution context for a Krylov solve: which kernel backend to
+/// run on, an already-prepared matrix form, and a reusable workspace.  Any
+/// field may be null; a null backend resolves to default_backend(), and
+/// null prepared/workspace fall back to per-call locals.  `prepared` must
+/// have been produced by `backend->prepare()` on the same matrix.
+struct KrylovContext {
+  const Backend* backend = nullptr;
+  const BackendMatrix* prepared = nullptr;
+  KrylovWorkspace* workspace = nullptr;
 };
 
 /// Solve A x = b with preconditioned CG.  `x` is used as the initial guess
@@ -58,5 +93,11 @@ struct IterativeOptions {
 SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
                                const Preconditioner& precond,
                                const IterativeOptions& options = {});
+
+/// Zero-alloc variant: runs on ctx's backend/prepared-matrix/workspace.
+SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+                               const Preconditioner& precond,
+                               const IterativeOptions& options,
+                               const KrylovContext& ctx);
 
 }  // namespace vstack::la

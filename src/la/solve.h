@@ -1,40 +1,20 @@
-// Front-door solve with a graceful-degradation ladder.
+// DEPRECATED front door -- kept as a thin shim over la::Solver.
 //
-// The primary method is CG for symmetric matrices and BiCGSTAB otherwise,
-// with ILU(0) preconditioning.  When the primary method stalls (fault-damaged
-// PDNs routinely produce near-singular or indefinite systems), the solve
-// escalates instead of throwing:
+// la::solve(a, b, x, opts) constructs a temporary Solver and runs one solve
+// through the full graceful-degradation ladder (see la/solver.h for the
+// ladder description).  Behavior, attempt labels, telemetry, and -- on the
+// reference backend -- the arithmetic are identical to the historic free
+// function.
 //
-//   CG -> BiCGSTAB -> BiCGSTAB with a rebuilt, diagonally-shifted ILU ->
-//   dense LU (systems up to dense_fallback_max_size unknowns)
-//
-// Every rung restarts from the caller's initial guess, runs under a
-// per-attempt iteration budget with stagnation detection, and is recorded in
-// SolveReport::attempts so callers can see how degraded the solve was.
+// Prefer la::Solver for anything that solves the same matrix more than
+// once: the shim re-prepares the backend matrix, re-probes symmetry, and
+// re-factorizes the preconditioner on every call, all of which the handle
+// pays exactly once.  Migration guide: docs/linear_algebra.md.
 #pragma once
 
-#include "la/bicgstab.h"
-#include "la/cg.h"
+#include "la/solver.h"
 
 namespace vstack::la {
-
-enum class SolverKind { Auto, Cg, BiCgStab, DenseLu };
-
-struct SolveOptions {
-  SolverKind kind = SolverKind::Auto;
-  IterativeOptions iterative;
-  bool use_ilu0 = true;  // fall back to Jacobi when false
-  /// Escalate through the fallback ladder on non-convergence.  When false,
-  /// only the primary method runs (one attempt).
-  bool escalate = true;
-  /// Largest system the final dense-LU rung will factorize; anything bigger
-  /// skips that rung (a dense factorization would not fit in memory).
-  std::size_t dense_fallback_max_size = 4000;
-  /// Relative diagonal shift applied to the rebuilt-preconditioner rung
-  /// (stabilizes ILU on near-singular matrices; the system solved is still
-  /// the original A).
-  double ilu_rebuild_shift = 1e-6;
-};
 
 /// Solve A x = b; x is the initial guess and receives the solution.
 ///
@@ -42,6 +22,9 @@ struct SolveOptions {
 /// report.diagnostic names the reason, report.attempts holds the full trail,
 /// and x is restored to the caller's initial guess -- never NaN.  (Size
 /// mismatches and other precondition violations still throw vstack::Error.)
+///
+/// DEPRECATED: one-shot convenience only; use la::Solver to amortize
+/// per-matrix setup across repeated solves.
 SolveReport solve(const CsrMatrix& a, const Vector& b, Vector& x,
                   const SolveOptions& options = {});
 

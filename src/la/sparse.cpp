@@ -103,6 +103,18 @@ Vector CsrMatrix::diagonal() const {
 }
 
 bool CsrMatrix::is_symmetric(double tol) const {
+  constexpr double kDefaultTol = 1e-12;
+  if (tol == kDefaultTol) {
+    const signed char memo = symmetry_memo_.load(std::memory_order_relaxed);
+    if (memo >= 0) return memo != 0;
+    const bool sym = symmetry_scan(tol);
+    symmetry_memo_.store(sym ? 1 : 0, std::memory_order_relaxed);
+    return sym;
+  }
+  return symmetry_scan(tol);
+}
+
+bool CsrMatrix::symmetry_scan(double tol) const {
   double max_abs = 0.0;
   for (double v : values_) max_abs = std::max(max_abs, std::abs(v));
   const double threshold = tol * std::max(max_abs, 1.0);

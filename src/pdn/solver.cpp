@@ -82,9 +82,11 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
   VS_REQUIRE(converter_r_series.size() == network_.converters().size(),
              "converter resistance vector size mismatch");
 
-  // (Re)assemble when the topology epoch or converter resistances changed.
+  // (Re)assemble when the topology epoch, converter resistances, or the
+  // requested preconditioner tier changed.
   if (!cache_ || cache_->epoch != network_.topology_epoch() ||
-      cache_->r_series != converter_r_series) {
+      cache_->r_series != converter_r_series ||
+      cache_->precond_kind != options.preconditioner) {
     la::CooBuilder builder(n);
     la::Vector base_rhs(n, 0.0);
 
@@ -155,14 +157,17 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
 
     cache->epoch = network_.topology_epoch();
     cache->r_series = converter_r_series;
+    cache->precond_kind = options.preconditioner;
     cache->matrix = builder.build();
     cache->base_rhs = std::move(base_rhs);
-    try {
-      cache->precond = la::make_ilu0(cache->matrix);
-    } catch (const Error&) {
-      VS_LOG_WARN("ILU(0) unavailable on faulted PDN matrix; using Jacobi");
-      cache->precond = la::make_jacobi(cache->matrix);
-    }
+    // Bind the solver handle once the matrix has reached its final address
+    // (inside the heap-allocated CachedSystem); it owns the preconditioner,
+    // backend preparation, and Krylov workspace for every solve below.
+    la::SolveOptions solver_options;
+    solver_options.iterative = options.iterative;
+    solver_options.preconditioner = options.preconditioner;
+    cache->solver =
+        std::make_unique<la::Solver>(cache->matrix, solver_options);
     cache_ = std::move(cache);
     last_solution_.clear();
   }
@@ -187,19 +192,18 @@ PdnSolution PdnModel::solve_once(const std::vector<LoadInjection>& loads,
   }
 
   // Fast path: warm-started CG with the cached preconditioner.  On a stall
-  // (damaged network), escalate through la::solve's degradation ladder from
-  // a cold start and keep the full attempt trail.
+  // (damaged network), escalate through the solver handle's degradation
+  // ladder from a cold start and keep the full attempt trail.
   sol.node_voltages =
       (last_solution_.size() == n) ? last_solution_ : la::Vector(n, 0.0);
-  sol.report = la::conjugate_gradient(cache_->matrix, rhs, sol.node_voltages,
-                                      *cache_->precond, options.iterative);
+  sol.report = cache_->solver->iterate_once(rhs, sol.node_voltages,
+                                            options.iterative);
   if (!sol.report.converged) {
     la::SolveAttempt first{"cg+cached-precond", false, sol.report.iterations,
                            sol.report.residual_norm};
-    la::SolveOptions fallback;
-    fallback.iterative = options.iterative;
     sol.node_voltages.assign(n, 0.0);
-    sol.report = la::solve(cache_->matrix, rhs, sol.node_voltages, fallback);
+    sol.report =
+        cache_->solver->solve(rhs, sol.node_voltages, options.iterative);
     sol.report.attempts.insert(sol.report.attempts.begin(), first);
   }
   if (!sol.report.converged) {

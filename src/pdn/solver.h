@@ -9,12 +9,12 @@
 // The full system therefore stays SPD for both topologies and is solved
 // with ILU(0)-preconditioned CG.  Fault-damaged networks (pdn/fault.h) may
 // break that structure; when the cached-CG fast path stalls, the solve
-// escalates through la::solve's degradation ladder and reports the attempt
+// escalates through the la::Solver degradation ladder and reports the attempt
 // trail instead of throwing (see docs/fault_model.md).
 #pragma once
 
 #include "floorplan/power_map.h"
-#include "la/solve.h"
+#include "la/solver.h"
 #include "pdn/network.h"
 
 namespace vstack::pdn {
@@ -82,6 +82,10 @@ struct PdnSolveOptions {
   /// Fixed-point refinements of the per-converter series resistance for
   /// closed-loop converter control (ignored for open loop).
   std::size_t control_iterations = 3;
+  /// Preconditioner tier for the cached system.  Auto keeps the historic
+  /// ILU(0); Ic0 opts the SPD PDN matrices into incomplete Cholesky (half
+  /// the factor memory/solve work, falls back to ILU(0) on breakdown).
+  la::PrecondKind preconditioner = la::PrecondKind::Auto;
 };
 
 class PdnModel {
@@ -126,9 +130,14 @@ class PdnModel {
   struct CachedSystem {
     std::size_t epoch = 0;
     std::vector<double> r_series;
+    la::PrecondKind precond_kind = la::PrecondKind::Auto;
     la::CsrMatrix matrix;
     la::Vector base_rhs;  // fixed-rail + ideal-reference injections
-    std::unique_ptr<la::Preconditioner> precond;
+    /// Bound to `matrix` (stable: this struct lives behind a unique_ptr
+    /// and the solver is created after the matrix reaches its final
+    /// address).  Owns the preconditioner, the backend-prepared matrix
+    /// form, and the reusable Krylov workspace.
+    std::unique_ptr<la::Solver> solver;
     /// Floating-island map from fault application (islands are grounded
     /// with weak pins during assembly).
     std::vector<char> node_floating;

@@ -5,8 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
-#include "la/cg.h"
-#include "la/solve.h"
+#include "la/solver.h"
 #include "telemetry/telemetry.h"
 
 namespace vstack::pdn::detail {
@@ -55,10 +54,9 @@ bool StepSolver::solve(double h, bool backward_euler, const la::Vector& rhs,
     report.record_event(t, "direct back-substitution produced non-finite "
                            "values; escalating to the iterative ladder");
   }
-  if (c.precond) {
+  if (c.solver) {
     la::Vector iterate = x;
-    const auto r = la::conjugate_gradient(c.matrix, rhs, iterate, *c.precond,
-                                          options_.iterative);
+    const auto r = c.solver->iterate_once(rhs, iterate, options_.iterative);
     if (r.converged &&
         sim::finite_and_bounded(iterate, options_.control.overflow_limit)) {
       x = std::move(iterate);
@@ -66,13 +64,17 @@ bool StepSolver::solve(double h, bool backward_euler, const la::Vector& rhs,
     }
     report.record_event(t, "warm-started CG stalled (residual " +
                                std::to_string(r.residual_norm) +
-                               "); escalating through la::solve");
+                               "); escalating through the solver ladder");
   }
-  // Final rung: the full non-throwing escalation ladder from PR 1.
+  // Final rung: the full non-throwing escalation ladder from PR 1.  Slots
+  // that went direct-only build their iterative handle on first need.
+  if (!c.solver) {
+    la::SolveOptions ladder;
+    ladder.iterative = options_.iterative;
+    c.solver = std::make_unique<la::Solver>(c.matrix, ladder);
+  }
   la::Vector iterate = x;
-  la::SolveOptions ladder;
-  ladder.iterative = options_.iterative;
-  const auto r = la::solve(c.matrix, rhs, iterate, ladder);
+  const auto r = c.solver->solve(rhs, iterate, options_.iterative);
   if (r.converged &&
       sim::finite_and_bounded(iterate, options_.control.overflow_limit)) {
     x = std::move(iterate);
@@ -115,14 +117,15 @@ StepSolver::Cached& StepSolver::cached(double h, bool backward_euler, double t,
                              " s; using the iterative ladder");
     }
   }
-  if (!c.direct) {
-    try {
-      c.precond = la::make_ilu0(c.matrix);
-    } catch (const Error&) {
-      c.precond = la::make_jacobi(c.matrix);
-    }
+  // Insert first, bind after: the solver handle points at the matrix, so it
+  // must be created once the Cached slot has its final map residence.
+  Cached& slot = cache_.emplace(key, std::move(c)).first->second;
+  if (!slot.direct) {
+    la::SolveOptions ladder;
+    ladder.iterative = options_.iterative;
+    slot.solver = std::make_unique<la::Solver>(slot.matrix, ladder);
   }
-  return cache_.emplace(key, std::move(c)).first->second;
+  return slot;
 }
 
 TransientWorkspace::TransientWorkspace(const PdnNetwork& net,

@@ -22,8 +22,8 @@
 #include <string>
 #include <vector>
 
-#include "la/preconditioner.h"
 #include "la/skyline_cholesky.h"
+#include "la/solver.h"
 #include "pdn/transient.h"
 
 namespace vstack::pdn::detail {
@@ -53,9 +53,9 @@ struct SplitSystem {
   la::CsrMatrix assemble(double h, bool backward_euler) const;
 };
 
-/// Per-(dt, scheme, topology epoch) cached factorization / preconditioner
+/// Per-(dt, scheme, topology epoch) cached factorization / solver handle
 /// with a solve that escalates instead of throwing: skyline Cholesky (small
-/// systems) -> warm-started CG -> la::solve's full degradation ladder.
+/// systems) -> warm-started CG -> la::Solver's full degradation ladder.
 class StepSolver {
  public:
   StepSolver(const SplitSystem& sys, const PdnTransientOptions& options)
@@ -83,7 +83,13 @@ class StepSolver {
   struct Cached {
     la::CsrMatrix matrix;
     std::unique_ptr<la::ReorderedCholesky> direct;
-    std::unique_ptr<la::Preconditioner> precond;
+    /// Iterative-rung handle bound to `matrix` (owns the preconditioner,
+    /// backend preparation, and Krylov workspace).  Built when the direct
+    /// factorization is skipped or fails; otherwise created lazily the
+    /// first time a direct solve goes non-finite.  Always constructed
+    /// AFTER the Cached slot reaches its final address in the cache map --
+    /// the handle stores a pointer to `matrix`.
+    std::unique_ptr<la::Solver> solver;
   };
 
   Cached& cached(double h, bool backward_euler, double t,

@@ -4,7 +4,7 @@
 //
 //   * Per-request wall-clock deadlines: a core::Deadline token rides the
 //     ExecutionPolicy into TaskPool chunk boundaries, the step controller,
-//     and the la::solve iteration loops, so a stuck solve aborts instead of
+//     and the la::Solver iteration loops, so a stuck solve aborts instead of
 //     wedging the server.  An expired request answers TIMEOUT with the
 //     committed prefix aggregated.
 //   * Bounded retry with exponential backoff + deterministic jitter

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "la/solve.h"
+#include "la/solver.h"
 
 namespace vstack::thermal {
 
@@ -95,7 +95,9 @@ ThermalResult solve_stack_temperature(
   }
 
   la::Vector theta;  // temperature rise over ambient
-  const auto report = la::solve(builder.build(), rhs, theta);
+  const la::CsrMatrix conductance = builder.build();
+  la::Solver solver(conductance);
+  const auto report = solver.solve(rhs, theta);
   VS_REQUIRE(report.converged, "thermal solve failed to converge");
 
   ThermalResult result;

@@ -1,0 +1,174 @@
+// IC(0) incomplete Cholesky: exactness on fill-free patterns, breakdown on
+// indefinite matrices, and the ladder's fallback to ILU(0).
+#include "la/preconditioner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "la/dense_lu.h"
+#include "la/solver.h"
+
+namespace vstack::la {
+namespace {
+
+CsrMatrix tridiagonal_spd(std::size_t n) {
+  CooBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+  }
+  return b.build();
+}
+
+CsrMatrix grid_laplacian(std::size_t m) {
+  CooBuilder b(m * m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const std::size_t i = r * m + c;
+      b.add(i, i, 4.0);
+      if (r > 0) b.add(i, i - m, -1.0);
+      if (r + 1 < m) b.add(i, i + m, -1.0);
+      if (c > 0) b.add(i, i - 1, -1.0);
+      if (c + 1 < m) b.add(i, i + 1, -1.0);
+    }
+  }
+  return b.build();
+}
+
+TEST(Ic0Test, ExactForTriangularPattern) {
+  // A tridiagonal SPD matrix has a tridiagonal Cholesky factor, so the
+  // zero-fill constraint never bites: IC(0) is a complete factorization
+  // and applying it solves the system exactly.
+  const std::size_t n = 12;
+  const CsrMatrix a = tridiagonal_spd(n);
+  Ic0Preconditioner p(a);
+
+  Vector rhs(n, 1.0);
+  Vector z;
+  p.apply(rhs, z);
+
+  const Vector reference = DenseLu(DenseMatrix::from_csr(a)).solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(z[i], reference[i], 1e-12);
+  }
+}
+
+TEST(Ic0Test, CgConvergesInOneIterationWhenExact) {
+  const CsrMatrix a = tridiagonal_spd(24);
+  const Vector b(a.size(), 1.0);
+  Vector x;
+  const auto report = conjugate_gradient(a, b, x, Ic0Preconditioner(a));
+  EXPECT_TRUE(report.converged);
+  EXPECT_LE(report.iterations, 2u);
+}
+
+TEST(Ic0Test, MatchesIlu0SolutionOnGridLaplacian) {
+  const CsrMatrix a = grid_laplacian(12);
+  const Vector b(a.size(), 1.0);
+  Vector x_ic0, x_ilu0;
+  const auto r_ic0 = conjugate_gradient(a, b, x_ic0, Ic0Preconditioner(a));
+  const auto r_ilu0 = conjugate_gradient(a, b, x_ilu0, Ilu0Preconditioner(a));
+  ASSERT_TRUE(r_ic0.converged);
+  ASSERT_TRUE(r_ilu0.converged);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(x_ic0[i], x_ilu0[i], 1e-7);
+  }
+  // The SPD-only specialization must not cost iterations relative to the
+  // general ILU(0) on the same pattern.
+  EXPECT_LE(r_ic0.iterations, r_ilu0.iterations + 2);
+}
+
+TEST(Ic0Test, FactorReproducesLowerTriangleProduct) {
+  // Sanity on the factor itself: for the fill-free tridiagonal case,
+  // applying M^{-1} then multiplying by A must reproduce the input.
+  const CsrMatrix a = tridiagonal_spd(9);
+  Ic0Preconditioner p(a);
+  const Vector r{1.0, -2.0, 3.0, 0.5, 0.0, 4.0, -1.0, 2.5, 1.0};
+  Vector z;
+  p.apply(r, z);
+  const Vector back = a.multiply(z);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(back[i], r[i], 1e-10);
+  }
+}
+
+TEST(Ic0Test, ThrowsOnIndefiniteMatrix) {
+  // Symmetric but indefinite (eigenvalues 5 and -1): the second pivot goes
+  // negative, which must surface as Error, not NaN factors.
+  CooBuilder b(2);
+  b.add(0, 0, 2.0);
+  b.add(0, 1, 3.0);
+  b.add(1, 0, 3.0);
+  b.add(1, 1, 2.0);
+  EXPECT_THROW(Ic0Preconditioner{b.build()}, Error);
+}
+
+TEST(Ic0Test, ThrowsOnMissingDiagonal) {
+  CooBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(1, 0, 1.0);  // row 1 has no diagonal entry
+  EXPECT_THROW(Ic0Preconditioner{b.build()}, Error);
+}
+
+TEST(Ic0LadderTest, BreakdownFallsBackToIlu0) {
+  // Solver asked for IC(0) on an indefinite symmetric system: the bind
+  // must degrade to ILU(0) (logged, not thrown) and the escalation ladder
+  // must still deliver the solution.
+  CooBuilder b(2);
+  b.add(0, 0, 2.0);
+  b.add(0, 1, 3.0);
+  b.add(1, 0, 3.0);
+  b.add(1, 1, 2.0);
+  const CsrMatrix a = b.build();
+
+  SolveOptions options;
+  options.preconditioner = PrecondKind::Ic0;
+  Solver solver(a, options);
+  EXPECT_EQ(solver.preconditioner_label(), "ilu0");
+
+  const Vector rhs{1.0, 2.0};
+  Vector x;
+  const auto report = solver.solve(rhs, x);
+  ASSERT_TRUE(report.converged);
+  const Vector residual = subtract(rhs, a.multiply(x));
+  EXPECT_LT(norm2(residual), 1e-8);
+}
+
+TEST(Ic0LadderTest, NonSymmetricRequestDegradesToIlu0) {
+  CooBuilder b(2);
+  b.add(0, 0, 4.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, -2.0);  // asymmetric coupling
+  b.add(1, 1, 5.0);
+  const CsrMatrix a = b.build();
+
+  SolveOptions options;
+  options.preconditioner = PrecondKind::Ic0;
+  Solver solver(a, options);
+  EXPECT_EQ(solver.kind(), SolverKind::BiCgStab);
+  EXPECT_EQ(solver.preconditioner_label(), "ilu0");
+
+  const Vector rhs{1.0, 1.0};
+  Vector x;
+  EXPECT_TRUE(solver.solve(rhs, x).converged);
+}
+
+TEST(Ic0LadderTest, SolverUsesIc0OnSymmetricBind) {
+  const CsrMatrix a = grid_laplacian(8);
+  SolveOptions options;
+  options.preconditioner = PrecondKind::Ic0;
+  Solver solver(a, options);
+  EXPECT_EQ(solver.kind(), SolverKind::Cg);
+  EXPECT_EQ(solver.preconditioner_label(), "ic0");
+
+  const Vector b(a.size(), 1.0);
+  Vector x;
+  const auto report = solver.solve(b, x);
+  ASSERT_TRUE(report.converged);
+  ASSERT_FALSE(report.attempts.empty());
+  EXPECT_EQ(report.attempts[0].method, "cg+ic0");
+}
+
+}  // namespace
+}  // namespace vstack::la

@@ -20,6 +20,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,6 +32,7 @@
 #include "common/failpoint.h"
 #include "common/shutdown.h"
 #include "common/table.h"
+#include "la/backend.h"
 #include "core/campaign.h"
 #include "core/contingency.h"
 #include "core/sweeps.h"
@@ -769,6 +771,11 @@ int cmd_spice(const CliArgs& args) {
 
 int cmd_version() {
   const auto& info = telemetry::build_info();
+  std::string backends;
+  for (const la::Backend* b : la::all_backends()) {
+    if (!backends.empty()) backends += ", ";
+    backends += b->name();
+  }
   std::cout << telemetry::build_summary() << "\n"
             << "  version:    " << info.version << "\n"
             << "  build type: " << info.build_type << "\n"
@@ -776,7 +783,9 @@ int cmd_version() {
             << "  telemetry:  " << (info.telemetry_enabled ? "on" : "off")
             << "\n"
             << "  failpoints: " << (failpoint::compiled_in() ? "on" : "off")
-            << "\n";
+            << "\n"
+            << "  la backends: " << backends
+            << " (default: " << la::default_backend().name() << ")\n";
   return 0;
 }
 
@@ -825,7 +834,11 @@ void usage() {
       "independent of N)\n"
       "--metrics=PATH writes a telemetry metrics snapshot (counters, "
       "histograms) after the command; --trace=PATH writes Chrome "
-      "trace_event JSON (open in Perfetto).  See docs/telemetry.md\n";
+      "trace_event JSON (open in Perfetto).  See docs/telemetry.md\n"
+      "--la-backend=reference|optimized selects the linear-algebra kernel "
+      "backend for every solve in this process (and spawned shard workers); "
+      "default: reference (bit-identical baseline), or VSTACK_LA_BACKEND.  "
+      "See docs/linear_algebra.md\n";
 }
 
 /// Write --metrics / --trace artifacts after the command ran.  Failures
@@ -861,7 +874,16 @@ int main(int argc, char** argv) {
                         "max-attempts", "lease-expiry", "heartbeat",
                         "max-restarts", "out", "shard-workers", "work-dir",
                         "cli", "workload", "mode", "max-hits",
-                        "max-schedules", "errnos", "min-schedules"});
+                        "max-schedules", "errnos", "min-schedules",
+                        "la-backend"});
+    // Backend selection must precede any solve (and cmd_version's default
+    // report).  The env var is set too, so shard worker processes spawned
+    // by campaign --shards / serve inherit the choice.
+    if (args.has("la-backend")) {
+      const std::string backend = args.get_string("la-backend", "reference");
+      la::set_default_backend(backend);  // throws on unknown names
+      setenv("VSTACK_LA_BACKEND", backend.c_str(), 1);
+    }
     const auto ctx = core::StudyContext::paper_defaults();
     const std::string cmd = args.subcommand();
     if (cmd == "version" || args.get_bool("version")) return cmd_version();
