@@ -1,0 +1,184 @@
+// Performance bench: external power-grid benchmark ingestion (src/pgio).
+//
+// Generates an IBM-power-grid-style netlist for an NxN VDD mesh entirely in
+// memory, then measures the full ingestion pipeline -- parse (nodes/sec and
+// MB/sec), short collapse + slot assignment, and the DC solve under each
+// linear-algebra backend -- plus the process peak RSS, which bounds the
+// per-node memory cost of the streaming reader + interned node table.
+//
+//   bench_external_grid [--nodes=N] [--rel-tol=X]
+//
+// --nodes defaults to 100000 and is rounded down to a square grid; pass
+// --nodes=1000000 for the million-node acceptance run (the documented
+// bound is < 1 GiB peak RSS end to end; see docs/benchmark_ingestion.md).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "la/backend.h"
+#include "pgio/grid.h"
+#include "pgio/reader.h"
+
+namespace {
+
+using namespace vstack;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set size in MiB (0 when the platform cannot report it).
+double peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage u {};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(u.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(u.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// An nx*ny VDD mesh in the benchmark dialect: 1 ohm segments, pads pinned
+/// along the top edge every 32 columns, and a uniform load at every node.
+/// Uses the `n<layer>_<x>_<y>` naming convention so layer histograms and
+/// solution files stay representative of the real IBM inputs.
+std::string synthetic_mesh(std::size_t nx, std::size_t ny,
+                           double amps_per_node) {
+  std::string out;
+  // ~64 bytes/line, two R lines + one I line per node.
+  out.reserve(nx * ny * 200 + 4096);
+  out += "* synthetic ibmpg-style mesh ";
+  out += std::to_string(nx) + "x" + std::to_string(ny) + "\n";
+  char buf[160];
+  std::size_t e = 0;
+  const auto node = [](std::size_t x, std::size_t y) {
+    return "n1_" + std::to_string(x) + "_" + std::to_string(y);
+  };
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const std::string a = node(x, y);
+      if (x + 1 < nx) {
+        std::snprintf(buf, sizeof(buf), "R%zu %s %s 1.0\n", ++e, a.c_str(),
+                      node(x + 1, y).c_str());
+        out += buf;
+      }
+      if (y + 1 < ny) {
+        std::snprintf(buf, sizeof(buf), "R%zu %s %s 1.0\n", ++e, a.c_str(),
+                      node(x, y + 1).c_str());
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), "I%zu %s 0 %.6g\n", ++e, a.c_str(),
+                    amps_per_node);
+      out += buf;
+    }
+  }
+  for (std::size_t x = 0; x < nx; x += 32) {
+    std::snprintf(buf, sizeof(buf), "V%zu %s 0 1.0\n", ++e,
+                  node(x, 0).c_str());
+    out += buf;
+  }
+  out += ".end\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vstack::bench::BenchReport bench_report("external_grid");
+  using namespace vstack;
+
+  const CliArgs args(argc, argv, {"nodes", "rel-tol"});
+  const std::size_t requested = args.get_size("nodes", 100000);
+  const auto side = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(requested)));
+  const std::size_t nx = side < 2 ? 2 : side;
+
+  bench::print_header("Perf", "External grid ingestion, " +
+                                  std::to_string(nx) + "x" +
+                                  std::to_string(nx) + " mesh");
+
+  // Tiny per-node load keeps the total IR drop physical at any size.
+  const double amps = 0.25 / static_cast<double>(nx * nx);
+  double t0 = now_s();
+  const std::string text = synthetic_mesh(nx, nx, amps);
+  const double gen_s = now_s() - t0;
+  const double mib = static_cast<double>(text.size()) / (1024.0 * 1024.0);
+
+  t0 = now_s();
+  const pgio::PgNetlist netlist =
+      pgio::read_netlist_text(text, "synthetic-mesh");
+  const double parse_s = now_s() - t0;
+  const double nodes = static_cast<double>(netlist.node_count());
+
+  t0 = now_s();
+  const pgio::ImportedGrid grid(netlist);
+  const double import_s = now_s() - t0;
+
+  TextTable stages({"Stage", "Wall (s)", "Rate"});
+  stages.add_row({"generate", TextTable::num(gen_s, 3),
+                  TextTable::num(mib / (gen_s > 0 ? gen_s : 1), 1) +
+                      " MiB/s"});
+  stages.add_row(
+      {"parse", TextTable::num(parse_s, 3),
+       TextTable::num(nodes / (parse_s > 0 ? parse_s : 1) / 1e6, 2) +
+           " Mnodes/s"});
+  stages.add_row({"import", TextTable::num(import_s, 3),
+                  std::to_string(grid.unknown_count()) + " unknowns"});
+  stages.print(std::cout);
+
+  TextTable solves({"Backend", "Solve (s)", "Iters", "Max dev (mV)"});
+  int code = 0;
+  for (const auto& [label, choice] :
+       {std::pair<const char*, la::BackendChoice>{"reference",
+                                                  la::BackendChoice::Reference},
+        std::pair<const char*, la::BackendChoice>{
+            "optimized", la::BackendChoice::Optimized}}) {
+    pgio::GridSolveOptions opt;
+    opt.backend = choice;
+    opt.iterative.relative_tolerance = args.get_double("rel-tol", 1e-8);
+    // Fresh copy per backend: the shared grid warm-starts repeat solves
+    // from its cached solution, which would zero out the second timing.
+    const pgio::ImportedGrid cold(grid);
+    t0 = now_s();
+    const pgio::GridSolution sol = cold.solve(opt);
+    const double solve_s = now_s() - t0;
+    if (!sol.solve_ok) {
+      std::cerr << "error: " << label << " backend failed: "
+                << sol.diagnostic << "\n";
+      code = 2;
+      continue;
+    }
+    solves.add_row({label, TextTable::num(solve_s, 3),
+                    std::to_string(sol.report.iterations),
+                    TextTable::num(sol.max_deviation_v * 1e3, 3)});
+  }
+  solves.print(std::cout);
+
+  const double rss = peak_rss_mib();
+  bench::print_note("netlist " + TextTable::num(mib, 1) + " MiB, " +
+                    std::to_string(netlist.line_count) + " lines, " +
+                    std::to_string(netlist.node_count()) + " nodes, " +
+                    std::to_string(netlist.element_count()) + " elements");
+  if (rss > 0.0) {
+    bench::print_note("peak RSS " + TextTable::num(rss, 1) + " MiB (" +
+                      TextTable::num(rss * 1024.0 * 1024.0 / nodes, 0) +
+                      " bytes/node end to end)");
+  }
+  return code;
+}

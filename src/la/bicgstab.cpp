@@ -47,12 +47,20 @@ SolveReport bicgstab(const CsrMatrix& a, const Vector& b, Vector& x,
   }
 
   bk.residual(*pm, b, x, w.r);
+  const double initial_res = bk.norm2(w.r) / b_norm;
+  if (initial_res < options.relative_tolerance) {
+    // Warm start already inside tolerance (a re-solve of the same system):
+    // iterating from a zero residual hits the rho-breakdown guard.
+    report.converged = true;
+    report.residual_norm = initial_res;
+    return report;
+  }
   w.r_hat = w.r;  // shadow residual
   fill(w.p, 0.0);
   fill(w.v, 0.0);
 
   double rho = 1.0, alpha = 1.0, omega = 1.0;
-  double best_res = bk.norm2(w.r) / b_norm;
+  double best_res = initial_res;
   std::size_t since_best = 0;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {

@@ -47,11 +47,19 @@ SolveReport conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   }
 
   bk.residual(*pm, b, x, w.r);
+  const double initial_res = bk.norm2(w.r) / b_norm;
+  if (initial_res < options.relative_tolerance) {
+    // Warm start already inside tolerance (a re-solve of the same system):
+    // iterating from a zero residual breaks down as non-positive curvature.
+    report.converged = true;
+    report.residual_norm = initial_res;
+    return report;
+  }
   precond.apply(w.r, w.z);
   w.p = w.z;
   double rz = bk.dot(w.r, w.z);
 
-  double best_res = bk.norm2(w.r) / b_norm;
+  double best_res = initial_res;
   std::size_t since_best = 0;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {

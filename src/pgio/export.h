@@ -1,0 +1,42 @@
+// IBM-benchmark-format writer: the inverse of pgio/reader.h, plus the
+// bridge that lets a synthesized pdn::PdnModel be published in the
+// benchmark format other tools read.
+//
+// write_netlist emits a *normalized* form -- element names regenerated
+// (R1..,V1..,I1..,C1..), shorts as explicit zero-ohm R cards, values at
+// %.17g (doubles round-trip exactly through strtod) -- so that
+// parse -> write -> parse -> write is bit-identical from the first write
+// on.  That identity is the round-trip test's oracle and makes exported
+// files diff-stable.
+//
+// from_pdn_model flattens the synthesized network: grid nodes take the
+// benchmark name grammar (vdd of layer l at cell (x, y) -> "n<2l+2>_x_y",
+// gnd -> "n<2l+1>_x_y"), package nodes become "pkg_vdd"/"pkg_gnd", the
+// fixed-supply sentinel becomes a "src_vdd" pad pin, and the fixed-ground
+// sentinel is the ground net.  Converters stamp an active PSD block that no
+// passive R card can represent, so stacks with enabled converters require a
+// solved operating point: each converter is linearized into its DC terminal
+// currents (out sources c, top and bottom each supply c/2).  The exported
+// netlist therefore reproduces that operating point, not the closed-loop
+// behavior -- see docs/benchmark_ingestion.md.
+#pragma once
+
+#include <string>
+
+#include "pdn/solver.h"
+#include "pgio/netlist.h"
+
+namespace vstack::pgio {
+
+/// Normalized benchmark-format text of `netlist`.
+std::string write_netlist(const PgNetlist& netlist);
+void write_netlist_file(const PgNetlist& netlist, const std::string& path);
+
+/// Flatten a synthesized model (+ the loads of interest) into a PgNetlist.
+/// `operating_point` may be null only when the model has no enabled
+/// converters; passing a failed solve throws.
+PgNetlist from_pdn_model(const pdn::PdnModel& model,
+                         const std::vector<pdn::LoadInjection>& loads,
+                         const pdn::PdnSolution* operating_point = nullptr);
+
+}  // namespace vstack::pgio

@@ -1,0 +1,113 @@
+#include "pgio/validate.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+#include "la/backend.h"
+#include "telemetry/telemetry.h"
+
+namespace vstack::pgio {
+
+namespace {
+
+la::BackendChoice choice_by_name(const std::string& name) {
+  // Resolve through the registry so the error lists what actually exists.
+  VS_REQUIRE(la::backend_by_name(name) != nullptr,
+             "unknown la backend '" + name + "'");
+  return name == "optimized" ? la::BackendChoice::Optimized
+                             : la::BackendChoice::Reference;
+}
+
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+}  // namespace
+
+bool ValidationReport::pass() const {
+  if (backends.empty()) return false;
+  for (const auto& b : backends) {
+    if (!b.pass()) return false;
+  }
+  return true;
+}
+
+std::string ValidationReport::format() const {
+  std::string out;
+  for (const auto& b : backends) {
+    out += b.backend + ": ";
+    if (!b.solve_ok) {
+      out += "solve FAILED (" + b.diagnostic + ")\n";
+      continue;
+    }
+    out += "max |err| " + sci(b.max_abs_error_v) + " V, rms " +
+           sci(b.rms_error_v) + " V over " + std::to_string(b.compared) +
+           " nodes";
+    if (!b.worst_node.empty()) out += " (worst at " + b.worst_node + ")";
+    if (b.missing > 0) {
+      out += ", " + std::to_string(b.missing) + " missing from golden";
+    }
+    if (b.skipped_floating > 0) {
+      out += ", " + std::to_string(b.skipped_floating) + " floating skipped";
+    }
+    out += b.pass() ? " -- PASS" : " -- FAIL";
+    out += " (tol " + sci(b.tolerance_v) + " V)\n";
+  }
+  return out;
+}
+
+ValidationReport validate(const ImportedGrid& grid,
+                          const GoldenSolution& golden,
+                          const ValidateOptions& options) {
+  VS_SPAN("pgio.validate");
+  ValidationReport report;
+  const auto& nodes = grid.netlist().nodes;
+  for (const auto& backend_name : options.backends) {
+    BackendValidation entry;
+    entry.backend = backend_name;
+    entry.tolerance_v = options.tolerance_v;
+
+    GridSolveOptions solve_options = options.solve;
+    solve_options.backend = choice_by_name(backend_name);
+    const GridSolution solution = grid.solve(solve_options);
+    entry.solve_ok = solution.solve_ok;
+    entry.diagnostic = solution.diagnostic;
+    if (entry.solve_ok) {
+      double sum_sq = 0.0;
+      for (std::size_t id = 0; id < nodes.size(); ++id) {
+        const std::string_view name = nodes.name(static_cast<std::uint32_t>(id));
+        const std::size_t slot = grid.slot_of(name);
+        if (slot != kNoSlot && grid.is_floating(slot)) {
+          ++entry.skipped_floating;
+          continue;
+        }
+        double golden_v = 0.0;
+        if (!golden.lookup(name, &golden_v)) {
+          ++entry.missing;
+          continue;
+        }
+        double solved_v = 0.0;
+        const bool found = grid.node_voltage(solution, name, &solved_v);
+        VS_REQUIRE(found, "netlist node missing from its own grid");
+        const double err = std::abs(solved_v - golden_v);
+        sum_sq += err * err;
+        ++entry.compared;
+        if (err > entry.max_abs_error_v) {
+          entry.max_abs_error_v = err;
+          entry.worst_node = std::string(name);
+        }
+      }
+      if (entry.compared > 0) {
+        entry.rms_error_v =
+            std::sqrt(sum_sq / static_cast<double>(entry.compared));
+      }
+    }
+    report.backends.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace vstack::pgio

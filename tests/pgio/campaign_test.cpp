@@ -1,0 +1,199 @@
+// Imported-grid campaigns: stress ranking, N-1 and Monte Carlo determinism
+// (including jobs=N bit-identity), load-scale sweeps, and the load-step
+// ride-through transient.
+#include "pgio/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "pgio/reader.h"
+
+namespace vstack::pgio {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(VSTACK_PGIO_TEST_DATA) + "/" + name;
+}
+
+PgNetlist ladder() { return read_netlist_file(fixture("ladder4.spice")); }
+
+TEST(RankByStress, OrdersByCurrentShare) {
+  const PgNetlist n = ladder();
+  const ImportedGrid grid(n);
+  const GridSolution baseline = grid.solve();
+  ASSERT_TRUE(baseline.solve_ok);
+  GridCampaignOptions opts;
+  opts.exhaustive = true;
+  const auto ranking = rank_by_stress(grid, baseline, opts);
+  ASSERT_EQ(ranking.size(), 3u);
+  // Segment currents 3/2/1 A: shares 1/2, 1/3, 1/6, descending.
+  EXPECT_EQ(ranking[0].conductor_index, 0u);
+  EXPECT_EQ(ranking[1].conductor_index, 1u);
+  EXPECT_EQ(ranking[2].conductor_index, 2u);
+  EXPECT_NEAR(ranking[0].unit_current, 3.0, 1e-8);
+  EXPECT_NEAR(ranking[0].failure_probability, 0.5, 1e-9);
+  EXPECT_NEAR(ranking[1].failure_probability, 1.0 / 3.0, 1e-9);
+  double total = 0.0;
+  for (const auto& e : ranking) total += e.failure_probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(NMinusOne, RadialLadderStrandsEveryCase) {
+  const PgNetlist n = ladder();
+  const ImportedGrid grid(n);
+  GridCampaignOptions opts;
+  opts.exhaustive = true;
+  const auto report = run_n_minus_1(grid, opts);
+  EXPECT_EQ(report.planned, 3u);
+  ASSERT_EQ(report.cases.size(), 3u);
+  EXPECT_NEAR(report.base_max_node_deviation_fraction, 0.6, 1e-9);
+  // Every segment of a radial ladder is a single point of failure.
+  EXPECT_EQ(report.infeasible, 3u);
+  for (const auto& c : report.cases) {
+    EXPECT_EQ(c.outcome, core::CaseOutcome::Infeasible);
+    EXPECT_TRUE(c.solved);  // the solve succeeds; the loads are stranded
+    EXPECT_NE(c.diagnostic.find("stranded"), std::string::npos)
+        << c.diagnostic;
+  }
+}
+
+TEST(NMinusOne, MeshedGridSurvivesSingleOpens) {
+  // The 3x3 mesh has redundant paths: opening one edge must not strand
+  // anything, and the deviation stays within a generous budget.
+  const PgNetlist n = read_netlist_file(fixture("mesh3x3.spice"));
+  const ImportedGrid grid(n);
+  GridCampaignOptions opts;
+  opts.exhaustive = true;
+  opts.noise_budget_fraction = 0.5;
+  const auto report = run_n_minus_1(grid, opts);
+  EXPECT_EQ(report.cases.size(), grid.conductors().size());
+  EXPECT_EQ(report.infeasible, 0u);
+  EXPECT_EQ(report.survivable + report.degraded, report.cases.size());
+  EXPECT_GT(report.worst_post_fault_deviation,
+            report.base_max_node_deviation_fraction);
+}
+
+TEST(Campaigns, ParallelRunsAreBitIdentical) {
+  const PgNetlist n = read_netlist_file(fixture("mesh3x3.spice"));
+  const ImportedGrid grid(n);
+  GridCampaignOptions serial;
+  serial.exhaustive = true;
+  serial.trials = 12;
+  serial.leakage_faults_per_trial = 1;
+  GridCampaignOptions parallel = serial;
+  parallel.execution.jobs = 4;
+
+  for (const bool monte_carlo : {false, true}) {
+    const auto a = monte_carlo ? run_monte_carlo(grid, serial)
+                               : run_n_minus_1(grid, serial);
+    const auto b = monte_carlo ? run_monte_carlo(grid, parallel)
+                               : run_n_minus_1(grid, parallel);
+    ASSERT_EQ(a.cases.size(), b.cases.size());
+    for (std::size_t i = 0; i < a.cases.size(); ++i) {
+      EXPECT_EQ(a.cases[i].label, b.cases[i].label);
+      EXPECT_EQ(a.cases[i].outcome, b.cases[i].outcome);
+      // Bitwise: same plan, same fresh-copy evaluation, ordered commit.
+      EXPECT_EQ(a.cases[i].max_node_deviation_fraction,
+                b.cases[i].max_node_deviation_fraction);
+    }
+    EXPECT_EQ(a.worst_post_fault_deviation, b.worst_post_fault_deviation);
+  }
+}
+
+std::string fault_signature(const pdn::FaultSet& set) {
+  std::string out;
+  for (const auto& f : set.faults()) {
+    out += std::to_string(static_cast<int>(f.kind)) + ":" +
+           std::to_string(f.index) + ":" + std::to_string(f.units) + ":" +
+           std::to_string(f.severity) + ";";
+  }
+  return out;
+}
+
+TEST(MonteCarlo, SeedReproducesAndVaries) {
+  const PgNetlist n = read_netlist_file(fixture("mesh3x3.spice"));
+  const ImportedGrid grid(n);
+  GridCampaignOptions opts;
+  opts.trials = 10;
+  const auto a = run_monte_carlo(grid, opts);
+  const auto b = run_monte_carlo(grid, opts);
+  ASSERT_EQ(a.cases.size(), 10u);
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    EXPECT_EQ(fault_signature(a.cases[i].faults),
+              fault_signature(b.cases[i].faults));
+  }
+
+  GridCampaignOptions other = opts;
+  other.seed = 1234;
+  const auto c = run_monte_carlo(grid, other);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    any_difference |= fault_signature(a.cases[i].faults) !=
+                      fault_signature(c.cases[i].faults);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(EvaluateCase, ConverterFaultsAreRejected) {
+  const PgNetlist n = ladder();
+  const ImportedGrid grid(n);
+  EXPECT_THROW(
+      evaluate_case(grid, pdn::FaultSet().converter_stuck_off(0), {}, "bad"),
+      Error);
+}
+
+TEST(EvaluateCase, LeakageFaultSolves) {
+  const PgNetlist n = ladder();
+  const ImportedGrid grid(n);
+  const auto kase = evaluate_case(
+      grid, pdn::FaultSet().leakage_to_ground(grid.slot_of("n1_3_0"), 0.05),
+      {}, "leak");
+  EXPECT_TRUE(kase.solved);
+  EXPECT_GT(kase.max_node_deviation_fraction, 0.6);  // worse than baseline
+}
+
+TEST(SweepLoadScale, DeviationScalesLinearly) {
+  const PgNetlist n = ladder();
+  const ImportedGrid grid(n);
+  const auto sols = sweep_load_scale(grid, {0.5, 1.0, 2.0}, {});
+  ASSERT_EQ(sols.size(), 3u);
+  for (const auto& s : sols) ASSERT_TRUE(s.solve_ok) << s.diagnostic;
+  EXPECT_NEAR(sols[0].max_deviation_v, 0.3, 1e-8);
+  EXPECT_NEAR(sols[1].max_deviation_v, 0.6, 1e-8);
+  EXPECT_NEAR(sols[2].max_deviation_v, 1.2, 1e-8);
+}
+
+TEST(LoadStep, TransientRecoversToTheNewOperatingPoint) {
+  const PgNetlist n = read_netlist_file(fixture("mesh3x3.spice"));
+  const ImportedGrid grid(n);
+  LoadStepOptions opt;
+  opt.step_scale = 2.0;
+  opt.duration_s = 200e-9;
+  opt.dt_s = 5e-9;
+  const LoadStepReport r = simulate_load_step(grid, opt);
+  ASSERT_TRUE(r.solve_ok) << r.diagnostic;
+  EXPECT_EQ(r.steps, 40u);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_GE(r.recovery_time_s, 0.0);
+  EXPECT_LE(r.recovery_time_s, opt.duration_s);
+  // Doubling the load roughly doubles the settled deviation, and the
+  // transient can never undershoot the settled endpoint metrics.
+  EXPECT_NEAR(r.post_step_deviation_v, 2.0 * r.pre_step_deviation_v, 1e-6);
+  EXPECT_GE(r.worst_deviation_v, r.post_step_deviation_v - 1e-12);
+  EXPECT_GT(r.worst_droop_v, 0.0);
+  EXPECT_LT(r.final_error_v, 1e-6);
+}
+
+TEST(LoadStep, TrivialGridIsImmediatelyRecovered) {
+  const PgNetlist n = read_netlist_text("V1 a 0 1.0\nR1 a 0 10\n.end\n");
+  const ImportedGrid grid(n);
+  const LoadStepReport r = simulate_load_step(grid, {});
+  EXPECT_TRUE(r.solve_ok);
+  EXPECT_TRUE(r.recovered);
+}
+
+}  // namespace
+}  // namespace vstack::pgio

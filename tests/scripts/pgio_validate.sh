@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Ingestion drill for the pgio benchmark reader (docs/benchmark_ingestion.md).
+#
+# For every shipped fixture, under BOTH linear-algebra backends
+# (VSTACK_LA_BACKEND=reference / optimized):
+#
+#   1. Golden validation: `vstack_cli validate` against the exact
+#      .solution file at the acceptance tolerance (1e-6 V).
+#   2. Export round-trip: `import --dump` twice; the two dumps must be
+#      bit-identical (normalization is a fixed point), and the dumped
+#      netlist must still validate against the ORIGINAL golden.
+#   3. Failure path: a doctored golden must exit 3 (verdict), not 0,
+#      and not 2 (2 means the solver itself failed).
+#
+# CI runs this against the ASan+UBSan build, so every parse/solve/export
+# also doubles as a leak/UB sweep over the ingestion pipeline.
+#
+# Usage: pgio_validate.sh <path-to-vstack_cli>
+set -euo pipefail
+
+CLI=${1:?usage: pgio_validate.sh <path-to-vstack_cli>}
+CLI=$(readlink -f "$CLI")
+DATA=$(readlink -f "$(dirname "$0")/../data/pgio")
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vstack_pgio.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+FIXTURES=(ladder4 mesh3x3 twonet_vias)
+
+for backend in reference optimized; do
+  export VSTACK_LA_BACKEND=$backend
+  echo "== backend: $backend =="
+
+  for f in "${FIXTURES[@]}"; do
+    echo "-- validate $f"
+    "$CLI" validate "$DATA/$f.spice" --tol=1e-6
+
+    echo "-- round-trip $f"
+    "$CLI" import "$DATA/$f.spice" --dump="$WORK/$f.a.spice" > /dev/null
+    "$CLI" import "$WORK/$f.a.spice" --dump="$WORK/$f.b.spice" > /dev/null
+    cmp "$WORK/$f.a.spice" "$WORK/$f.b.spice" \
+      || { echo "FAIL: $f re-export is not bit-identical"; exit 1; }
+    "$CLI" validate "$WORK/$f.a.spice" --solution="$DATA/$f.solution" \
+        --tol=1e-6
+  done
+
+  echo "-- doctored golden must fail with exit 3"
+  sed 's/^n1_3_0 .*/n1_3_0 0.25/' "$DATA/ladder4.solution" \
+      > "$WORK/doctored.solution"
+  rc=0
+  "$CLI" validate "$DATA/ladder4.spice" \
+      --solution="$WORK/doctored.solution" --tol=1e-6 > /dev/null || rc=$?
+  [[ $rc -eq 3 ]] \
+      || { echo "FAIL: doctored golden exited $rc, want 3"; exit 1; }
+done
+
+echo "pgio ingestion drill passed (both backends)"

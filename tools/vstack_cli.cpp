@@ -8,6 +8,8 @@
 //   vstack_cli thermal    [--layers=8] [--sink=0.42]
 //   vstack_cli sweep --figure=5a|5b|6|7|8
 //   vstack_cli spice FILE [--verbose]
+//   vstack_cli import FILE [--solve] [--dump=OUT] [--verbose]
+//   vstack_cli validate FILE [--solution=F] [--tol=1e-6]
 //   vstack_cli ride-through [--layers=8] [--fault-level=3] [--keep=32]
 //                         [--fault-time=2e-6] [--duration=4e-6] [--verbose]
 //   vstack_cli campaign   [--trials=8] [--seed=42] [--manifest=FILE]
@@ -15,8 +17,9 @@
 //   vstack_cli config     [--config=FILE]   ; echo the resolved config
 //
 // Exit codes: 0 success, 1 usage/precondition error, 2 truncated or
-// incomplete result (spice / ride-through / campaign), 3 outcome failure
-// (ride-through Lost, contingency with Infeasible cases).
+// incomplete result (spice / ride-through / campaign / validate solver
+// failure), 3 outcome failure (ride-through Lost, contingency with
+// Infeasible cases, validate over tolerance).
 #include <unistd.h>
 
 #include <algorithm>
@@ -39,6 +42,11 @@
 #include "floorplan/heatmap.h"
 #include "pdn/config_io.h"
 #include "pdn/ride_through.h"
+#include "pgio/campaign.h"
+#include "pgio/export.h"
+#include "pgio/grid.h"
+#include "pgio/reader.h"
+#include "pgio/validate.h"
 #include "power/workload.h"
 #include "service/server.h"
 #include "shard/job.h"
@@ -359,7 +367,12 @@ sc::SupervisorConfig cli_supervisor_policy() {
   return sup;
 }
 
+// Imported-benchmark routes; defined with the other pgio commands below.
+int cmd_contingency_netlist(const CliArgs& args);
+int cmd_ride_through_netlist(const CliArgs& args);
+
 int cmd_ride_through(const core::StudyContext& ctx, const CliArgs& args) {
+  if (args.has("netlist")) return cmd_ride_through_netlist(args);
   auto cfg = resolve_config(ctx, args);
   if (!args.has("layers") && !args.has("config")) {
     cfg.layer_count = 8;  // demo default: 8-layer stack, fault on rail 3
@@ -571,6 +584,7 @@ const char* outcome_name(core::CaseOutcome outcome) {
 }
 
 int cmd_contingency(const core::StudyContext& ctx, const CliArgs& args) {
+  if (args.has("netlist")) return cmd_contingency_netlist(args);
   const auto cfg = resolve_config(ctx, args);
   const double imbalance = args.get_double("imbalance", 0.5);
   const auto acts =
@@ -769,6 +783,238 @@ int cmd_spice(const CliArgs& args) {
   return result.ok() ? 0 : 2;
 }
 
+/// Companion `.solution` path of a netlist: extension swapped (or
+/// appended) -- the benchmarks ship `ibmpg1.spice` + `ibmpg1.solution`.
+std::string default_solution_path(const std::string& netlist_path) {
+  const std::size_t slash = netlist_path.find_last_of('/');
+  const std::size_t dot = netlist_path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return netlist_path + ".solution";
+  }
+  return netlist_path.substr(0, dot) + ".solution";
+}
+
+pgio::GridSolveOptions pgio_solve_options(const CliArgs& args) {
+  pgio::GridSolveOptions solve;
+  solve.iterative.deadline = shutdown_token();
+  solve.iterative.relative_tolerance =
+      args.get_double("rel-tol", solve.iterative.relative_tolerance);
+  return solve;
+}
+
+int cmd_import(const CliArgs& args) {
+  VS_REQUIRE(args.positionals().size() >= 2,
+             "usage: vstack_cli import FILE [--solve] [--dump=OUT]");
+  const std::string path = args.positionals()[1];
+  const pgio::PgNetlist netlist = pgio::read_netlist_file(path);
+
+  TextTable t({"Metric", "Value"});
+  if (!netlist.title.empty()) t.add_row({"title", netlist.title});
+  t.add_row({"lines", std::to_string(netlist.line_count)});
+  t.add_row({"nodes", std::to_string(netlist.node_count())});
+  t.add_row({"resistors", std::to_string(netlist.resistors.size())});
+  t.add_row({"shorts/vias", std::to_string(netlist.shorts.size())});
+  t.add_row({"pads", std::to_string(netlist.pads.size())});
+  t.add_row({"loads", std::to_string(netlist.loads.size())});
+  t.add_row({"decaps", std::to_string(netlist.caps.size())});
+  const auto nets = netlist.net_potentials();
+  std::string net_desc;
+  for (const double v : nets) {
+    if (!net_desc.empty()) net_desc += ", ";
+    net_desc += TextTable::num(v, 3) + " V";
+  }
+  t.add_row({"nets", nets.empty() ? "(none)" : net_desc});
+  const auto hist = pgio::layer_histogram(netlist);
+  std::size_t named_layers = 0;
+  for (std::size_t l = 1; l < hist.size(); ++l) named_layers += hist[l] > 0;
+  t.add_row({"metal layers", std::to_string(named_layers) +
+                                 (hist[0] > 0 ? " (+" + std::to_string(hist[0]) +
+                                                    " unnamed nodes)"
+                                              : "")});
+
+  const pgio::ImportedGrid grid(netlist);
+  t.add_row({"slots", std::to_string(grid.slot_count()) + " (" +
+                          std::to_string(grid.unknown_count()) + " unknown, " +
+                          std::to_string(grid.fixed_count()) + " fixed)"});
+  t.print(std::cout);
+
+  int code = 0;
+  if (args.get_bool("solve")) {
+    const pgio::GridSolution sol = grid.solve(pgio_solve_options(args));
+    std::cout << "\nDC operating point:\n";
+    TextTable s({"Metric", "Value"});
+    if (sol.solve_ok) {
+      s.add_row({"max deviation",
+                 TextTable::num(sol.max_deviation_v * 1e3, 3) + " mV (" +
+                     TextTable::percent(sol.max_deviation_fraction, 2) +
+                     (sol.worst_node.empty() ? ")"
+                                             : ") at " + sol.worst_node)});
+      s.add_row({"supply current",
+                 TextTable::num(sol.supply_current_a, 3) + " A"});
+      s.add_row({"load current", TextTable::num(sol.load_current_a, 3) + " A"});
+      if (sol.floating_islands > 0) {
+        s.add_row({"floating", std::to_string(sol.floating_islands) +
+                                   " islands / " +
+                                   std::to_string(sol.floating_nodes) +
+                                   " nodes"});
+      }
+    } else {
+      s.add_row({"solve", "FAILED: " + sol.diagnostic});
+      code = 2;
+    }
+    s.print(std::cout);
+    if (args.get_bool("verbose")) {
+      for (const auto& a : sol.report.attempts) {
+        std::cout << "  attempt " << a.method << ": "
+                  << (a.converged ? "converged" : "failed") << " after "
+                  << a.iterations << " iterations\n";
+      }
+    }
+  }
+  if (args.has("dump")) {
+    const std::string out = args.get_string("dump", "");
+    pgio::write_netlist_file(netlist, out);
+    std::cout << "\nnormalized netlist written to " << out << "\n";
+  }
+  return code;
+}
+
+int cmd_validate(const CliArgs& args) {
+  VS_REQUIRE(args.positionals().size() >= 2,
+             "usage: vstack_cli validate FILE [--solution=F] [--tol=V]");
+  const std::string path = args.positionals()[1];
+  const std::string solution_path =
+      args.get_string("solution", default_solution_path(path));
+
+  const pgio::PgNetlist netlist = pgio::read_netlist_file(path);
+  const pgio::GoldenSolution golden = pgio::read_solution_file(solution_path);
+  const pgio::ImportedGrid grid(netlist);
+
+  pgio::ValidateOptions options;
+  options.solve = pgio_solve_options(args);
+  options.tolerance_v = args.get_double("tol", options.tolerance_v);
+
+  const pgio::ValidationReport report = pgio::validate(grid, golden, options);
+  std::cout << "validate " << path << " vs " << solution_path << " ("
+            << golden.size() << " golden nodes):\n"
+            << report.format();
+  for (const auto& b : report.backends) {
+    if (!b.solve_ok) return 2;  // numerics never converged: no verdict
+  }
+  return report.pass() ? 0 : 3;
+}
+
+/// `contingency --netlist=FILE`: the imported-grid campaign route.
+int cmd_contingency_netlist(const CliArgs& args) {
+  const std::string path = args.get_string("netlist", "");
+  const pgio::PgNetlist netlist = pgio::read_netlist_file(path);
+  const pgio::ImportedGrid grid(netlist);
+
+  pgio::GridCampaignOptions opts;
+  opts.top_k = args.get_size("top", opts.top_k);
+  opts.exhaustive = args.get_bool("exhaustive");
+  opts.noise_budget_fraction =
+      args.get_double("budget", opts.noise_budget_fraction);
+  opts.trials = args.get_size("trials", opts.trials);
+  opts.faults_per_trial = args.get_size("faults", opts.faults_per_trial);
+  opts.leakage_faults_per_trial =
+      args.get_size("leakage", opts.leakage_faults_per_trial);
+  opts.seed = args.get_size("seed", opts.seed);
+  opts.solve = pgio_solve_options(args);
+  opts.execution = resolve_execution(args);
+
+  const bool monte_carlo = args.get_bool("mc");
+  const auto report = monte_carlo ? pgio::run_monte_carlo(grid, opts)
+                                  : pgio::run_n_minus_1(grid, opts);
+  if (report.planned == 0 && report.cases.empty()) {
+    std::cout << "baseline DC solve failed; no campaign to run\n";
+    return 2;
+  }
+
+  std::cout << "current-stress ranking (top "
+            << std::min<std::size_t>(opts.top_k, report.ranking.size())
+            << " of " << grid.conductors().size() << " conductors):\n";
+  TextTable rank({"Conductor", "Nodes", "I (mA)", "Share"});
+  for (std::size_t k = 0;
+       k < std::min<std::size_t>(opts.top_k, report.ranking.size()); ++k) {
+    const auto& e = report.ranking[k];
+    const auto& c = grid.conductors()[e.conductor_index];
+    rank.add_row({"R#" + std::to_string(e.conductor_index),
+                  std::string(grid.slot_name(c.node_a)) + " - " +
+                      std::string(grid.slot_name(c.node_b)),
+                  TextTable::num(e.unit_current * 1e3, 2),
+                  TextTable::percent(e.failure_probability, 2)});
+  }
+  rank.print(std::cout);
+
+  std::cout << "\n" << (monte_carlo ? "Monte Carlo N-k" : "N-1")
+            << " campaign (" << report.cases.size()
+            << " cases, baseline deviation "
+            << TextTable::percent(report.base_max_node_deviation_fraction, 2)
+            << "):\n";
+  TextTable cases({"Case", "Outcome", "Deviation", "Attempts"});
+  for (const auto& c : report.cases) {
+    cases.add_row({c.label, outcome_name(c.outcome),
+                   c.solved
+                       ? TextTable::percent(c.max_node_deviation_fraction, 2)
+                       : "-",
+                   std::to_string(c.solve_attempts)});
+  }
+  cases.print(std::cout);
+
+  std::cout << "\nsummary: " << report.survivable << " survivable, "
+            << report.degraded << " degraded, " << report.infeasible
+            << " infeasible; worst post-fault deviation "
+            << TextTable::percent(report.worst_post_fault_deviation, 2)
+            << " (budget "
+            << TextTable::percent(opts.noise_budget_fraction, 0) << ")\n";
+  for (const auto& c : report.cases) {
+    if (!c.diagnostic.empty()) {
+      std::cout << "  " << c.label << ": " << c.diagnostic << "\n";
+    }
+  }
+  return report.infeasible > 0 ? 3 : 0;
+}
+
+/// `ride-through --netlist=FILE`: load-step transient on an imported grid.
+int cmd_ride_through_netlist(const CliArgs& args) {
+  const std::string path = args.get_string("netlist", "");
+  const pgio::PgNetlist netlist = pgio::read_netlist_file(path);
+  const pgio::ImportedGrid grid(netlist);
+
+  pgio::LoadStepOptions opt;
+  opt.step_scale = args.get_double("step-scale", opt.step_scale);
+  opt.duration_s = args.get_double("duration", opt.duration_s);
+  opt.dt_s = args.get_double("dt", opt.dt_s);
+  opt.solve = pgio_solve_options(args);
+
+  std::cout << "load step: x" << TextTable::num(opt.step_scale, 2) << " at t=0, "
+            << TextTable::num(opt.duration_s * 1e9, 1) << " ns window, dt "
+            << TextTable::num(opt.dt_s * 1e9, 2) << " ns\n";
+  const pgio::LoadStepReport r = pgio::simulate_load_step(grid, opt);
+  if (!r.solve_ok) {
+    std::cout << "transient FAILED: " << r.diagnostic << "\n";
+    return 2;
+  }
+  TextTable t({"Metric", "Value"});
+  t.add_row({"steps", std::to_string(r.steps)});
+  t.add_row({"pre-step deviation",
+             TextTable::num(r.pre_step_deviation_v * 1e3, 3) + " mV"});
+  t.add_row({"post-step deviation",
+             TextTable::num(r.post_step_deviation_v * 1e3, 3) + " mV"});
+  t.add_row({"worst transient deviation",
+             TextTable::num(r.worst_deviation_v * 1e3, 3) + " mV"});
+  t.add_row({"worst droop vs pre-step",
+             TextTable::num(r.worst_droop_v * 1e3, 3) + " mV"});
+  t.add_row({"recovered",
+             r.recovered
+                 ? TextTable::num(r.recovery_time_s * 1e9, 1) + " ns"
+                 : "NO (final error " +
+                       TextTable::num(r.final_error_v * 1e3, 3) + " mV)"});
+  t.print(std::cout);
+  return r.recovered ? 0 : 3;
+}
+
 int cmd_version() {
   const auto& info = telemetry::build_info();
   std::string backends;
@@ -823,6 +1069,16 @@ void usage() {
       "--max-schedules --errnos=EIO,ENOSPC --min-schedules --cli=PATH); "
       "see docs/chaos_testing.md\n"
       "  spice FILE  run a SPICE-subset netlist (--verbose)\n"
+      "  import FILE ingest an IBM-power-grid benchmark netlist (--solve "
+      "--dump=OUT --rel-tol --verbose); see docs/benchmark_ingestion.md\n"
+      "  validate FILE  cross-check a benchmark netlist against its golden "
+      "voltages (--solution=F --tol=V --rel-tol); runs every linear-algebra "
+      "backend; exit 3 over tolerance, 2 on solver failure\n"
+      "  contingency --netlist=FILE  run the fault campaign on an imported "
+      "benchmark grid (--top --exhaustive --mc --trials --faults --leakage "
+      "--seed --budget --jobs)\n"
+      "  ride-through --netlist=FILE  load-step transient on an imported "
+      "grid (--step-scale --duration --dt)\n"
       "  config      echo the resolved configuration (--config ...)\n"
       "  version     print build provenance (git describe, build type, "
       "sanitizer, telemetry)\n"
@@ -875,7 +1131,8 @@ int main(int argc, char** argv) {
                         "max-restarts", "out", "shard-workers", "work-dir",
                         "cli", "workload", "mode", "max-hits",
                         "max-schedules", "errnos", "min-schedules",
-                        "la-backend"});
+                        "la-backend", "netlist", "solution", "dump", "tol",
+                        "rel-tol", "solve", "step-scale", "dt", "leakage"});
     // Backend selection must precede any solve (and cmd_version's default
     // report).  The env var is set too, so shard worker processes spawned
     // by campaign --shards / serve inherit the choice.
@@ -915,6 +1172,8 @@ int main(int argc, char** argv) {
     else if (cmd == "merge") code = cmd_merge(ctx, args);
     else if (cmd == "chaos-explore") code = cmd_chaos_explore(args);
     else if (cmd == "spice") code = cmd_spice(args);
+    else if (cmd == "import") code = cmd_import(args);
+    else if (cmd == "validate") code = cmd_validate(args);
     else if (cmd == "config") {
       std::cout << pdn::write_stackup_config(resolve_config(ctx, args));
       code = 0;
